@@ -1,0 +1,32 @@
+"""Shared helpers for the figure benchmarks."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.experiments.registry import EXPERIMENTS
+from repro.experiments.report import format_per_app, format_series, save_result
+
+
+def run_figure(benchmark, experiment_id: str, **kwargs) -> Dict:
+    """Run one registered experiment exactly once under pytest-benchmark.
+
+    ``rounds=1, iterations=1``: a figure regeneration is a long
+    deterministic computation; re-running it would only re-hit the
+    runner cache and time nothing meaningful.
+    """
+    exp = EXPERIMENTS[experiment_id]
+    result = benchmark.pedantic(
+        lambda: exp.run(**kwargs), rounds=1, iterations=1, warmup_rounds=0
+    )
+    title = f"{experiment_id}: {exp.title} — paper: {exp.paper_claim}"
+    if "per_app" in result:
+        print()
+        print(format_per_app(title, result["per_app"], paper=result.get("paper")))
+    elif "series" in result:
+        print()
+        print(format_series(title, result["series"], paper=result.get("paper")))
+    if "average" in result:
+        print(f"  measured average: {result['average']}")
+    save_result(experiment_id, result)
+    return result

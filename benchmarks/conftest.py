@@ -1,0 +1,20 @@
+"""Benchmark-suite configuration.
+
+Every benchmark regenerates one figure/table of the paper through the
+process-wide :func:`repro.experiments.get_runner`, so expensive
+simulation runs are shared across benchmarks (the baseline run of an
+app is simulated once for the whole session).
+
+Benchmarks print a paper-vs-measured report and persist their result
+as JSON under ``benchmarks/results/`` for EXPERIMENTS.md collation.
+"""
+
+import os
+import sys
+
+# Results land next to this file regardless of the pytest rootdir.
+os.environ.setdefault(
+    "REPRO_RESULTS_DIR", os.path.join(os.path.dirname(__file__), "results")
+)
+
+sys.path.insert(0, os.path.dirname(__file__))

@@ -1,0 +1,52 @@
+"""Ablation (beyond the paper): profile density vs Twig effectiveness.
+
+The paper's profiles come from long production runs; ours are sampled
+from short traces. This ablation sweeps the LBR miss-sampling rate to
+show how Twig's coverage degrades as the profile thins — the
+sensitivity DESIGN.md §5b calls out as the main scale-dependent
+deviation from the paper.
+"""
+
+from repro.config import SimConfig
+from repro.core.twig import build_plan, run_with_plan
+from repro.experiments.report import save_result
+from repro.experiments.runner import get_runner
+from repro.profiling.collector import collect_profile
+
+
+def _sweep():
+    r = get_runner()
+    app = "cassandra"
+    wl = r.workload(app)
+    train = r.trace(app, 0)
+    test = r.trace(app, 1)
+    warm = r.warmup_units(test)
+    cfg = SimConfig()
+    base = r.run(app, "baseline")
+    series = {}
+    for rate in (1, 2, 4, 8):
+        profile = collect_profile(wl, train, cfg, sample_rate=rate)
+        plan = build_plan(wl, profile, cfg)
+        res = run_with_plan(wl, test, plan, cfg, warmup_units=warm)
+        series[rate] = {
+            "coverage": max(0.0, 1.0 - res.btb_mpki() / base.btb_mpki()),
+            "speedup": res.speedup_over(base),
+            "samples": float(len(profile)),
+        }
+    return {"series": series}
+
+
+def test_ablation_profile_density(benchmark):
+    result = benchmark.pedantic(_sweep, rounds=1, iterations=1, warmup_rounds=0)
+    series = result["series"]
+    print()
+    for rate in sorted(series):
+        row = series[rate]
+        print(
+            f"  sample 1/{rate}: {row['samples']:8.0f} samples  "
+            f"coverage={row['coverage']:.2f}  speedup=+{row['speedup']:.1f}%"
+        )
+    save_result("ablation_profile_density", result)
+    # Denser profiles never cover fewer misses.
+    assert series[1]["coverage"] >= series[8]["coverage"] - 0.03
+    assert series[1]["samples"] > series[8]["samples"]

@@ -1,0 +1,44 @@
+"""Extension (paper §5): Boomerang as a third hardware baseline.
+
+Boomerang predecodes FDIP-fetched lines into the unified BTB with no
+extra metadata. The paper's related-work section argues its coverage
+is limited by frontend run-ahead; this benchmark places it against
+Shotgun, Confluence, and Twig on three representative apps.
+"""
+
+from repro.experiments.report import save_result
+from repro.experiments.runner import get_runner
+from repro.prefetchers.boomerang import BoomerangBTBSystem
+from repro.uarch.sim import FrontendSimulator
+
+
+def _compare():
+    r = get_runner()
+    per_app = {}
+    for app in ("cassandra", "verilator", "wordpress"):
+        wl = r.workload(app)
+        tr = r.trace(app)
+        base = r.run(app, "baseline")
+        sim = FrontendSimulator(wl, btb_system=BoomerangBTBSystem(wl))
+        boom = sim.run(tr, warmup_units=r.warmup_units(tr))
+        per_app[app] = {
+            "boomerang": boom.speedup_over(base),
+            "shotgun": r.speedup(app, "shotgun"),
+            "confluence": r.speedup(app, "confluence"),
+            "twig": r.speedup(app, "twig"),
+        }
+    return {"per_app": per_app}
+
+
+def test_ext_boomerang(benchmark):
+    result = benchmark.pedantic(_compare, rounds=1, iterations=1, warmup_rounds=0)
+    print()
+    for app, row in sorted(result["per_app"].items()):
+        print(
+            f"  {app:12s} "
+            + "  ".join(f"{k}=+{v:.1f}%" for k, v in sorted(row.items()))
+        )
+    save_result("ext_boomerang", result)
+    for app, row in result["per_app"].items():
+        # Twig beats the metadata-free predecoder everywhere too.
+        assert row["twig"] > row["boomerang"], app

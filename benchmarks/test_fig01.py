@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Fig 1 (frontend-bound slots) (fig01).
+
+Paper claim: 24-78% of pipeline slots are frontend bound
+"""
+
+from _util import run_figure
+
+
+def test_fig01(benchmark):
+    result = run_figure(benchmark, "fig01")
+    # Every app loses a substantial fraction of slots to the frontend,
+    # with a wide spread across apps.
+    values = list(result["per_app"].values())
+    assert all(0.10 < v < 0.98 for v in values)
+    assert max(values) - min(values) > 0.10

@@ -1,0 +1,17 @@
+"""Benchmark: regenerate Fig 2 (FDIP limit study) (fig02).
+
+Paper claim: ideal I-cache +24%, ideal BTB +31%
+"""
+
+from _util import run_figure
+
+
+def test_fig02(benchmark):
+    result = run_figure(benchmark, "fig02")
+    avg = result["average"]
+    # Both limit studies show large headroom; the BTB and the I-cache
+    # are each responsible for double-digit average speedups.
+    assert avg["ideal_btb"] > 8.0
+    assert avg["ideal_icache"] > 5.0
+    # Every app gains from an ideal BTB.
+    assert all(v["ideal_btb"] > 0 for v in result["per_app"].values())

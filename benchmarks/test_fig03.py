@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Fig 3 (BTB MPKI) (fig03).
+
+Paper claim: MPKI 8-121, average 29.7
+"""
+
+from _util import run_figure
+
+
+def test_fig03(benchmark):
+    result = run_figure(benchmark, "fig03")
+    mpkis = result["per_app"]
+    assert all(v > 1.0 for v in mpkis.values())
+    # verilator is the extreme outlier, as in the paper.
+    assert max(mpkis, key=mpkis.get) == "verilator"
+    assert mpkis["verilator"] > 2.5 * sorted(mpkis.values())[len(mpkis) // 2]

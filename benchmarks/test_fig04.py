@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Fig 4 (3C breakdown) (fig04).
+
+Paper claim: ~70% capacity, ~24% conflict
+"""
+
+from _util import run_figure
+
+
+def test_fig04(benchmark):
+    result = run_figure(benchmark, "fig04")
+    avg = result["average"]
+    # Capacity misses dominate; compulsory misses are the minority.
+    assert avg["capacity"] > 0.45
+    assert avg["capacity"] > avg["conflict"] > 0.0
+    assert avg["compulsory"] < 0.35

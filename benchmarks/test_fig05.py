@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Fig 5 (capacity vs BTB size) (fig05).
+
+Paper claim: capacity misses persist until 32K-64K
+"""
+
+from _util import run_figure
+
+
+def test_fig05(benchmark):
+    result = run_figure(benchmark, "fig05")
+    series = result["series"]
+    sizes = sorted(series)
+    for app in series[sizes[0]]:
+        values = [series[s][app] for s in sizes]
+        # Monotone-ish decay, and the largest BTB removes most capacity misses.
+        assert values[-1] < 0.35 * max(values[0], 1e-9) + 0.05

@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Fig 6 (conflict vs associativity) (fig06).
+
+Paper claim: conflicts persist even at 128 ways
+"""
+
+from _util import run_figure
+
+
+def test_fig06(benchmark):
+    result = run_figure(benchmark, "fig06")
+    series = result["series"]
+    ways = sorted(series)
+    for app in series[ways[0]]:
+        first = series[ways[0]][app]
+        last = series[ways[-1]][app]
+        assert last <= first + 1e-9

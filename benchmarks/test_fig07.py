@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Fig 7 (accesses by type) (fig07).
+
+Paper claim: conditionals dominate accesses
+"""
+
+from _util import run_figure
+
+
+def test_fig07(benchmark):
+    result = run_figure(benchmark, "fig07")
+    avg = result["average"]
+    assert avg["cond_direct"] > 0.5
+    assert avg["cond_direct"] > avg["uncond_direct"]
+    assert avg["cond_direct"] > avg["call_direct"]

@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Fig 8 (misses by type) (fig08).
+
+Paper claim: uncond+calls overrepresented in misses
+"""
+
+from _util import run_figure
+
+
+def test_fig08(benchmark):
+    result = run_figure(benchmark, "fig08")
+    avg = result["average"]
+    assert abs(sum(avg.values()) - 1.0) < 0.05
+    # Conditionals still take the most misses in absolute terms.
+    assert avg["cond_direct"] > 0.35

@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Fig 9 (prior-work speedups) (fig09).
+
+Paper claim: Shotgun/Confluence capture little of ideal
+"""
+
+from _util import run_figure
+
+
+def test_fig09(benchmark):
+    result = run_figure(benchmark, "fig09")
+    avg = result["average"]
+    # Both prior techniques average far below the ~30% ideal-BTB gain.
+    assert avg["shotgun"] < 12.0
+    assert avg["confluence"] < 12.0

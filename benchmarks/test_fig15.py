@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Fig 15 (branch-to-target offset CDF) (fig15).
+
+Paper claim: ~80% at 12 bits
+"""
+
+from _util import run_figure
+
+
+def test_fig15(benchmark):
+    result = run_figure(benchmark, "fig15")
+    from repro.analysis.cdf import cdf_at
+    assert result["average"] > 0.5
+    for cdf in result["cdfs"].values():
+        assert cdf_at(cdf, 48) == 1.0

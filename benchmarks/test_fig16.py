@@ -1,0 +1,18 @@
+"""Benchmark: regenerate Fig 16 (Twig speedup) (fig16).
+
+Paper claim: Twig avg 20.86%, beats Shotgun and 32K BTB
+"""
+
+from _util import run_figure
+
+
+def test_fig16(benchmark):
+    result = run_figure(benchmark, "fig16")
+    avg = result["average"]
+    assert avg["twig"] > 2.0
+    assert avg["twig"] > avg["shotgun"]
+    assert avg["twig"] < avg["ideal_btb"]
+    # Twig (8K BTB + prefetching) competes with the 32K-entry BTB.
+    assert avg["twig"] > avg["btb_32k"] - 3.0
+    # Per-app: Twig never loses to the baseline by more than noise.
+    assert all(v["twig"] > -1.0 for v in result["per_app"].values())

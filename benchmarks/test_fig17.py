@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Fig 17 (miss coverage) (fig17).
+
+Paper claim: Twig covers 65.4% of misses
+"""
+
+from _util import run_figure
+
+
+def test_fig17(benchmark):
+    result = run_figure(benchmark, "fig17")
+    avg = result["average"]
+    assert avg["twig"] > 0.25
+    assert avg["twig"] > avg["shotgun"]
+    assert avg["twig"] > avg["confluence"]

@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Fig 18 (mechanism contribution) (fig18).
+
+Paper claim: software ~71%, coalescing ~29%
+"""
+
+from _util import run_figure
+
+
+def test_fig18(benchmark):
+    result = run_figure(benchmark, "fig18")
+    avg = result["average"]
+    assert avg["full"] >= avg["software_only"] - 0.5
+    assert avg["software_only"] > 0.0

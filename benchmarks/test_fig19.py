@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Fig 19 (prefetch accuracy) (fig19).
+
+Paper claim: Twig 31.3%, above Shotgun
+"""
+
+from _util import run_figure
+
+
+def test_fig19(benchmark):
+    result = run_figure(benchmark, "fig19")
+    avg = result["average"]
+    assert 0.0 < avg["twig"] < 1.0
+    assert avg["twig"] > avg["confluence"] - 0.15

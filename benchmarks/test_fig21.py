@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Fig 21 (static overhead) (fig21).
+
+Paper claim: average 6%, below ~10%
+"""
+
+from _util import run_figure
+
+
+def test_fig21(benchmark):
+    result = run_figure(benchmark, "fig21")
+    overheads = result["per_app"]
+    assert all(0.0 < v < 0.25 for v in overheads.values())
+    assert result["average"] < 0.15

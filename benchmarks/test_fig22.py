@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Fig 22 (dynamic overhead) (fig22).
+
+Paper claim: average 3%, up to 12.6%
+"""
+
+from _util import run_figure
+
+
+def test_fig22(benchmark):
+    result = run_figure(benchmark, "fig22")
+    overheads = result["per_app"]
+    assert all(0.0 <= v < 0.20 for v in overheads.values())
+    assert result["average"] < 0.10

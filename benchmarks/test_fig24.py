@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Fig 24 (associativity sensitivity) (fig24).
+
+Paper claim: Twig leads at every assoc
+"""
+
+from _util import run_figure
+
+
+def test_fig24(benchmark):
+    result = run_figure(benchmark, "fig24")
+    for ways, row in result["series"].items():
+        assert row["twig"] > row["shotgun"], f"ways {ways}"
+        assert row["twig"] > row["confluence"], f"ways {ways}"

@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Fig 25 (prefetch buffer) (fig25).
+
+Paper claim: scales to ~128 entries
+"""
+
+from _util import run_figure
+
+
+def test_fig25(benchmark):
+    result = run_figure(benchmark, "fig25")
+    series = result["series"]
+    sizes = sorted(series)
+    # Bigger buffers never hurt much, and 128 beats 8 clearly.
+    assert series[128]["twig"] >= series[8]["twig"] - 1.0

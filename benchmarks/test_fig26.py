@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Fig 26 (prefetch distance) (fig26).
+
+Paper claim: best at 15-25 cycles
+"""
+
+from _util import run_figure
+
+
+def test_fig26(benchmark):
+    result = run_figure(benchmark, "fig26")
+    series = {d: row["twig"] for d, row in result["series"].items()}
+    # Mid-range distances dominate the extremes (interior optimum).
+    mid = max(series[d] for d in series if 10 <= d <= 35)
+    assert mid >= series[min(series)] - 1.0
+    assert mid >= series[max(series)] - 1.0

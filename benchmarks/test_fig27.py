@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Fig 27 (coalesce bitmask) (fig27).
+
+Paper claim: 8 bits captures most of the gain
+"""
+
+from _util import run_figure
+
+
+def test_fig27(benchmark):
+    result = run_figure(benchmark, "fig27")
+    series = {b: row["twig"] for b, row in result["series"].items()}
+    # Gains grow with mask width and saturate: 8 bits gets most of 64.
+    assert series[8] >= series[1] - 1.0
+    assert series[8] >= series[64] - 6.0

@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Fig 28 (FTQ run-ahead) (fig28).
+
+Paper claim: stable % of ideal at every FTQ size
+"""
+
+from _util import run_figure
+
+
+def test_fig28(benchmark):
+    result = run_figure(benchmark, "fig28")
+    series = {s: row["twig"] for s, row in result["series"].items()}
+    big = [v for s, v in series.items() if s >= 16]
+    # Twig keeps a healthy share of ideal at practical FTQ depths.
+    assert min(big) > 0.0

@@ -1,0 +1,20 @@
+"""Benchmark: regenerate Table 2 (cross-input speedups) (table2).
+
+Paper claim: 34-80% of ideal across inputs
+"""
+
+import json
+
+from _util import run_figure
+from repro.experiments.report import format_per_app
+
+
+def test_table2(benchmark):
+    result = run_figure(benchmark, "table2")
+    print(format_per_app("table2 measured", result["rows"]))
+    print(format_per_app("table2 paper", result["paper"]))
+    rows = result["rows"]
+    assert len(rows) >= 1
+    for app, row in rows.items():
+        assert row["training_avg"] > 0.0
+        assert row["same_std"] >= 0.0

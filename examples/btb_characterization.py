@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Characterize one application's BTB behaviour (the paper's §2).
+
+Reports, for a chosen app:
+
+* BTB MPKI under the baseline 8K-entry BTB (Fig 3);
+* the 3C miss breakdown (Fig 4) and how capacity misses shrink as the
+  BTB grows (Fig 5);
+* temporal-stream structure of the miss sequence (Fig 10);
+* unconditional working set vs Shotgun's U-BTB (Fig 11) and the
+  fraction of conditionals outside its spatial window (Fig 12).
+
+Usage::
+
+    python examples/btb_characterization.py [app] [instructions]
+"""
+
+import sys
+
+from repro.analysis.temporal import classify_streams
+from repro.analysis.threec import classify_3c
+from repro.analysis.working_set import (
+    spatial_range_fraction,
+    unconditional_working_set,
+)
+from repro.config import BTBConfig, SimConfig
+from repro.prefetchers.base import BaselineBTBSystem
+from repro.trace.walker import generate_trace
+from repro.uarch.sim import FrontendSimulator
+from repro.workloads.apps import get_app
+from repro.workloads.cfg import build_workload
+
+
+def main() -> None:
+    app = sys.argv[1] if len(sys.argv) > 1 else "kafka"
+    instructions = int(sys.argv[2]) if len(sys.argv) > 2 else 600_000
+
+    spec = get_app(app)
+    workload = build_workload(spec, seed=0)
+    print(workload.describe())
+    trace = generate_trace(workload, spec.make_input(0), max_instructions=instructions)
+    warm = len(trace) // 3
+
+    cfg = SimConfig()
+    sim = FrontendSimulator(workload, cfg, BaselineBTBSystem(cfg))
+    res = sim.run(trace, warmup_units=warm)
+    print(f"\nBaseline 8K-entry BTB: MPKI={res.btb_mpki():.1f}  IPC={res.ipc():.2f}  "
+          f"frontend-bound={res.frontend_bound():.0%}"
+          f"  (paper target for {app}: MPKI {spec.btb_mpki_target})")
+
+    print("\n3C miss classification (Fig 4):")
+    threec = classify_3c(workload, trace, skip=warm)
+    comp, cap, conf = threec.fractions()
+    print(f"  compulsory={comp:.0%}  capacity={cap:.0%}  conflict={conf:.0%}")
+
+    print("\nCapacity misses vs BTB size (Fig 5):")
+    base_misses = None
+    for entries in (2048, 8192, 32768, 65536):
+        r = classify_3c(workload, trace, BTBConfig(entries=entries, ways=4), skip=warm)
+        if base_misses is None:
+            base_misses = max(1, r.misses)
+        print(f"  {entries:6d} entries: capacity misses remaining "
+              f"{r.capacity / base_misses:.0%}")
+
+    print("\nTemporal miss streams (Fig 10):")
+    streams = classify_streams(workload, trace)
+    rec, new, nonrep = streams.fractions()
+    print(f"  recurring={rec:.0%}  new={new:.0%}  non-repetitive={nonrep:.0%}")
+    print("  (temporal prefetchers can only replay the recurring part)")
+
+    uws = unconditional_working_set(workload, trace)
+    verdict = "overflows" if uws > 5120 else "fits in"
+    print(f"\nUnconditional working set (Fig 11): {uws} branches — "
+          f"{verdict} Shotgun's 5120-entry U-BTB")
+
+    frac = spatial_range_fraction(workload, trace, range_lines=8)
+    print(f"Conditionals outside Shotgun's 8-line window (Fig 12): {frac:.0%}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Sweep Twig's two design parameters on one application (§4.3).
+
+Regenerates miniature versions of Fig 26 (prefetch distance) and
+Fig 27 (coalesce bitmask width) for a single app, printing the
+speedup-vs-parameter curves.
+
+Usage::
+
+    python examples/design_space_sweep.py [app] [instructions]
+"""
+
+import sys
+from dataclasses import replace
+
+from repro.config import SimConfig
+from repro.core.twig import build_plan, run_with_plan
+from repro.prefetchers.base import BaselineBTBSystem
+from repro.profiling.collector import collect_profile
+from repro.trace.walker import generate_trace
+from repro.uarch.sim import FrontendSimulator
+from repro.workloads.apps import get_app
+from repro.workloads.cfg import build_workload
+
+
+def main() -> None:
+    app = sys.argv[1] if len(sys.argv) > 1 else "finagle-http"
+    instructions = int(sys.argv[2]) if len(sys.argv) > 2 else 500_000
+
+    spec = get_app(app)
+    workload = build_workload(spec, seed=0)
+    train = generate_trace(workload, spec.make_input(0), max_instructions=instructions)
+    test = generate_trace(workload, spec.make_input(1), max_instructions=instructions)
+    warm = len(test) // 3
+    cfg = SimConfig()
+
+    base = FrontendSimulator(workload, cfg, BaselineBTBSystem(cfg)).run(
+        test, warmup_units=warm
+    )
+    ideal = FrontendSimulator(
+        workload, replace(cfg, ideal_btb=True), BaselineBTBSystem(cfg)
+    ).run(test, warmup_units=warm)
+    ideal_gain = ideal.speedup_over(base)
+    print(f"{app}: baseline MPKI={base.btb_mpki():.1f}, ideal BTB=+{ideal_gain:.1f}%\n")
+
+    profile = collect_profile(workload, train, cfg)
+
+    def bar(pct: float, scale: float = 0.5) -> str:
+        return "#" * max(0, int(pct * scale))
+
+    print("Prefetch distance sweep (Fig 26):")
+    for distance in (0, 5, 10, 20, 35, 50):
+        c = cfg.with_twig(prefetch_distance=distance)
+        plan = build_plan(workload, profile, c)
+        res = run_with_plan(workload, test, plan, c, warmup_units=warm)
+        pct = 100 * res.speedup_over(base) / ideal_gain if ideal_gain else 0.0
+        print(f"  {distance:3d} cycles: {pct:5.1f}% of ideal  {bar(pct)}")
+
+    print("\nCoalesce bitmask sweep (Fig 27):")
+    for bits in (1, 2, 4, 8, 16, 64):
+        c = cfg.with_twig(coalesce_bits=bits)
+        plan = build_plan(workload, profile, c)
+        res = run_with_plan(workload, test, plan, c, warmup_units=warm)
+        pct = 100 * res.speedup_over(base) / ideal_gain if ideal_gain else 0.0
+        ops = plan.total_ops()
+        print(f"  {bits:3d} bits: {pct:5.1f}% of ideal, {ops} injected ops  {bar(pct)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+"""repro — reproduction of "Twig: Profile-Guided BTB Prefetching for
+Data Center Applications" (Khan et al., MICRO 2021).
+
+The package is organized bottom-up:
+
+* :mod:`repro.isa` / :mod:`repro.workloads` / :mod:`repro.trace` — the
+  synthetic data-center application substrate;
+* :mod:`repro.frontend` / :mod:`repro.memory` / :mod:`repro.uarch` —
+  the decoupled-frontend (FDIP) timing simulator;
+* :mod:`repro.prefetchers` — baseline, Shotgun, and Confluence BTB
+  organizations;
+* :mod:`repro.profiling` / :mod:`repro.core` — Twig itself: LBR-style
+  profiling, injection-site analysis, offset compression, coalescing;
+* :mod:`repro.analysis` / :mod:`repro.experiments` — the paper's
+  characterization machinery and per-figure regeneration harness.
+
+Quick start::
+
+    from repro import quick_run
+    result = quick_run("cassandra")
+    print(result["twig"].summary())
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from .config import SimConfig, BTBConfig, CacheConfig, TwigConfig, DEFAULT_CONFIG
+from .errors import ReproError
+from .uarch.results import SimResult
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SimConfig",
+    "BTBConfig",
+    "CacheConfig",
+    "TwigConfig",
+    "DEFAULT_CONFIG",
+    "ReproError",
+    "SimResult",
+    "quick_run",
+    "__version__",
+]
+
+
+def quick_run(
+    app: str = "cassandra",
+    max_instructions: int = 400_000,
+    config: Optional[SimConfig] = None,
+) -> Dict[str, SimResult]:
+    """Run the whole pipeline once on one application.
+
+    Builds the synthetic app, generates training/test traces, profiles
+    the baseline, builds and applies a Twig plan, and returns results
+    for ``baseline``, ``ideal_btb``, and ``twig``.  This is the
+    self-contained demo used by ``examples/quickstart.py``.
+    """
+    from dataclasses import replace
+
+    from .core.twig import build_plan, run_with_plan
+    from .prefetchers.base import BaselineBTBSystem
+    from .profiling.collector import collect_profile
+    from .trace.walker import generate_trace
+    from .uarch.sim import FrontendSimulator
+    from .workloads.apps import get_app
+    from .workloads.cfg import build_workload
+
+    cfg = config if config is not None else SimConfig()
+    spec = get_app(app)
+    workload = build_workload(spec, seed=0)
+    train = generate_trace(workload, spec.make_input(0), max_instructions=max_instructions)
+    test = generate_trace(workload, spec.make_input(1), max_instructions=max_instructions)
+    warm = len(test) // 3
+
+    baseline = FrontendSimulator(workload, cfg, BaselineBTBSystem(cfg)).run(
+        test, label=f"{app}/baseline", warmup_units=warm
+    )
+    ideal = FrontendSimulator(
+        workload, replace(cfg, ideal_btb=True), BaselineBTBSystem(cfg)
+    ).run(test, label=f"{app}/ideal_btb", warmup_units=warm)
+    profile = collect_profile(workload, train, cfg)
+    plan = build_plan(workload, profile, cfg)
+    twig = run_with_plan(
+        workload, test, plan, cfg, warmup_units=warm, label=f"{app}/twig"
+    )
+    return {"baseline": baseline, "ideal_btb": ideal, "twig": twig}

@@ -1,0 +1,22 @@
+"""Characterization machinery behind the paper's §2 figures."""
+
+from .threec import ThreeCResult, classify_3c
+from .temporal import StreamBreakdown, classify_streams
+from .working_set import working_set_curve, unconditional_working_set, spatial_range_fraction
+from .cdf import offset_cdf, cdf_at
+from .reuse import btb_miss_curve, reuse_distances, miss_rate_for_capacity
+
+__all__ = [
+    "ThreeCResult",
+    "classify_3c",
+    "StreamBreakdown",
+    "classify_streams",
+    "working_set_curve",
+    "unconditional_working_set",
+    "spatial_range_fraction",
+    "offset_cdf",
+    "cdf_at",
+    "btb_miss_curve",
+    "reuse_distances",
+    "miss_rate_for_capacity",
+]

@@ -1,0 +1,93 @@
+"""3C BTB-miss classification (Hill & Smith), backing Figs 4/5/6.
+
+The classifier replays the taken-direct-branch stream against
+* the real set-associative BTB geometry, and
+* a fully-associative LRU BTB of equal capacity.
+
+A miss in both where the PC was never seen is *compulsory*; a miss in
+both where it was seen before is *capacity*; a set-associative miss
+that the fully-associative BTB hits is *conflict*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Tuple
+
+from ..config import BTBConfig
+from ..frontend.btb import BTB, FullyAssociativeBTB
+from ..isa.branches import BranchKind
+from ..trace.events import Trace
+from ..workloads.cfg import DIRECT_KIND_CODES, Workload
+
+
+@dataclass
+class ThreeCResult:
+    """Counts of each miss class for one replay."""
+
+    accesses: int = 0
+    compulsory: int = 0
+    capacity: int = 0
+    conflict: int = 0
+
+    @property
+    def misses(self) -> int:
+        return self.compulsory + self.capacity + self.conflict
+
+    def fractions(self) -> Tuple[float, float, float]:
+        """(compulsory, capacity, conflict) as fractions of all misses."""
+        if not self.misses:
+            return (0.0, 0.0, 0.0)
+        m = self.misses
+        return (self.compulsory / m, self.capacity / m, self.conflict / m)
+
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+
+def taken_direct_stream(workload: Workload, trace: Trace) -> Iterable[int]:
+    """The branch-PC stream of taken direct branches in *trace*."""
+    kind_code = workload.kind_code
+    branch_pc = workload.branch_pc
+    for blk, taken in zip(trace.blocks, trace.takens):
+        if taken and kind_code[blk] in DIRECT_KIND_CODES:
+            yield branch_pc[blk]
+
+
+def classify_3c(
+    workload: Workload,
+    trace: Trace,
+    config: Optional[BTBConfig] = None,
+    skip: int = 0,
+) -> ThreeCResult:
+    """Classify every taken-direct BTB miss in *trace*.
+
+    ``skip`` discards the first N accesses from the *counts* (they
+    still train both structures), mirroring the simulator's warmup.
+    """
+    cfg = config if config is not None else BTBConfig()
+    sa = BTB(cfg)
+    fa = FullyAssociativeBTB(cfg.entries)
+    result = ThreeCResult()
+
+    seen = 0
+    for pc in taken_direct_stream(workload, trace):
+        seen += 1
+        counted = seen > skip
+        sa_hit = sa.lookup(pc) is not None
+        first_touch = not fa.seen_before(pc)
+        fa_hit = fa.access(pc)
+        if not sa_hit:
+            sa.insert(pc, 0, BranchKind.UNCOND_DIRECT)
+        if not counted:
+            continue
+        result.accesses += 1
+        if sa_hit:
+            continue
+        if first_touch:
+            result.compulsory += 1
+        elif fa_hit:
+            result.conflict += 1
+        else:
+            result.capacity += 1
+    return result

@@ -1,0 +1,43 @@
+"""Top-Down-style slot accounting (Fig 1).
+
+The simulator models frontend stalls explicitly and abstracts the
+backend as a width-limited retire stage, so lost slots decompose into
+the Top-Down "frontend bound" bucket plus the bad-speculation bucket
+(flush cycles).  This module derives those fractions from a SimResult.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..uarch.results import SimResult
+
+
+@dataclass(frozen=True)
+class TopDownBreakdown:
+    """Fractions of total pipeline slots by Top-Down bucket."""
+
+    retiring: float
+    frontend_bound: float
+    bad_speculation: float
+
+    def check(self) -> bool:
+        return abs(self.retiring + self.frontend_bound + self.bad_speculation - 1.0) < 1e-6
+
+
+def topdown(result: SimResult, width: int = 6) -> TopDownBreakdown:
+    """Decompose *result* into Top-Down buckets.
+
+    Bad speculation is estimated from flush cycles (mispredict recovery
+    windows); the remaining lost slots are frontend bound — the
+    simulator has no backend stalls by construction.
+    """
+    total_slots = result.cycles * width
+    if total_slots <= 0:
+        return TopDownBreakdown(0.0, 0.0, 0.0)
+    retiring = min(1.0, result.instructions / total_slots)
+    bad_spec = min(1.0 - retiring, result.mispredict_cycles * width / total_slots)
+    frontend = max(0.0, 1.0 - retiring - bad_spec)
+    return TopDownBreakdown(
+        retiring=retiring, frontend_bound=frontend, bad_speculation=bad_spec
+    )

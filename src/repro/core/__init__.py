@@ -1,0 +1,34 @@
+"""Twig: profile-guided BTB prefetching (the paper's contribution).
+
+The pipeline is::
+
+    profile = repro.profiling.collect_profile(workload, train_trace)
+    plan    = build_plan(workload, profile, config)
+    result  = run_with_plan(workload, test_trace, plan, config)
+
+``build_plan`` performs §3's analysis: injection-site selection by
+conditional probability under a prefetch-distance constraint, offset
+compression for ``brprefetch`` encoding, and coalescing of
+too-large-to-encode entries into a sorted key/value table addressed by
+``brcoalesce`` bitmask operations.
+"""
+
+from .candidates import CandidateSelection, select_injection_sites
+from .coalescing import CoalesceTable, plan_coalescing
+from .compression import encodable, encode_offsets
+from .plan import InjectionOp, PrefetchPlan
+from .twig import TwigOptimizer, build_plan, run_with_plan
+
+__all__ = [
+    "CandidateSelection",
+    "select_injection_sites",
+    "CoalesceTable",
+    "plan_coalescing",
+    "encodable",
+    "encode_offsets",
+    "InjectionOp",
+    "PrefetchPlan",
+    "TwigOptimizer",
+    "build_plan",
+    "run_with_plan",
+]

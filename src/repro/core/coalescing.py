@@ -1,0 +1,114 @@
+"""BTB prefetch coalescing (§3.2, Fig 27).
+
+Entries whose offsets exceed the ``brprefetch`` encoding are stored in
+memory as key/value pairs (branch PC -> target), sorted by branch PC so
+spatially close entries sit in consecutive slots.  A ``brcoalesce``
+instruction names a table index plus an n-bit bitmask and prefetches
+every selected entry in the window — up to n BTB entries per injected
+instruction.
+
+``plan_coalescing`` builds the global sorted table and, per injection
+block, greedily packs that block's too-large entries into bitmask
+windows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from ..errors import PlanError
+from .plan import BRCOALESCE_BYTES, InjectionOp, OP_COALESCE
+
+Entry = Tuple[int, int, int]  # (branch_pc, target, kind_code)
+
+
+@dataclass(frozen=True)
+class CoalesceTable:
+    """The sorted key/value table living in the text segment."""
+
+    entries: Tuple[Entry, ...]
+
+    def __post_init__(self) -> None:
+        pcs = [e[0] for e in self.entries]
+        if pcs != sorted(pcs):
+            raise PlanError("coalesce table must be sorted by branch PC")
+        if len(set(pcs)) != len(pcs):
+            raise PlanError("coalesce table entries must be unique per branch PC")
+
+    def index_of(self, branch_pc: int) -> int:
+        """Slot index of *branch_pc* (raises if absent)."""
+        lo, hi = 0, len(self.entries)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self.entries[mid][0] < branch_pc:
+                lo = mid + 1
+            else:
+                hi = mid
+        if lo >= len(self.entries) or self.entries[lo][0] != branch_pc:
+            raise PlanError(f"branch pc {branch_pc:#x} not in coalesce table")
+        return lo
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+def build_table(entries: Sequence[Entry]) -> CoalesceTable:
+    """Sort and dedupe too-large entries into the key/value table."""
+    unique: Dict[int, Entry] = {}
+    for e in entries:
+        unique[e[0]] = e
+    ordered = tuple(sorted(unique.values(), key=lambda e: e[0]))
+    return CoalesceTable(entries=ordered)
+
+
+def plan_coalescing(
+    per_block_entries: Dict[int, List[Entry]],
+    coalesce_bits: int,
+) -> Tuple[CoalesceTable, List[InjectionOp]]:
+    """Pack too-large entries into brcoalesce ops.
+
+    ``per_block_entries`` maps injection block -> entries that could not
+    be encoded inline.  Returns the global table plus one or more
+    :class:`InjectionOp` per block, each covering at most
+    ``coalesce_bits`` consecutive table slots (the bitmask window).
+    """
+    if coalesce_bits < 1:
+        raise PlanError("coalesce bitmask must have at least one bit")
+
+    all_entries: List[Entry] = []
+    for entries in per_block_entries.values():
+        all_entries.extend(entries)
+    table = build_table(all_entries)
+
+    ops: List[InjectionOp] = []
+    for block, entries in per_block_entries.items():
+        # This block's entries as sorted table indices.
+        indices = sorted(table.index_of(e[0]) for e in {e[0]: e for e in entries}.values())
+        start = 0
+        while start < len(indices):
+            # Greedy window: base index, take every entry within
+            # [base, base + coalesce_bits).
+            base = indices[start]
+            end = start
+            while end + 1 < len(indices) and indices[end + 1] - base < coalesce_bits:
+                end += 1
+            window_entries = tuple(table.entries[i] for i in indices[start : end + 1])
+            ops.append(
+                InjectionOp(
+                    kind=OP_COALESCE,
+                    block=block,
+                    entries=window_entries,
+                    bytes_cost=BRCOALESCE_BYTES,
+                )
+            )
+            start = end + 1
+    return table, ops
+
+
+def coalescing_efficiency(ops: Sequence[InjectionOp]) -> float:
+    """Average entries prefetched per brcoalesce instruction."""
+    co = [op for op in ops if op.kind == OP_COALESCE]
+    if not co:
+        return 0.0
+    return sum(len(op.entries) for op in co) / len(co)

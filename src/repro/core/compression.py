@@ -1,0 +1,55 @@
+"""Prefetch target compression (§3.1, Figs 14/15).
+
+A ``brprefetch`` instruction carries two operands that would each be
+48-bit instruction pointers if stored raw.  Twig stores them as signed
+deltas instead: the *prefetch-to-branch offset* (injection PC to branch
+PC) and the *branch-to-target offset* (branch PC to taken target).
+Entries whose deltas do not fit in the configured width fall back to
+the coalescing table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..isa.branches import bits_for_offset, offset_fits
+
+
+@dataclass(frozen=True)
+class EncodedPrefetch:
+    """A fully encoded brprefetch operand pair."""
+
+    prefetch_to_branch: int
+    branch_to_target: int
+    bits: int
+
+
+def encode_offsets(
+    inject_pc: int, branch_pc: int, target: int, offset_bits: int
+) -> Optional[EncodedPrefetch]:
+    """Encode (injection, branch, target) as signed deltas, or None.
+
+    Returns ``None`` when either delta exceeds ``offset_bits`` — the
+    too-large-to-encode case §3.2 handles via coalescing.
+    """
+    d1 = branch_pc - inject_pc
+    d2 = target - branch_pc
+    if offset_fits(d1, offset_bits) and offset_fits(d2, offset_bits):
+        return EncodedPrefetch(
+            prefetch_to_branch=d1, branch_to_target=d2, bits=offset_bits
+        )
+    return None
+
+
+def encodable(inject_pc: int, branch_pc: int, target: int, offset_bits: int) -> bool:
+    """True when both operands fit in ``offset_bits``-wide signed ints."""
+    return encode_offsets(inject_pc, branch_pc, target, offset_bits) is not None
+
+
+def required_bits(inject_pc: int, branch_pc: int, target: int) -> Tuple[int, int]:
+    """Minimum signed widths for the two operands (CDF data, Figs 14/15)."""
+    return (
+        bits_for_offset(branch_pc - inject_pc),
+        bits_for_offset(target - branch_pc),
+    )

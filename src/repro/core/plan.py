@@ -1,0 +1,118 @@
+"""Prefetch plan data model.
+
+A :class:`PrefetchPlan` is the output of Twig's link-time analysis: for
+each injection block, the list of operations (``brprefetch`` with
+inline compressed operands, or ``brcoalesce`` referencing a span of the
+sorted key/value table), plus static-overhead accounting used by the
+Fig 21 / Table 3 experiments.
+
+Applying a plan attaches the operations to the simulated binary; block
+addresses are preserved (a link-time injector with address-space
+preservation) while byte and instruction growth are charged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from ..errors import PlanError
+
+# Instruction encodings (bytes): brprefetch carries two 12-bit-class
+# immediates in a ~6-byte instruction; brcoalesce carries a table
+# offset + bitmask in ~8 bytes; one key/value table entry holds two
+# 48-bit pointers = 12 bytes in the text segment.
+BRPREFETCH_BYTES = 6
+BRCOALESCE_BYTES = 8
+TABLE_ENTRY_BYTES = 12
+
+OP_PREFETCH = "brprefetch"
+OP_COALESCE = "brcoalesce"
+
+
+@dataclass(frozen=True)
+class InjectionOp:
+    """One injected instruction at a specific block.
+
+    ``entries`` lists the BTB entries this op prefetches as
+    (branch_pc, target, kind_code) tuples — one for ``brprefetch``, up
+    to ``coalesce_bits`` for ``brcoalesce``.
+    """
+
+    kind: str
+    block: int
+    entries: Tuple[Tuple[int, int, int], ...]
+    bytes_cost: int
+
+    def __post_init__(self) -> None:
+        if self.kind not in (OP_PREFETCH, OP_COALESCE):
+            raise PlanError(f"unknown op kind {self.kind!r}")
+        if not self.entries:
+            raise PlanError("an injection op must prefetch at least one entry")
+        if self.kind == OP_PREFETCH and len(self.entries) != 1:
+            raise PlanError("brprefetch carries exactly one entry")
+
+
+@dataclass
+class PrefetchPlan:
+    """Everything Twig decided to inject for one application."""
+
+    app_name: str
+    ops_by_block: Dict[int, List[InjectionOp]] = field(default_factory=dict)
+    # Coalescing table: sorted (branch_pc, target, kind_code) entries.
+    table: Tuple[Tuple[int, int, int], ...] = ()
+    # Analysis bookkeeping.
+    misses_targeted: int = 0
+    misses_with_site: int = 0
+
+    # ------------------------------------------------------------------
+    def add_op(self, op: InjectionOp) -> None:
+        self.ops_by_block.setdefault(op.block, []).append(op)
+
+    def total_ops(self) -> int:
+        return sum(len(ops) for ops in self.ops_by_block.values())
+
+    def total_prefetch_entries(self) -> int:
+        return sum(
+            len(op.entries) for ops in self.ops_by_block.values() for op in ops
+        )
+
+    # --- static overhead accounting (Fig 21 / Table 3) -----------------
+    def static_instruction_count(self) -> int:
+        """Injected instructions (each op is one instruction)."""
+        return self.total_ops()
+
+    def static_bytes(self) -> int:
+        """Injected instruction bytes plus the key/value table."""
+        inline = sum(
+            op.bytes_cost for ops in self.ops_by_block.values() for op in ops
+        )
+        return inline + len(self.table) * TABLE_ENTRY_BYTES
+
+    def static_overhead_fraction(self, original_text_bytes: int) -> float:
+        if original_text_bytes <= 0:
+            raise PlanError("original text size must be positive")
+        return self.static_bytes() / original_text_bytes
+
+    # --- simulator-facing view ------------------------------------------
+    def sim_ops(self) -> Dict[int, Tuple[Sequence[Tuple[int, int, int]], int, int]]:
+        """Per-block (entries, extra_instructions, n_ops) for the sim."""
+        out: Dict[int, Tuple[Sequence[Tuple[int, int, int]], int, int]] = {}
+        for block, ops in self.ops_by_block.items():
+            entries: List[Tuple[int, int, int]] = []
+            for op in ops:
+                entries.extend(op.entries)
+            out[block] = (tuple(entries), len(ops), len(ops))
+        return out
+
+    def describe(self) -> str:
+        n_pf = sum(
+            1 for ops in self.ops_by_block.values() for op in ops if op.kind == OP_PREFETCH
+        )
+        n_co = self.total_ops() - n_pf
+        return (
+            f"plan[{self.app_name}]: {n_pf} brprefetch + {n_co} brcoalesce ops "
+            f"across {len(self.ops_by_block)} blocks, "
+            f"{len(self.table)} table entries, "
+            f"{self.static_bytes()} static bytes"
+        )

@@ -1,0 +1,141 @@
+"""Twig end-to-end pipeline.
+
+``build_plan`` turns a miss profile into a :class:`PrefetchPlan`:
+
+1. §3.1 injection-site selection per missing branch (conditional
+   probability under the prefetch-distance constraint);
+2. offset compression — entries whose deltas fit ``offset_bits`` become
+   inline ``brprefetch`` ops;
+3. §3.2 coalescing — the rest go to the sorted key/value table,
+   addressed by ``brcoalesce`` bitmask ops.
+
+``run_with_plan`` simulates the rewritten binary: the plan's ops fire
+when their injection block is fetched, filling the BTB prefetch buffer
+after the execute latency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..config import SimConfig
+from ..errors import PlanError
+from ..prefetchers.base import BaselineBTBSystem
+from ..profiling.profile import MissProfile
+from ..trace.events import Trace
+from ..uarch.results import SimResult
+from ..uarch.sim import FrontendSimulator
+from ..workloads.cfg import Workload
+from .candidates import select_injection_sites
+from .coalescing import plan_coalescing
+from .compression import encodable
+from .plan import BRPREFETCH_BYTES, InjectionOp, OP_PREFETCH, PrefetchPlan
+
+
+def build_plan(
+    workload: Workload,
+    profile: MissProfile,
+    config: Optional[SimConfig] = None,
+) -> PrefetchPlan:
+    """Run Twig's link-time analysis and return the injection plan."""
+    cfg = config if config is not None else SimConfig()
+    twig = cfg.twig
+    plan = PrefetchPlan(app_name=workload.name)
+
+    selections = select_injection_sites(profile, twig)
+    plan.misses_targeted = len(profile.miss_pcs())
+    plan.misses_with_site = len(selections)
+
+    branch_pc = workload.branch_pc
+    branch_target = workload.branch_target
+    kind_code = workload.kind_code
+    block_start = workload.block_start
+
+    # Per injection block: entries that exceed the inline encoding.
+    overflow: Dict[int, List] = {}
+
+    for sel in selections:
+        miss_block = sel.miss_block
+        pc = sel.miss_pc
+        if branch_pc[miss_block] != pc:
+            # The profile's miss PC must be the block's terminator.
+            raise PlanError(
+                f"profile miss pc {pc:#x} does not terminate block {miss_block}"
+            )
+        target = branch_target[miss_block]
+        kcode = kind_code[miss_block]
+        entry = (pc, target, kcode)
+        for inject_block, _prob, _covered in sel.sites:
+            inject_pc = block_start[inject_block]
+            if twig.enable_software_prefetch and encodable(
+                inject_pc, pc, target, twig.offset_bits
+            ):
+                plan.add_op(
+                    InjectionOp(
+                        kind=OP_PREFETCH,
+                        block=inject_block,
+                        entries=(entry,),
+                        bytes_cost=BRPREFETCH_BYTES,
+                    )
+                )
+            elif twig.enable_coalescing:
+                overflow.setdefault(inject_block, []).append(entry)
+            elif twig.enable_software_prefetch:
+                # Coalescing disabled (Fig 18 ablation): emit a wide
+                # brprefetch with raw pointers — costs two extra
+                # instruction slots of immediate data.
+                plan.add_op(
+                    InjectionOp(
+                        kind=OP_PREFETCH,
+                        block=inject_block,
+                        entries=(entry,),
+                        bytes_cost=BRPREFETCH_BYTES + 10,
+                    )
+                )
+
+    if overflow and twig.enable_coalescing:
+        table, ops = plan_coalescing(overflow, twig.coalesce_bits)
+        plan.table = table.entries
+        for op in ops:
+            plan.add_op(op)
+
+    return plan
+
+
+class TwigOptimizer:
+    """Convenience object bundling profile -> plan -> simulate."""
+
+    def __init__(self, workload: Workload, config: Optional[SimConfig] = None):
+        self.workload = workload
+        self.config = config if config is not None else SimConfig()
+
+    def plan_from_profile(self, profile: MissProfile) -> PrefetchPlan:
+        return build_plan(self.workload, profile, self.config)
+
+    def simulate(
+        self, trace: Trace, plan: PrefetchPlan, warmup_units: int = 0, label: str = ""
+    ) -> SimResult:
+        return run_with_plan(
+            self.workload,
+            trace,
+            plan,
+            self.config,
+            warmup_units=warmup_units,
+            label=label,
+        )
+
+
+def run_with_plan(
+    workload: Workload,
+    trace: Trace,
+    plan: PrefetchPlan,
+    config: Optional[SimConfig] = None,
+    warmup_units: int = 0,
+    label: str = "",
+) -> SimResult:
+    """Simulate *trace* with the plan's prefetch ops installed."""
+    cfg = config if config is not None else SimConfig()
+    system = BaselineBTBSystem(cfg)
+    system.install_ops(plan.sim_ops())
+    sim = FrontendSimulator(workload, config=cfg, btb_system=system)
+    return sim.run(trace, label=label or f"twig:{trace.label}", warmup_units=warmup_units)

@@ -1,0 +1,40 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch library failures without also swallowing programming
+errors such as :class:`TypeError`.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigError(ReproError):
+    """An invalid configuration value was supplied."""
+
+
+class WorkloadError(ReproError):
+    """A workload specification or CFG could not be constructed."""
+
+
+class TraceError(ReproError):
+    """A trace could not be generated or replayed."""
+
+
+class SimulationError(ReproError):
+    """The timing simulator reached an inconsistent state."""
+
+
+class ProfileError(ReproError):
+    """Profile collection or parsing failed."""
+
+
+class PlanError(ReproError):
+    """A Twig prefetch plan could not be built or applied."""
+
+
+class EncodingError(PlanError):
+    """A prefetch operand could not be encoded in the available bits."""

@@ -1,0 +1,11 @@
+"""Experiment harness: regenerates every table and figure of the paper.
+
+``runner`` provides cached end-to-end runs; ``figures``/``tables``
+compute each experiment's rows; ``registry`` maps paper figure/table
+ids to those functions; ``report`` renders them as text.
+"""
+
+from .runner import ExperimentRunner, get_runner
+from .registry import EXPERIMENTS, run_experiment
+
+__all__ = ["ExperimentRunner", "get_runner", "EXPERIMENTS", "run_experiment"]

@@ -1,0 +1,58 @@
+"""CLI: regenerate paper figures/tables from the command line.
+
+Usage::
+
+    python -m repro.experiments fig16 fig17
+    python -m repro.experiments --list
+    REPRO_APPS=cassandra,wordpress python -m repro.experiments fig03
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .registry import EXPERIMENTS, run_experiment
+from .report import format_per_app, format_series, save_result
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate figures/tables from the Twig paper.",
+    )
+    parser.add_argument("experiments", nargs="*", help="experiment ids (e.g. fig16)")
+    parser.add_argument("--list", action="store_true", help="list experiments")
+    parser.add_argument("--save", action="store_true", help="save JSON results")
+    args = parser.parse_args(argv)
+
+    if args.list or not args.experiments:
+        for exp_id, exp in sorted(EXPERIMENTS.items()):
+            print(f"{exp_id:8s} {exp.title} — paper: {exp.paper_claim}")
+        return 0
+
+    for exp_id in args.experiments:
+        exp = EXPERIMENTS.get(exp_id)
+        if exp is None:
+            print(f"unknown experiment {exp_id!r}", file=sys.stderr)
+            return 2
+        result = exp.run()
+        title = f"{exp_id}: {exp.title}"
+        if "per_app" in result:
+            print(format_per_app(title, result["per_app"], paper=result.get("paper")))
+        elif "series" in result:
+            print(format_series(title, result["series"], paper=result.get("paper")))
+        else:
+            print(title)
+            print(result)
+        if "average" in result:
+            print(f"  measured average: {result['average']}")
+        if args.save:
+            path = save_result(exp_id, result)
+            print(f"  saved: {path}")
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

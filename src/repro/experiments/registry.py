@@ -1,0 +1,181 @@
+"""Experiment registry: one entry per paper figure/table."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+from ..errors import ReproError
+from . import figures, tables
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """A runnable reproduction of one paper figure or table."""
+
+    id: str
+    title: str
+    paper_claim: str
+    run: Callable[..., Dict]
+
+
+EXPERIMENTS: Dict[str, Experiment] = {
+    e.id: e
+    for e in (
+        Experiment(
+            "fig01", "Frontend-bound pipeline slots",
+            "24-78% of slots are frontend bound",
+            figures.fig01_frontend_bound,
+        ),
+        Experiment(
+            "fig02", "FDIP limit study",
+            "ideal I-cache +24%, ideal BTB +31% over FDIP",
+            figures.fig02_limit_study,
+        ),
+        Experiment(
+            "fig03", "BTB MPKI", "MPKI 8-121, average 29.7",
+            figures.fig03_btb_mpki,
+        ),
+        Experiment(
+            "fig04", "3C miss classification",
+            "~70% capacity, ~24% conflict misses",
+            figures.fig04_3c_breakdown,
+        ),
+        Experiment(
+            "fig05", "Capacity misses vs BTB size",
+            "capacity misses persist until 32K-64K entries",
+            figures.fig05_capacity_vs_size,
+        ),
+        Experiment(
+            "fig06", "Conflict misses vs associativity",
+            "conflict misses persist even at 128 ways",
+            figures.fig06_conflict_vs_assoc,
+        ),
+        Experiment(
+            "fig07", "BTB accesses by branch type",
+            "conditional branches dominate accesses",
+            figures.fig07_access_breakdown,
+        ),
+        Experiment(
+            "fig08", "BTB misses by branch type",
+            "uncond+calls: 20.75% of branches, 37.5% of misses",
+            figures.fig08_miss_breakdown,
+        ),
+        Experiment(
+            "fig09", "Prior prefetcher speedups",
+            "Shotgun/Confluence capture little of the ideal-BTB gain",
+            figures.fig09_prior_speedups,
+        ),
+        Experiment(
+            "fig10", "Temporal miss streams",
+            "52% recurring / 36% new / 12% non-repetitive",
+            figures.fig10_temporal_streams,
+        ),
+        Experiment(
+            "fig11", "Unconditional working set",
+            "apps straddle Shotgun's 5120-entry U-BTB",
+            figures.fig11_uncond_working_set,
+        ),
+        Experiment(
+            "fig12", "Conditionals outside spatial range",
+            "26-45% of conditionals beyond 8 cache lines",
+            figures.fig12_spatial_range,
+        ),
+        Experiment(
+            "fig14", "Prefetch-to-branch offset CDF",
+            ">=80% of misses encodable with 12-bit offsets",
+            figures.fig14_branch_offset_cdf,
+        ),
+        Experiment(
+            "fig15", "Branch-to-target offset CDF",
+            "~80% encodable at 12 bits; verilator needs more",
+            figures.fig15_target_offset_cdf,
+        ),
+        Experiment(
+            "fig16", "Twig speedup",
+            "avg 20.86% (2-145%), beating Shotgun and a 32K BTB",
+            figures.fig16_speedup,
+        ),
+        Experiment(
+            "fig17", "BTB miss coverage",
+            "Twig covers 65.4% of misses",
+            figures.fig17_coverage,
+        ),
+        Experiment(
+            "fig18", "Mechanism contribution",
+            "software prefetching ~71% of gains, coalescing ~29%",
+            figures.fig18_contribution,
+        ),
+        Experiment(
+            "fig19", "Prefetch accuracy",
+            "Twig 31.3% average accuracy, +12.3% over Shotgun",
+            figures.fig19_accuracy,
+        ),
+        Experiment(
+            "fig20", "Cross-input generalization",
+            "training-input profiles nearly match same-input",
+            figures.fig20_cross_input,
+        ),
+        Experiment(
+            "fig21", "Static instruction overhead",
+            "average 6%, below 8% everywhere",
+            figures.fig21_static_overhead,
+        ),
+        Experiment(
+            "fig22", "Dynamic instruction overhead",
+            "average 3%, up to 12.6%",
+            figures.fig22_dynamic_overhead,
+        ),
+        Experiment(
+            "fig23", "BTB size sensitivity",
+            "Twig leads Shotgun/Confluence at every size",
+            figures.fig23_btb_size,
+        ),
+        Experiment(
+            "fig24", "Associativity sensitivity",
+            "Twig leads at every associativity",
+            figures.fig24_btb_assoc,
+        ),
+        Experiment(
+            "fig25", "Prefetch buffer sensitivity",
+            "Twig scales to ~128 buffer entries",
+            figures.fig25_prefetch_buffer,
+        ),
+        Experiment(
+            "fig26", "Prefetch distance sensitivity",
+            "best performance at 15-25 cycles",
+            figures.fig26_prefetch_distance,
+        ),
+        Experiment(
+            "fig27", "Coalesce bitmask sensitivity",
+            "8-bit bitmask captures most of the benefit",
+            figures.fig27_coalesce_bitmask,
+        ),
+        Experiment(
+            "fig28", "FTQ run-ahead sensitivity",
+            "Twig's % of ideal stable across FTQ sizes",
+            figures.fig28_ftq_runahead,
+        ),
+        Experiment(
+            "table2", "Cross-input speedup table",
+            "Twig reaches 34-80% of ideal across inputs",
+            tables.table2_cross_input,
+        ),
+        Experiment(
+            "table3", "Working-set overhead table",
+            "2.9-9.9% instruction working set growth",
+            tables.table3_wss_overhead,
+        ),
+    )
+}
+
+
+def run_experiment(experiment_id: str, **kwargs) -> Dict:
+    """Run a registered experiment by id (e.g. ``fig16``)."""
+    try:
+        exp = EXPERIMENTS[experiment_id]
+    except KeyError:
+        raise ReproError(
+            f"unknown experiment {experiment_id!r}; known: {sorted(EXPERIMENTS)}"
+        ) from None
+    return exp.run(**kwargs)

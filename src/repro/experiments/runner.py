@@ -1,0 +1,273 @@
+"""Cached end-to-end simulation runs.
+
+All figure/table computations go through one :class:`ExperimentRunner`,
+which memoizes workload builds, traces, profiles, plans, and simulation
+results, so e.g. the baseline run of ``cassandra`` is simulated once
+and reused by a dozen figures.
+
+Environment knobs (read once, at first use):
+
+* ``REPRO_TRACE_INSTRUCTIONS`` — trace length per run (default 1e6).
+* ``REPRO_APPS`` — comma-separated subset of apps (default: all nine).
+* ``REPRO_SAMPLE_RATE`` — LBR miss-sampling rate (default 2).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, replace
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..config import SimConfig
+from ..core.plan import PrefetchPlan
+from ..core.twig import build_plan
+from ..errors import ReproError
+from ..prefetchers.base import BaselineBTBSystem
+from ..prefetchers.confluence import ConfluenceBTBSystem
+from ..prefetchers.shotgun import ShotgunBTBSystem
+from ..profiling.collector import collect_profile
+from ..profiling.profile import MissProfile
+from ..trace.events import Trace
+from ..trace.walker import generate_trace
+from ..uarch.results import SimResult
+from ..uarch.sim import FrontendSimulator
+from ..workloads.apps import app_names, get_app
+from ..workloads.cfg import Workload, build_workload
+
+# System identifiers accepted by ExperimentRunner.run().
+SYSTEMS = (
+    "baseline",
+    "ideal_btb",
+    "ideal_icache",
+    "shotgun",
+    "confluence",
+    "twig",
+)
+
+
+def _env_int(name: str, default: int) -> int:
+    value = os.environ.get(name)
+    return int(value) if value else default
+
+
+@dataclass(frozen=True)
+class RunnerSettings:
+    trace_instructions: int
+    apps: Tuple[str, ...]
+    sample_rate: int
+    train_input: int = 0
+    test_input: int = 1
+
+    @classmethod
+    def from_env(cls) -> "RunnerSettings":
+        apps_env = os.environ.get("REPRO_APPS", "")
+        apps = (
+            tuple(a.strip() for a in apps_env.split(",") if a.strip())
+            if apps_env
+            else app_names()
+        )
+        return cls(
+            trace_instructions=_env_int("REPRO_TRACE_INSTRUCTIONS", 1_000_000),
+            apps=apps,
+            sample_rate=_env_int("REPRO_SAMPLE_RATE", 1),
+        )
+
+
+class ExperimentRunner:
+    """Memoizing facade over the whole pipeline."""
+
+    def __init__(self, settings: Optional[RunnerSettings] = None):
+        self.settings = settings if settings is not None else RunnerSettings.from_env()
+        self._workloads: Dict[str, Workload] = {}
+        self._traces: Dict[Tuple[str, int], Trace] = {}
+        self._profiles: Dict[Tuple[str, int], MissProfile] = {}
+        self._plans: Dict[Tuple[str, int, tuple], PrefetchPlan] = {}
+        self._results: Dict[tuple, SimResult] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def apps(self) -> Tuple[str, ...]:
+        return self.settings.apps
+
+    def workload(self, app: str) -> Workload:
+        if app not in self._workloads:
+            self._workloads[app] = build_workload(get_app(app), seed=0)
+        return self._workloads[app]
+
+    def trace(self, app: str, input_idx: Optional[int] = None) -> Trace:
+        idx = self.settings.test_input if input_idx is None else input_idx
+        key = (app, idx)
+        if key not in self._traces:
+            wl = self.workload(app)
+            inp = wl.spec.make_input(idx)
+            self._traces[key] = generate_trace(
+                wl, inp, max_instructions=self.settings.trace_instructions
+            )
+        return self._traces[key]
+
+    def warmup_units(self, trace: Trace) -> int:
+        return len(trace) // 3
+
+    def long_trace(self, app: str, multiplier: int = 3) -> Trace:
+        """A longer trace for analysis-only passes (3C classification,
+        stream taxonomy) that replay a BTB without timing simulation.
+
+        Longer windows shrink the finite-trace compulsory-miss
+        inflation that a 1M-instruction window suffers, at negligible
+        cost since no cycle model runs over these.
+        """
+        key = (app, -multiplier)
+        if key not in self._traces:
+            wl = self.workload(app)
+            inp = wl.spec.make_input(self.settings.test_input)
+            self._traces[key] = generate_trace(
+                wl,
+                inp,
+                max_instructions=self.settings.trace_instructions * multiplier,
+            )
+        return self._traces[key]
+
+    # ------------------------------------------------------------------
+    def profile(self, app: str, input_idx: Optional[int] = None) -> MissProfile:
+        idx = self.settings.train_input if input_idx is None else input_idx
+        key = (app, idx)
+        if key not in self._profiles:
+            wl = self.workload(app)
+            tr = self.trace(app, idx)
+            self._profiles[key] = collect_profile(
+                wl, tr, SimConfig(), sample_rate=self.settings.sample_rate
+            )
+        return self._profiles[key]
+
+    def plan(
+        self,
+        app: str,
+        profile_input: Optional[int] = None,
+        config: Optional[SimConfig] = None,
+    ) -> PrefetchPlan:
+        cfg = config if config is not None else SimConfig()
+        idx = self.settings.train_input if profile_input is None else profile_input
+        sig = _twig_signature(cfg)
+        key = (app, idx, sig)
+        if key not in self._plans:
+            self._plans[key] = build_plan(self.workload(app), self.profile(app, idx), cfg)
+        return self._plans[key]
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        app: str,
+        system: str,
+        input_idx: Optional[int] = None,
+        config: Optional[SimConfig] = None,
+        profile_input: Optional[int] = None,
+        cache_tag: str = "",
+    ) -> SimResult:
+        """Simulate (app, system) on the given input; cached."""
+        if system not in SYSTEMS:
+            raise ReproError(f"unknown system {system!r}; choose from {SYSTEMS}")
+        cfg = config if config is not None else SimConfig()
+        idx = self.settings.test_input if input_idx is None else input_idx
+        key = (app, system, idx, _config_signature(cfg), profile_input, cache_tag)
+        if key not in self._results:
+            self._results[key] = self._simulate(app, system, idx, cfg, profile_input)
+        return self._results[key]
+
+    def _simulate(
+        self,
+        app: str,
+        system: str,
+        input_idx: int,
+        cfg: SimConfig,
+        profile_input: Optional[int],
+    ) -> SimResult:
+        wl = self.workload(app)
+        tr = self.trace(app, input_idx)
+        warm = self.warmup_units(tr)
+
+        run_cfg = cfg
+        if system == "ideal_btb":
+            run_cfg = replace(cfg, ideal_btb=True)
+        elif system == "ideal_icache":
+            run_cfg = replace(cfg, ideal_icache=True)
+
+        # Competitor structures scale with the swept storage budget
+        # (Figs 23/24 vary "the BTB storage budget" for every design,
+        # not just the baseline's).
+        scale = cfg.frontend.btb.entries / 8192
+        if system == "shotgun":
+            btb_system = ShotgunBTBSystem(
+                wl,
+                run_cfg,
+                ubtb_entries=max(320, int(5120 * scale)),
+                cbtb_entries=max(96, int(1536 * scale)),
+            )
+        elif system == "confluence":
+            from ..prefetchers.confluence import DEFAULT_LINE_CAPACITY
+
+            btb_system = ConfluenceBTBSystem(
+                wl, run_cfg, line_capacity=max(128, int(DEFAULT_LINE_CAPACITY * scale))
+            )
+        else:
+            btb_system = BaselineBTBSystem(run_cfg)
+            if system == "twig":
+                plan = self.plan(app, profile_input, cfg)
+                btb_system.install_ops(plan.sim_ops())
+
+        sim = FrontendSimulator(wl, config=run_cfg, btb_system=btb_system)
+        label = f"{app}/{system}#{input_idx}"
+        return sim.run(tr, label=label, warmup_units=warm)
+
+    # ------------------------------------------------------------------
+    def speedup(self, app: str, system: str, **kwargs) -> float:
+        """Percent speedup of *system* over the FDIP baseline."""
+        base = self.run(app, "baseline", input_idx=kwargs.get("input_idx"))
+        res = self.run(app, system, **kwargs)
+        return res.speedup_over(base)
+
+    def miss_reduction(self, app: str, system: str, **kwargs) -> float:
+        """Fraction of baseline BTB MPKI removed by *system* (coverage
+        in the cross-system sense of Fig 17)."""
+        base = self.run(app, "baseline", input_idx=kwargs.get("input_idx"))
+        res = self.run(app, system, **kwargs)
+        if base.btb_mpki() <= 0:
+            return 0.0
+        return max(0.0, 1.0 - res.btb_mpki() / base.btb_mpki())
+
+
+def _twig_signature(cfg: SimConfig) -> tuple:
+    t = cfg.twig
+    return (
+        t.prefetch_distance,
+        t.offset_bits,
+        t.coalesce_bits,
+        t.min_confidence,
+        t.min_miss_samples,
+        t.enable_software_prefetch,
+        t.enable_coalescing,
+    )
+
+
+def _config_signature(cfg: SimConfig) -> tuple:
+    return (
+        cfg.frontend.btb.entries,
+        cfg.frontend.btb.ways,
+        cfg.frontend.ftq_size,
+        cfg.frontend.prefetch_buffer_entries,
+        cfg.core.btb_miss_penalty,
+        cfg.core.mispredict_penalty,
+        cfg.ideal_btb,
+        cfg.ideal_icache,
+        _twig_signature(cfg),
+    )
+
+
+_GLOBAL_RUNNER: Optional[ExperimentRunner] = None
+
+
+def get_runner() -> ExperimentRunner:
+    """Process-wide shared runner (so figures reuse each other's runs)."""
+    global _GLOBAL_RUNNER
+    if _GLOBAL_RUNNER is None:
+        _GLOBAL_RUNNER = ExperimentRunner()
+    return _GLOBAL_RUNNER

@@ -1,0 +1,78 @@
+"""Tables 2 and 3 of the paper."""
+
+from __future__ import annotations
+
+import statistics
+from typing import Dict, Optional, Sequence
+
+from .figures import fig20_cross_input
+from .runner import ExperimentRunner, get_runner
+
+# Paper-reported Table 2 values: % of ideal-BTB performance.
+PAPER_TABLE2 = {
+    "cassandra": {"same": 49.31, "training": 45.93},
+    "drupal": {"same": 36.77, "training": 43.15},
+    "finagle-chirper": {"same": 38.30, "training": 31.99},
+    "finagle-http": {"same": 34.03, "training": 32.66},
+    "kafka": {"same": 52.35, "training": 49.93},
+    "mediawiki": {"same": 38.78, "training": 43.78},
+    "tomcat": {"same": 51.25, "training": 45.77},
+    "verilator": {"same": 80.33, "training": 79.19},
+    "wordpress": {"same": 45.15, "training": 49.71},
+}
+
+# Paper-reported Table 3: instruction working set (MB) and overhead %.
+PAPER_TABLE3 = {
+    "cassandra": {"wss_mb": 4.23, "extra_mb": 0.26, "overhead_pct": 6.08},
+    "drupal": {"wss_mb": 1.75, "extra_mb": 0.05, "overhead_pct": 2.93},
+    "finagle-chirper": {"wss_mb": 2.05, "extra_mb": 0.07, "overhead_pct": 3.54},
+    "finagle-http": {"wss_mb": 5.29, "extra_mb": 0.42, "overhead_pct": 7.97},
+    "kafka": {"wss_mb": 3.28, "extra_mb": 0.16, "overhead_pct": 4.78},
+    "mediawiki": {"wss_mb": 2.24, "extra_mb": 0.08, "overhead_pct": 3.70},
+    "tomcat": {"wss_mb": 2.40, "extra_mb": 0.10, "overhead_pct": 4.10},
+    "verilator": {"wss_mb": 13.56, "extra_mb": 1.34, "overhead_pct": 9.86},
+    "wordpress": {"wss_mb": 1.93, "extra_mb": 0.06, "overhead_pct": 3.09},
+}
+
+
+def table2_cross_input(
+    runner: Optional[ExperimentRunner] = None,
+    test_inputs: Sequence[int] = (1, 2, 3),
+) -> Dict:
+    """Table 2: mean +/- stdev of %-of-ideal across inputs."""
+    r = runner or get_runner()
+    fig = fig20_cross_input(r, test_inputs=test_inputs)
+    rows = {}
+    for app, vals in fig["per_app"].items():
+        same = vals["same_input"]
+        train = vals["training_profile"]
+        rows[app] = {
+            "same_avg": statistics.fmean(same) if same else 0.0,
+            "same_std": statistics.stdev(same) if len(same) > 1 else 0.0,
+            "training_avg": statistics.fmean(train) if train else 0.0,
+            "training_std": statistics.stdev(train) if len(train) > 1 else 0.0,
+        }
+    return {"rows": rows, "paper": PAPER_TABLE2}
+
+
+def table3_wss_overhead(runner: Optional[ExperimentRunner] = None) -> Dict:
+    """Table 3: instruction-working-set growth from injected code.
+
+    The working set here is the byte footprint of executed blocks; the
+    additional bytes are the plan's injected instructions plus the
+    coalescing table.
+    """
+    r = runner or get_runner()
+    rows = {}
+    for app in r.apps:
+        wl = r.workload(app)
+        tr = r.trace(app)
+        executed_bytes = sum(wl.block_size[b] for b in set(tr.blocks))
+        plan = r.plan(app)
+        extra = plan.static_bytes()
+        rows[app] = {
+            "wss_mb": executed_bytes / (1024 * 1024),
+            "extra_mb": extra / (1024 * 1024),
+            "overhead_pct": 100.0 * extra / max(1, executed_bytes),
+        }
+    return {"rows": rows, "paper": PAPER_TABLE3}

@@ -1,0 +1,19 @@
+"""Branch-prediction-unit structures: BTB, IBTB, RAS, direction
+predictor, and the BTB prefetch buffer."""
+
+from .btb import BTB, BTBEntry, FullyAssociativeBTB, IdealBTB
+from .ibtb import IndirectBTB
+from .ras import ReturnAddressStack
+from .direction import TageLite
+from .prefetch_buffer import PrefetchBuffer
+
+__all__ = [
+    "BTB",
+    "BTBEntry",
+    "FullyAssociativeBTB",
+    "IdealBTB",
+    "IndirectBTB",
+    "ReturnAddressStack",
+    "TageLite",
+    "PrefetchBuffer",
+]

@@ -1,0 +1,193 @@
+"""TAGE-lite conditional direction predictor.
+
+A compact TAGE-style predictor (Seznec's TAGE-SC-L is the paper's
+baseline): a bimodal base table plus N partially-tagged tables indexed
+by geometrically increasing global-history lengths.  The provider is
+the longest-history tagged hit; allocation on mispredictions follows
+the standard TAGE policy with useful-bit aging.
+
+History folding is incremental — per-table circular-shift registers
+updated once per branch — so prediction cost is O(tables), which keeps
+the Python timing loop tractable.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..config import FrontendConfig
+
+
+def _geometric_lengths(n: int, lo: int, hi: int) -> List[int]:
+    """N history lengths spaced geometrically in [lo, hi]."""
+    if n == 1:
+        return [lo]
+    ratio = (hi / lo) ** (1.0 / (n - 1))
+    lengths = []
+    current = float(lo)
+    for _ in range(n):
+        lengths.append(max(1, int(round(current))))
+        current *= ratio
+    return lengths
+
+
+class _FoldedHistory:
+    """Circular-shift folded history register of a given output width."""
+
+    __slots__ = ("comp", "in_len", "out_len", "_out_mask", "_tail_shift")
+
+    def __init__(self, in_len: int, out_len: int):
+        self.comp = 0
+        self.in_len = in_len
+        self.out_len = out_len
+        self._out_mask = (1 << out_len) - 1
+        self._tail_shift = in_len % out_len
+
+    def update(self, new_bit: int, out_bit: int) -> None:
+        comp = (self.comp << 1) | new_bit
+        comp ^= out_bit << self._tail_shift
+        comp ^= comp >> self.out_len
+        self.comp = comp & self._out_mask
+
+
+class TageLite:
+    """Tagged-geometric direction predictor."""
+
+    CTR_MAX = 3   # 3-bit signed counter range [-4, 3]
+    CTR_MIN = -4
+    TAG_BITS = 10
+
+    def __init__(self, config: Optional[FrontendConfig] = None):
+        cfg = config if config is not None else FrontendConfig()
+        self.n_tables = cfg.tage_tables
+        self.table_size = cfg.tage_entries_per_table
+        self._index_bits = self.table_size.bit_length() - 1
+        self._index_mask = self.table_size - 1
+        self.history_lengths = _geometric_lengths(
+            self.n_tables, cfg.tage_min_history, cfg.tage_max_history
+        )
+        self._tags: List[List[int]] = [[-1] * self.table_size for _ in range(self.n_tables)]
+        self._ctrs: List[List[int]] = [[0] * self.table_size for _ in range(self.n_tables)]
+        self._useful: List[List[int]] = [[0] * self.table_size for _ in range(self.n_tables)]
+        # Bimodal base predictor (2-bit counters keyed by PC).  Sized
+        # generously: TAGE-SC-L's bimodal is its largest table, and
+        # base-table aliasing between opposite-bias branches is the
+        # dominant error source for weakly-correlated code.
+        self._base_size = self.table_size * 8
+        self._base = [1] * self._base_size  # weakly not-taken
+        # Global history: int bitvector, newest bit at position 0.
+        self._ghist = 0
+        self._max_hist = max(self.history_lengths)
+        self._folded_idx = [
+            _FoldedHistory(L, self._index_bits) for L in self.history_lengths
+        ]
+        self._folded_tag = [
+            _FoldedHistory(L, self.TAG_BITS) for L in self.history_lengths
+        ]
+        self.predictions = 0
+        self.mispredictions = 0
+        self._alloc_tick = 0
+
+    # ------------------------------------------------------------------
+    def _table_index(self, pc: int, t: int) -> int:
+        return (pc ^ (pc >> 5) ^ self._folded_idx[t].comp ^ (t + 1)) & self._index_mask
+
+    def _table_tag(self, pc: int, t: int) -> int:
+        return ((pc >> 2) ^ (self._folded_tag[t].comp << 1) ^ (t + 1)) & (
+            (1 << self.TAG_BITS) - 1
+        )
+
+    def _base_index(self, pc: int) -> int:
+        return (pc ^ (pc >> 7)) % self._base_size
+
+    # ------------------------------------------------------------------
+    def _predict_internal(self, pc: int) -> Tuple[bool, int, int]:
+        """(taken, provider_table, provider_index); provider -1 = base.
+
+        Standard use-alt-on-weak policy: a provider whose counter is
+        weak and whose useful bit is clear (a fresh allocation) defers
+        to the base prediction, suppressing allocation-thrash noise.
+        """
+        for t in range(self.n_tables - 1, -1, -1):
+            idx = self._table_index(pc, t)
+            if self._tags[t][idx] == self._table_tag(pc, t):
+                ctr = self._ctrs[t][idx]
+                if ctr in (-1, 0) and self._useful[t][idx] == 0:
+                    bidx = self._base_index(pc)
+                    return self._base[bidx] >= 2, t, idx
+                return ctr >= 0, t, idx
+        bidx = self._base_index(pc)
+        return self._base[bidx] >= 2, -1, bidx
+
+    def predict(self, pc: int) -> bool:
+        """Predicted direction for the conditional branch at *pc*.
+
+        Read-only except for the prediction counter; pair with
+        :meth:`update` for the resolved outcome.
+        """
+        taken, _, _ = self._predict_internal(pc)
+        return taken
+
+    def update(self, pc: int, taken: bool) -> bool:
+        """Predict-and-train on the resolved outcome; returns correctness."""
+        self.predictions += 1
+        predicted, provider, pidx = self._predict_internal(pc)
+        correct = predicted == taken
+        if not correct:
+            self.mispredictions += 1
+
+        if provider >= 0:
+            ctrs = self._ctrs[provider]
+            ctr = ctrs[pidx]
+            if taken:
+                if ctr < self.CTR_MAX:
+                    ctrs[pidx] = ctr + 1
+            elif ctr > self.CTR_MIN:
+                ctrs[pidx] = ctr - 1
+            if correct:
+                u = self._useful[provider]
+                if u[pidx] < 3:
+                    u[pidx] += 1
+        else:
+            b = self._base[pidx]
+            if taken:
+                if b < 3:
+                    self._base[pidx] = b + 1
+            elif b > 0:
+                self._base[pidx] = b - 1
+
+        if not correct and provider < self.n_tables - 1:
+            self._allocate(pc, taken, provider)
+
+        self._shift_history(1 if taken else 0)
+        return correct
+
+    # ------------------------------------------------------------------
+    def _shift_history(self, bit: int) -> None:
+        ghist = self._ghist
+        for t in range(self.n_tables):
+            L = self.history_lengths[t]
+            out_bit = (ghist >> (L - 1)) & 1
+            self._folded_idx[t].update(bit, out_bit)
+            self._folded_tag[t].update(bit, out_bit)
+        self._ghist = ((ghist << 1) | bit) & ((1 << self._max_hist) - 1)
+
+    def _allocate(self, pc: int, taken: bool, provider: int) -> None:
+        self._alloc_tick += 1
+        for t in range(provider + 1, self.n_tables):
+            idx = self._table_index(pc, t)
+            if self._useful[t][idx] == 0:
+                self._tags[t][idx] = self._table_tag(pc, t)
+                self._ctrs[t][idx] = 0 if taken else -1
+                return
+        # No free slot: age one victim's useful bit (round-robin).
+        span = self.n_tables - provider - 1
+        victim = provider + 1 + (self._alloc_tick % span)
+        idx = self._table_index(pc, victim)
+        if self._useful[victim][idx] > 0:
+            self._useful[victim][idx] -= 1
+
+    def accuracy(self) -> float:
+        if not self.predictions:
+            return 0.0
+        return 1.0 - self.mispredictions / self.predictions

@@ -1,0 +1,68 @@
+"""BTB prefetch buffer (§4.3, Fig 25).
+
+Prefetched BTB entries land here rather than directly in the BTB, so
+aggressive prefetching cannot evict demand entries.  A BPU lookup that
+misses the BTB checks the buffer; a hit promotes the entry into the
+BTB and counts as a covered miss.  The buffer is LRU-replaced.
+
+Entries become *visible* only after their fill completes
+(``ready_cycle``), which is how prefetch timeliness (Fig 26) is
+enforced.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional, Tuple
+
+from ..isa.branches import BranchKind
+
+
+class PrefetchBuffer:
+    """LRU buffer of in-flight and completed BTB prefetches."""
+
+    def __init__(self, entries: int = 128):
+        if entries < 0:
+            raise ValueError("prefetch buffer size must be >= 0")
+        self.capacity = entries
+        self._entries: "OrderedDict[int, Tuple[int, BranchKind, int]]" = OrderedDict()
+        self.inserts = 0
+        self.promotions = 0
+        self.late_hits = 0   # entry present but fill not yet complete
+        self.evicted_unused = 0
+
+    def insert(self, pc: int, target: int, kind: BranchKind, ready_cycle: int) -> None:
+        """Record a prefetch for (pc -> target) completing at *ready_cycle*."""
+        if self.capacity == 0:
+            return
+        self.inserts += 1
+        if pc in self._entries:
+            old_target, old_kind, old_ready = self._entries.pop(pc)
+            ready_cycle = min(ready_cycle, old_ready)
+        elif len(self._entries) >= self.capacity:
+            self._entries.popitem(last=False)
+            self.evicted_unused += 1
+        self._entries[pc] = (target, kind, ready_cycle)
+
+    def take(self, pc: int, now: int) -> Optional[Tuple[int, BranchKind]]:
+        """Consume the entry for *pc* if present and ready at cycle *now*.
+
+        A present-but-late entry is left in place (it may be ready by a
+        retry) and counted in ``late_hits``.
+        """
+        item = self._entries.get(pc)
+        if item is None:
+            return None
+        target, kind, ready = item
+        if ready > now:
+            self.late_hits += 1
+            return None
+        del self._entries[pc]
+        self.promotions += 1
+        return target, kind
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, pc: int) -> bool:
+        return pc in self._entries

@@ -1,0 +1,58 @@
+"""Return address stack.
+
+A fixed-depth circular stack (Table 1: 32 entries).  Overflow wraps and
+silently corrupts the oldest entry, underflow mispredicts — both real
+RAS failure modes, and the reason deeply nested call chains still see
+occasional return mispredictions.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+
+class ReturnAddressStack:
+    """Circular return-address stack with overflow corruption."""
+
+    def __init__(self, entries: int = 32):
+        if entries <= 0:
+            raise ValueError("RAS needs at least one entry")
+        self.capacity = entries
+        self._stack: List[int] = [0] * entries
+        self._top = 0          # index of next push
+        self._depth = 0        # live entries (<= capacity)
+        self.pushes = 0
+        self.pops = 0
+        self.underflows = 0
+        self.correct = 0
+
+    def push(self, return_addr: int) -> None:
+        self._stack[self._top] = return_addr
+        self._top = (self._top + 1) % self.capacity
+        self._depth = min(self._depth + 1, self.capacity)
+        self.pushes += 1
+
+    def pop(self) -> Optional[int]:
+        """Pop the predicted return address (None on underflow)."""
+        self.pops += 1
+        if self._depth == 0:
+            self.underflows += 1
+            return None
+        self._top = (self._top - 1) % self.capacity
+        self._depth -= 1
+        return self._stack[self._top]
+
+    def predict_and_check(self, actual: int) -> bool:
+        """Pop and compare against the resolved return target."""
+        predicted = self.pop()
+        ok = predicted == actual
+        if ok:
+            self.correct += 1
+        return ok
+
+    @property
+    def depth(self) -> int:
+        return self._depth
+
+    def accuracy(self) -> float:
+        return self.correct / self.pops if self.pops else 0.0

@@ -1,0 +1,20 @@
+"""Instruction-set and address-space model.
+
+The simulator does not execute real x86; it models just enough of a
+binary's structure for BTB behaviour to be faithful: basic blocks with
+byte sizes and instruction counts, and terminating branches with a PC,
+a kind, and one or more targets.
+"""
+
+from .branches import Branch, BranchKind
+from .blocks import BasicBlock, cache_line, cache_lines_of_range
+from .binary import Binary
+
+__all__ = [
+    "Branch",
+    "BranchKind",
+    "BasicBlock",
+    "Binary",
+    "cache_line",
+    "cache_lines_of_range",
+]

@@ -1,0 +1,73 @@
+"""Basic blocks and cache-line address helpers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from .branches import Branch
+
+DEFAULT_LINE_BYTES = 64
+
+
+def cache_line(addr: int, line_bytes: int = DEFAULT_LINE_BYTES) -> int:
+    """Return the cache-line index containing *addr*."""
+    return addr // line_bytes
+
+
+def cache_lines_of_range(
+    start: int, size: int, line_bytes: int = DEFAULT_LINE_BYTES
+) -> Tuple[int, ...]:
+    """Return the cache-line indices spanned by ``[start, start+size)``."""
+    if size <= 0:
+        return (cache_line(start, line_bytes),)
+    first = start // line_bytes
+    last = (start + size - 1) // line_bytes
+    return tuple(range(first, last + 1))
+
+
+@dataclass(frozen=True)
+class BasicBlock:
+    """A straight-line code region ending in at most one branch.
+
+    ``start`` is the block's first instruction address, ``size_bytes``
+    its byte footprint (which determines I-cache behaviour), and
+    ``instructions`` the number of instructions it retires.  ``branch``
+    is the terminating control transfer, or ``None`` for blocks that
+    fall through to ``start + size_bytes``.
+    """
+
+    index: int
+    start: int
+    size_bytes: int
+    instructions: int
+    branch: Optional[Branch] = None
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0:
+            raise ValueError("basic block must occupy at least one byte")
+        if self.instructions <= 0:
+            raise ValueError("basic block must contain at least one instruction")
+        if self.branch is not None and not (
+            self.start <= self.branch.pc < self.start + self.size_bytes
+        ):
+            raise ValueError(
+                f"branch pc {self.branch.pc:#x} lies outside block "
+                f"[{self.start:#x}, {self.start + self.size_bytes:#x})"
+            )
+
+    @property
+    def end(self) -> int:
+        """First address past the block."""
+        return self.start + self.size_bytes
+
+    @property
+    def fallthrough_addr(self) -> int:
+        return self.end
+
+    def lines(self, line_bytes: int = DEFAULT_LINE_BYTES) -> Tuple[int, ...]:
+        """Cache lines this block's bytes occupy."""
+        return cache_lines_of_range(self.start, self.size_bytes, line_bytes)
+
+    def contains(self, addr: int) -> bool:
+        return self.start <= addr < self.end

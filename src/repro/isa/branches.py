@@ -1,0 +1,116 @@
+"""Branch model: kinds, classification helpers, and the Branch record."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+
+class BranchKind(enum.Enum):
+    """Control-transfer categories tracked by the simulator.
+
+    The paper's BTB-MPKI metric counts only *direct* branches
+    (conditional jumps, unconditional jumps, and direct calls); returns
+    use the RAS and indirect jumps/calls use the IBTB.
+    """
+
+    COND_DIRECT = "cond_direct"
+    UNCOND_DIRECT = "uncond_direct"
+    CALL_DIRECT = "call_direct"
+    CALL_INDIRECT = "call_indirect"
+    JUMP_INDIRECT = "jump_indirect"
+    RETURN = "return"
+
+    @property
+    def is_direct(self) -> bool:
+        """True for branches whose target is encoded in the instruction."""
+        return self in _DIRECT_KINDS
+
+    @property
+    def is_conditional(self) -> bool:
+        return self is BranchKind.COND_DIRECT
+
+    @property
+    def is_unconditional(self) -> bool:
+        return not self.is_conditional
+
+    @property
+    def is_call(self) -> bool:
+        return self in (BranchKind.CALL_DIRECT, BranchKind.CALL_INDIRECT)
+
+    @property
+    def is_return(self) -> bool:
+        return self is BranchKind.RETURN
+
+    @property
+    def is_indirect(self) -> bool:
+        return self in (BranchKind.CALL_INDIRECT, BranchKind.JUMP_INDIRECT)
+
+    @property
+    def uses_btb(self) -> bool:
+        """True for kinds whose targets live in the main BTB."""
+        return self.is_direct
+
+
+_DIRECT_KINDS = frozenset(
+    {BranchKind.COND_DIRECT, BranchKind.UNCOND_DIRECT, BranchKind.CALL_DIRECT}
+)
+
+
+@dataclass(frozen=True)
+class Branch:
+    """A static branch instruction.
+
+    ``pc`` is the branch instruction's address. ``target`` is the taken
+    target for direct branches and the *dominant* target for indirect
+    branches (indirect branches additionally carry ``alt_targets`` from
+    which the trace walker samples). ``fallthrough`` is the address of
+    the next sequential instruction (None for blocks that end a
+    function and never fall through).
+    """
+
+    pc: int
+    kind: BranchKind
+    target: int
+    fallthrough: Optional[int] = None
+    # Additional observable targets for indirect branches.
+    alt_targets: Tuple[int, ...] = field(default=())
+    # Probability that a conditional branch is taken (static bias used by
+    # the trace walker; the direction predictor sees the realized stream).
+    taken_bias: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.pc < 0 or self.target < 0:
+            raise ValueError("branch pc and target must be non-negative addresses")
+        if self.kind.is_conditional and self.fallthrough is None:
+            raise ValueError("conditional branches must have a fallthrough address")
+        if not 0.0 <= self.taken_bias <= 1.0:
+            raise ValueError("taken_bias must be a probability")
+
+    @property
+    def is_direct(self) -> bool:
+        return self.kind.is_direct
+
+    def target_offset(self) -> int:
+        """Signed displacement from branch PC to taken target."""
+        return self.target - self.pc
+
+
+def offset_fits(offset: int, bits: int) -> bool:
+    """Return True if *offset* fits in a ``bits``-wide signed integer.
+
+    This is the encodability predicate behind Figs 14/15: Twig stores
+    prefetch operands as signed deltas rather than 48-bit pointers.
+    """
+    if bits <= 0:
+        return False
+    limit = 1 << (bits - 1)
+    return -limit <= offset < limit
+
+
+def bits_for_offset(offset: int) -> int:
+    """Minimum signed-integer width that can encode *offset*."""
+    if offset >= 0:
+        return offset.bit_length() + 1
+    return (-offset - 1).bit_length() + 1

@@ -1,0 +1,6 @@
+"""Cache hierarchy: set-associative caches and the L1i/L2/L3 latency model."""
+
+from .cache import Cache
+from .hierarchy import MemoryHierarchy
+
+__all__ = ["Cache", "MemoryHierarchy"]

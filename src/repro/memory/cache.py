@@ -1,0 +1,70 @@
+"""Set-associative cache with LRU replacement.
+
+Keyed by cache-line index (address // line_bytes); the hierarchy layer
+translates addresses.  One ``OrderedDict`` per set gives O(1) LRU.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import List, Optional
+
+from ..config import CacheConfig
+
+
+class Cache:
+    """One cache level, accessed at line granularity."""
+
+    def __init__(self, config: CacheConfig, name: str = "cache"):
+        self.config = config
+        self.name = name
+        self._sets: List[OrderedDict] = [OrderedDict() for _ in range(config.sets)]
+        self._set_mask = config.sets - 1
+        self._ways = config.ways
+        self.accesses = 0
+        self.hits = 0
+        self.fills = 0
+        self.evictions = 0
+
+    def access(self, line: int) -> bool:
+        """Access *line*; True on hit.  A miss does not fill (the
+        hierarchy fills explicitly so prefetch fills are distinct)."""
+        self.accesses += 1
+        s = self._sets[line & self._set_mask]
+        if line in s:
+            s.move_to_end(line)
+            self.hits += 1
+            return True
+        return False
+
+    def contains(self, line: int) -> bool:
+        """Residency check without counter or LRU side effects."""
+        return line in self._sets[line & self._set_mask]
+
+    def fill(self, line: int) -> Optional[int]:
+        """Install *line*; returns the evicted line, if any."""
+        s = self._sets[line & self._set_mask]
+        if line in s:
+            s.move_to_end(line)
+            return None
+        victim = None
+        if len(s) >= self._ways:
+            victim, _ = s.popitem(last=False)
+            self.evictions += 1
+        s[line] = True
+        self.fills += 1
+        return victim
+
+    def invalidate(self, line: int) -> bool:
+        s = self._sets[line & self._set_mask]
+        return s.pop(line, None) is not None
+
+    def __len__(self) -> int:
+        return sum(len(s) for s in self._sets)
+
+    @property
+    def misses(self) -> int:
+        return self.accesses - self.hits
+
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0

@@ -1,0 +1,73 @@
+"""The instruction-side memory hierarchy.
+
+Models L1i -> L2 -> L3 -> memory as an inclusive lookup chain returning
+the access latency of the first hitting level (Table 1 latencies).  A
+miss fills every level above the hit.  The data side is not modelled:
+the paper's mechanisms live entirely on the instruction path, and the
+backend abstraction absorbs average data-miss cost.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..config import MemoryConfig
+from .cache import Cache
+
+
+class MemoryHierarchy:
+    """Instruction fetch path: L1i, unified L2, shared L3."""
+
+    def __init__(self, config: Optional[MemoryConfig] = None):
+        self.config = config if config is not None else MemoryConfig()
+        self.l1i = Cache(self.config.l1i, name="L1i")
+        self.l2 = Cache(self.config.l2, name="L2")
+        self.l3 = Cache(self.config.l3, name="L3")
+        self.line_bytes = self.config.l1i.line_bytes
+        self.demand_accesses = 0
+        self.prefetch_issues = 0
+
+    # ------------------------------------------------------------------
+    def access_line(self, line: int, is_prefetch: bool = False) -> int:
+        """Access instruction cache *line*; returns total latency in
+        cycles and fills all levels on the way down."""
+        if is_prefetch:
+            self.prefetch_issues += 1
+        else:
+            self.demand_accesses += 1
+
+        if self.l1i.access(line):
+            return self.config.l1i.hit_latency
+        latency = self.config.l1i.hit_latency
+        if self.l2.access(line):
+            latency += self.config.l2.hit_latency
+        else:
+            latency += self.config.l2.hit_latency
+            if self.l3.access(line):
+                latency += self.config.l3.hit_latency
+            else:
+                latency += self.config.l3.hit_latency + self.config.memory_latency
+                self.l3.fill(line)
+            self.l2.fill(line)
+        self.l1i.fill(line)
+        return latency
+
+    def line_resident_l1(self, line: int) -> bool:
+        """True when *line* is already in the L1i (no side effects)."""
+        return self.l1i.contains(line)
+
+    def prewarm(self, lines) -> None:
+        """Fill L2/L3 with *lines* (steady-state assumption).
+
+        The paper simulates 100M steady-state instructions, where a
+        long-running server's text is L2/L3-resident; our traces are
+        short, so compulsory memory-latency fetches would otherwise
+        dominate.  L1i and the BTB are NOT warmed — they churn at
+        steady state and are warmed by the simulator's warmup window.
+        """
+        for line in lines:
+            self.l3.fill(line)
+            self.l2.fill(line)
+
+    def line_of(self, addr: int) -> int:
+        return addr // self.line_bytes

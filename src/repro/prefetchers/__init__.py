@@ -1,0 +1,25 @@
+"""BTB organizations and prefetchers.
+
+The simulator talks to an abstract :class:`BTBSystem`; implementations
+here provide the paper's baseline (plain BTB + FDIP), Twig (baseline +
+software prefetch ops), and the two hardware competitors, Shotgun and
+Confluence.
+"""
+
+from .base import BTBSystem, BaselineBTBSystem, LOOKUP_MISS, LOOKUP_HIT, LOOKUP_COVERED
+from .shotgun import ShotgunBTBSystem
+from .confluence import ConfluenceBTBSystem
+from .boomerang import BoomerangBTBSystem
+from .bulk_preload import BulkPreloadBTBSystem
+
+__all__ = [
+    "BTBSystem",
+    "BaselineBTBSystem",
+    "ShotgunBTBSystem",
+    "ConfluenceBTBSystem",
+    "BoomerangBTBSystem",
+    "BulkPreloadBTBSystem",
+    "LOOKUP_MISS",
+    "LOOKUP_HIT",
+    "LOOKUP_COVERED",
+]

@@ -1,0 +1,17 @@
+"""Execution-profile collection (simulated LBR + BTB-miss sampling)."""
+
+from .lbr import LBRRecorder
+from .profile import MissProfile, MissSample
+from .collector import collect_profile
+from .serialize import load_plan, load_profile, save_plan, save_profile
+
+__all__ = [
+    "LBRRecorder",
+    "MissProfile",
+    "MissSample",
+    "collect_profile",
+    "save_profile",
+    "load_profile",
+    "save_plan",
+    "load_plan",
+]

@@ -1,0 +1,141 @@
+"""Profile and plan serialization.
+
+Production workflows collect profiles on one fleet and build plans in
+an offline pipeline, so both artifacts need a stable on-disk format.
+Plain JSON keeps the artifacts inspectable; block indices and PCs are
+ints, windows are nested lists.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Union
+
+from ..core.plan import InjectionOp, PrefetchPlan
+from ..errors import ProfileError, PlanError
+from .profile import MissProfile
+
+FORMAT_VERSION = 1
+
+
+# ----------------------------------------------------------------------
+# MissProfile
+# ----------------------------------------------------------------------
+
+def profile_to_dict(profile: MissProfile) -> dict:
+    """JSON-ready representation of *profile*."""
+    return {
+        "format": FORMAT_VERSION,
+        "kind": "miss_profile",
+        "app_name": profile.app_name,
+        "input_label": profile.input_label,
+        "samples": [
+            {
+                "miss_pc": s.miss_pc,
+                "miss_block": s.miss_block,
+                "window": [[b, lead] for b, lead in s.window],
+            }
+            for pc in profile.miss_pcs()
+            for s in profile.samples_for(pc)
+        ],
+    }
+
+
+def profile_from_dict(data: dict) -> MissProfile:
+    """Rebuild a profile from :func:`profile_to_dict` output."""
+    if data.get("kind") != "miss_profile":
+        raise ProfileError("not a serialized miss profile")
+    if data.get("format") != FORMAT_VERSION:
+        raise ProfileError(f"unsupported profile format {data.get('format')!r}")
+    profile = MissProfile(
+        app_name=data.get("app_name", ""), input_label=data.get("input_label", "")
+    )
+    for s in data["samples"]:
+        window = tuple((int(b), float(lead)) for b, lead in s["window"])
+        profile.add_sample(int(s["miss_pc"]), int(s["miss_block"]), window)
+    profile.validate()
+    return profile
+
+
+def save_profile(profile: MissProfile, fh: Union[str, IO]) -> None:
+    """Write *profile* as JSON to a path or file object."""
+    if isinstance(fh, str):
+        with open(fh, "w") as f:
+            json.dump(profile_to_dict(profile), f)
+    else:
+        json.dump(profile_to_dict(profile), fh)
+
+
+def load_profile(fh: Union[str, IO]) -> MissProfile:
+    """Read a profile written by :func:`save_profile`."""
+    if isinstance(fh, str):
+        with open(fh) as f:
+            return profile_from_dict(json.load(f))
+    return profile_from_dict(json.load(fh))
+
+
+# ----------------------------------------------------------------------
+# PrefetchPlan
+# ----------------------------------------------------------------------
+
+def plan_to_dict(plan: PrefetchPlan) -> dict:
+    """JSON-ready representation of a prefetch plan."""
+    return {
+        "format": FORMAT_VERSION,
+        "kind": "prefetch_plan",
+        "app_name": plan.app_name,
+        "misses_targeted": plan.misses_targeted,
+        "misses_with_site": plan.misses_with_site,
+        "table": [list(e) for e in plan.table],
+        "ops": [
+            {
+                "kind": op.kind,
+                "block": op.block,
+                "entries": [list(e) for e in op.entries],
+                "bytes_cost": op.bytes_cost,
+            }
+            for ops in plan.ops_by_block.values()
+            for op in ops
+        ],
+    }
+
+
+def plan_from_dict(data: dict) -> PrefetchPlan:
+    """Rebuild a plan from :func:`plan_to_dict` output."""
+    if data.get("kind") != "prefetch_plan":
+        raise PlanError("not a serialized prefetch plan")
+    if data.get("format") != FORMAT_VERSION:
+        raise PlanError(f"unsupported plan format {data.get('format')!r}")
+    plan = PrefetchPlan(
+        app_name=data.get("app_name", ""),
+        table=tuple(tuple(e) for e in data.get("table", [])),
+        misses_targeted=int(data.get("misses_targeted", 0)),
+        misses_with_site=int(data.get("misses_with_site", 0)),
+    )
+    for op in data["ops"]:
+        plan.add_op(
+            InjectionOp(
+                kind=op["kind"],
+                block=int(op["block"]),
+                entries=tuple(tuple(e) for e in op["entries"]),
+                bytes_cost=int(op["bytes_cost"]),
+            )
+        )
+    return plan
+
+
+def save_plan(plan: PrefetchPlan, fh: Union[str, IO]) -> None:
+    """Write *plan* as JSON to a path or file object."""
+    if isinstance(fh, str):
+        with open(fh, "w") as f:
+            json.dump(plan_to_dict(plan), f)
+    else:
+        json.dump(plan_to_dict(plan), fh)
+
+
+def load_plan(fh: Union[str, IO]) -> PrefetchPlan:
+    """Read a plan written by :func:`save_plan`."""
+    if isinstance(fh, str):
+        with open(fh) as f:
+            return plan_from_dict(json.load(f))
+    return plan_from_dict(json.load(fh))

@@ -1,0 +1,6 @@
+"""Committed-path trace generation and containers."""
+
+from .events import Trace, TraceStats
+from .walker import generate_trace
+
+__all__ = ["Trace", "TraceStats", "generate_trace"]

@@ -1,0 +1,85 @@
+"""Trace containers.
+
+A trace is the committed control-flow path of one application run: a
+sequence of *fetch units*, one per basic-block execution, stored as
+parallel lists of (block index, taken flag) for compactness.  The block
+executed by unit ``i+1`` *is* the control-flow successor of unit ``i``,
+so taken-branch targets never need to be stored separately.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Tuple
+
+from ..errors import TraceError
+from ..isa.branches import BranchKind
+
+
+@dataclass
+class TraceStats:
+    """Summary statistics gathered while walking."""
+
+    instructions: int = 0
+    fetch_units: int = 0
+    dynamic_branches: int = 0
+    taken_branches: int = 0
+    branches_by_kind: Dict[BranchKind, int] = field(default_factory=dict)
+    unique_blocks: int = 0
+    unique_branches: int = 0
+
+    def branch_fraction(self, kind: BranchKind) -> float:
+        """Fraction of dynamic branches of *kind*."""
+        if self.dynamic_branches == 0:
+            return 0.0
+        return self.branches_by_kind.get(kind, 0) / self.dynamic_branches
+
+
+class Trace:
+    """The committed path of one run.
+
+    ``blocks[i]`` is the global block index executed by fetch unit
+    ``i``; ``takens[i]`` is 1 when that block's terminating branch was
+    taken (always 0 for branchless blocks and not-taken conditionals).
+    """
+
+    __slots__ = ("blocks", "takens", "stats", "label")
+
+    def __init__(
+        self,
+        blocks: List[int],
+        takens: List[int],
+        stats: TraceStats,
+        label: str = "",
+    ):
+        if len(blocks) != len(takens):
+            raise TraceError("blocks and takens must have equal length")
+        if not blocks:
+            raise TraceError("a trace must contain at least one fetch unit")
+        self.blocks = blocks
+        self.takens = takens
+        self.stats = stats
+        self.label = label
+
+    def __len__(self) -> int:
+        return len(self.blocks)
+
+    def __iter__(self) -> Iterator[Tuple[int, int]]:
+        return zip(self.blocks, self.takens)
+
+    def slice(self, start: int, stop: int) -> "Trace":
+        """A sub-trace covering fetch units [start, stop).
+
+        Stats are recomputed proportionally only for lengths; callers
+        needing exact sub-trace stats should re-walk.
+        """
+        blocks = self.blocks[start:stop]
+        takens = self.takens[start:stop]
+        stats = TraceStats(
+            instructions=0,
+            fetch_units=len(blocks),
+            dynamic_branches=0,
+            taken_branches=sum(takens),
+            unique_blocks=len(set(blocks)),
+        )
+        return Trace(blocks, takens, stats, label=f"{self.label}[{start}:{stop}]")

@@ -1,0 +1,6 @@
+"""Trace-driven decoupled-frontend timing simulator."""
+
+from .results import SimResult
+from .sim import FrontendSimulator, simulate
+
+__all__ = ["SimResult", "FrontendSimulator", "simulate"]

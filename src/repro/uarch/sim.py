@@ -1,0 +1,361 @@
+"""Decoupled-frontend timing simulator (DESIGN.md §5).
+
+Trace-driven, one pass, O(1) per fetch unit.  Two clocks move through
+the committed path:
+
+* ``bpu`` — the branch-prediction unit processes one fetch unit per
+  cycle while the FTQ has room (FDIP run-ahead).  BTB misses on taken
+  direct branches charge a resteer and stall the BPU; direction/target
+  mispredictions charge a full flush.  On enqueue, FDIP issues I-cache
+  prefetches for the unit's lines.
+* ``fetch`` — consumes units in order, no earlier than a cycle after
+  prediction, no earlier than its lines' arrival, at one-or-more cycles
+  per block depending on byte size.
+
+Retirement is width-limited; the final retire time is the cycle count.
+Because the trace is the committed path, wrong-path fetch pollution is
+not modelled (documented substitution, DESIGN.md §2).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..config import SimConfig
+from ..errors import SimulationError
+from ..frontend.direction import TageLite
+from ..frontend.ibtb import IndirectBTB
+from ..frontend.ras import ReturnAddressStack
+from ..memory.hierarchy import MemoryHierarchy
+from ..prefetchers.base import (
+    BTBSystem,
+    BaselineBTBSystem,
+    LOOKUP_COVERED,
+    LOOKUP_HIT,
+    LOOKUP_MISS,
+)
+from ..trace.events import Trace
+from ..workloads.cfg import (
+    DIRECT_KIND_CODES,
+    KIND_CALL,
+    KIND_CALL_IND,
+    KIND_COND,
+    KIND_FROM_CODE,
+    KIND_JUMP_IND,
+    KIND_NONE,
+    KIND_RETURN,
+    KIND_UNCOND,
+    Workload,
+)
+from .results import SimResult
+
+_KIND_NAMES = {
+    KIND_COND: "cond_direct",
+    KIND_UNCOND: "uncond_direct",
+    KIND_CALL: "call_direct",
+}
+
+
+class FrontendSimulator:
+    """One simulator instance per (workload, config, BTB system)."""
+
+    def __init__(
+        self,
+        workload: Workload,
+        config: Optional[SimConfig] = None,
+        btb_system: Optional[BTBSystem] = None,
+        lbr_recorder=None,
+    ):
+        self.workload = workload
+        self.config = config if config is not None else SimConfig()
+        self.btb_system = (
+            btb_system if btb_system is not None else BaselineBTBSystem(self.config)
+        )
+        attach = getattr(self.btb_system, "attach_hierarchy", None)
+        self.lbr_recorder = lbr_recorder
+        self.hierarchy = MemoryHierarchy(self.config.memory)
+        if attach is not None:
+            attach(self.hierarchy)
+        self.tage = TageLite(self.config.frontend)
+        self.ras = ReturnAddressStack(self.config.frontend.ras_entries)
+        self.ibtb = IndirectBTB(self.config.frontend.ibtb)
+        fw = self.config.core.fetch_width_bytes
+        self._fetch_cycles: List[int] = [
+            max(1, (size + fw - 1) // fw) for size in workload.block_size
+        ]
+        # Steady-state assumption: a long-running server's text is
+        # L2/L3-resident (see MemoryHierarchy.prewarm).
+        all_lines = set()
+        for lines in workload.block_lines:
+            all_lines.update(lines)
+        self.hierarchy.prewarm(sorted(all_lines))
+
+    # ------------------------------------------------------------------
+    def run(self, trace: Trace, label: str = "", warmup_units: int = 0) -> SimResult:
+        """Simulate *trace* and return the measured counters.
+
+        ``warmup_units`` fetch units are simulated with full structural
+        state (BTB, caches, predictor training) but excluded from every
+        counter, so measurements reflect steady state rather than
+        cold-start compulsory misses.
+        """
+        wl = self.workload
+        cfg = self.config
+        sysm = self.btb_system
+
+        # Hot-loop locals.
+        tr_blocks = trace.blocks
+        tr_takens = trace.takens
+        n_units = len(tr_blocks)
+        kind_code = wl.kind_code
+        branch_pc = wl.branch_pc
+        block_start = wl.block_start
+        block_size = wl.block_size
+        block_instr = wl.block_instructions
+        block_lines = wl.block_lines
+        fetch_cycles = self._fetch_cycles
+
+        ideal_btb = cfg.ideal_btb
+        ideal_icache = cfg.ideal_icache
+        resteer_penalty = cfg.core.btb_miss_penalty
+        flush_penalty = cfg.core.mispredict_penalty
+        width = float(cfg.core.width)
+        ftq_size = cfg.frontend.ftq_size
+
+        lookup = sysm.lookup
+        fill = sysm.fill
+        ops_blocks = sysm.ops_blocks
+        on_block_fetched = sysm.on_block_fetched
+        wants_taken = (
+            type(sysm).on_taken_branch is not BTBSystem.on_taken_branch
+        )
+        on_taken = sysm.on_taken_branch
+        wants_lines = (
+            type(sysm).on_line_fetched is not BTBSystem.on_line_fetched
+        )
+        on_line = sysm.on_line_fetched
+
+        tage_update = self.tage.update
+        ras_push = self.ras.push
+        ras_check = self.ras.predict_and_check
+        ibtb_predict = self.ibtb.predict
+        ibtb_outcome = self.ibtb.record_outcome
+        l1_contains = self.hierarchy.l1i.contains
+        access_line = self.hierarchy.access_line
+
+        rec = self.lbr_recorder
+        rec_step = rec.record if rec is not None else None
+        rec_miss = rec.on_miss if rec is not None else None
+
+        # Counters.
+        res = SimResult(label=label or trace.label)
+        acc_by_kind = {name: 0 for name in _KIND_NAMES.values()}
+        miss_by_kind = {name: 0 for name in _KIND_NAMES.values()}
+        btb_accesses = 0
+        btb_misses = 0
+        btb_covered = 0
+        cond_misp = 0
+        ind_misp = 0
+        ras_misp = 0
+        fetch_stalls = 0
+        prefetch_ops = 0
+        extra_instr_total = 0
+        instructions = 0
+
+        # Clocks and queues.
+        bpu = 0.0
+        fetch = 0.0
+        retire = 0.0
+        fetch_floor = 0.0  # pipeline-refill floor after a resteer/flush
+        inflight = {}  # line -> ready cycle
+        ftq_ring = [0.0] * ftq_size  # fetch completion of unit i - ftq_size
+        retire_at_warmup = 0.0
+        pf_issued_snap = 0
+        pf_used_snap = 0
+        l1_miss_snap = 0
+
+        if warmup_units >= n_units:
+            raise SimulationError(
+                f"warmup ({warmup_units}) must be shorter than the trace ({n_units})"
+            )
+
+        for i in range(n_units):
+            if i == warmup_units and i > 0:
+                # Measurement window starts: discard cold-start counters.
+                retire_at_warmup = retire
+                btb_accesses = btb_misses = btb_covered = 0
+                acc_by_kind = {name: 0 for name in _KIND_NAMES.values()}
+                miss_by_kind = {name: 0 for name in _KIND_NAMES.values()}
+                cond_misp = ind_misp = ras_misp = 0
+                fetch_stalls = 0
+                prefetch_ops = extra_instr_total = instructions = 0
+                pf_issued_snap = self.btb_system.prefetches_issued()
+                pf_used_snap = self.btb_system.prefetches_used()
+                l1_miss_snap = self.hierarchy.l1i.misses
+            blk = tr_blocks[i]
+            taken = tr_takens[i]
+
+            # --- BPU: wait for an FTQ slot, process one unit/cycle -----
+            slot_free = ftq_ring[i % ftq_size]
+            bpu = bpu + 1.0 if bpu + 1.0 >= slot_free else slot_free
+
+            kind = kind_code[blk]
+            penalty = 0.0
+            if kind != KIND_NONE:
+                pc = branch_pc[blk]
+                if kind == KIND_COND:
+                    btb_accesses += 1
+                    acc_by_kind["cond_direct"] += 1
+                    if not tage_update(pc, bool(taken)):
+                        cond_misp += 1
+                        penalty = flush_penalty
+                    if taken:
+                        if ideal_btb:
+                            pass
+                        else:
+                            r = lookup(pc, kind, bpu)
+                            if r == LOOKUP_MISS:
+                                btb_misses += 1
+                                miss_by_kind["cond_direct"] += 1
+                                if penalty < resteer_penalty:
+                                    penalty = resteer_penalty
+                                fill(pc, block_start[tr_blocks[i + 1]] if i + 1 < n_units else 0, kind, bpu)
+                                if rec_miss is not None:
+                                    rec_miss(pc, blk, bpu)
+                            elif r == LOOKUP_COVERED:
+                                btb_covered += 1
+                elif kind == KIND_UNCOND or kind == KIND_CALL:
+                    name = "uncond_direct" if kind == KIND_UNCOND else "call_direct"
+                    btb_accesses += 1
+                    acc_by_kind[name] += 1
+                    if kind == KIND_CALL:
+                        ras_push(block_start[blk] + block_size[blk])
+                    if not ideal_btb:
+                        r = lookup(pc, kind, bpu)
+                        if r == LOOKUP_MISS:
+                            btb_misses += 1
+                            miss_by_kind[name] += 1
+                            penalty = resteer_penalty
+                            fill(pc, block_start[tr_blocks[i + 1]] if i + 1 < n_units else 0, kind, bpu)
+                            if rec_miss is not None:
+                                rec_miss(pc, blk, bpu)
+                        elif r == LOOKUP_COVERED:
+                            btb_covered += 1
+                elif kind == KIND_RETURN:
+                    actual = block_start[tr_blocks[i + 1]] if i + 1 < n_units else 0
+                    if not ras_check(actual):
+                        ras_misp += 1
+                        penalty = flush_penalty
+                elif kind == KIND_CALL_IND or kind == KIND_JUMP_IND:
+                    actual = block_start[tr_blocks[i + 1]] if i + 1 < n_units else 0
+                    predicted = ibtb_predict(pc)
+                    if kind == KIND_CALL_IND:
+                        ras_push(block_start[blk] + block_size[blk])
+                    if not ibtb_outcome(pc, predicted, actual):
+                        ind_misp += 1
+                        penalty = flush_penalty
+
+                if taken and wants_taken:
+                    tgt = block_start[tr_blocks[i + 1]] if i + 1 < n_units else 0
+                    on_taken(pc, tgt, kind, bpu)
+
+            if penalty:
+                # A resteer/flush: the run-ahead the BPU had built is
+                # wrong-path (it followed the fallthrough), so FDIP's
+                # prefetch lead collapses to zero.  The BPU redirects
+                # almost immediately and starts rebuilding the queue,
+                # but fetched instructions cannot complete until the
+                # pipeline refills — fetch pays the penalty while the
+                # BPU races ahead re-issuing prefetches.
+                restart = fetch if fetch > bpu else bpu
+                bpu = restart + 2.0
+                if restart + penalty > fetch_floor:
+                    fetch_floor = restart + penalty
+
+            # --- FDIP: issue I-cache prefetches for the unit's lines ---
+            if ideal_icache:
+                lines_ready = bpu
+            else:
+                lines_ready = bpu
+                for line in block_lines[blk]:
+                    ready = inflight.get(line, -1.0)
+                    if ready < bpu:
+                        if l1_contains(line):
+                            ready = bpu
+                        else:
+                            lat = access_line(line, True)
+                            ready = bpu + lat
+                            if wants_lines:
+                                on_line(line, ready)
+                        inflight[line] = ready
+                    if ready > lines_ready:
+                        lines_ready = ready
+
+            # --- Fetch: in order, after prediction and line arrival ----
+            base = fetch + fetch_cycles[blk]
+            after_bpu = bpu + 1.0
+            if after_bpu > base:
+                base = after_bpu
+            if fetch_floor > base:
+                base = fetch_floor
+            if lines_ready > base:
+                fetch_stalls += lines_ready - base
+                base = lines_ready
+            fetch = base
+            ftq_ring[i % ftq_size] = fetch
+
+            # --- Software prefetch ops fire when their block is fetched
+            n_instr = block_instr[blk]
+            if blk in ops_blocks:
+                extra, n_ops = on_block_fetched(blk, fetch)
+                n_instr += extra
+                extra_instr_total += extra
+                prefetch_ops += n_ops
+
+            instructions += n_instr
+            if rec_step is not None:
+                rec_step(blk, bpu)
+
+            # --- Retire: width-limited ---------------------------------
+            floor = fetch + 2.0
+            if retire < floor:
+                retire = floor
+            retire += n_instr / width
+
+        if retire <= 0:
+            raise SimulationError("simulation produced no cycles")
+
+        res.instructions = instructions
+        res.cycles = int(retire - retire_at_warmup) + 1
+        res.btb_accesses = btb_accesses
+        res.btb_misses = btb_misses
+        res.btb_covered_misses = btb_covered
+        res.btb_accesses_by_kind = acc_by_kind
+        res.btb_misses_by_kind = miss_by_kind
+        res.cond_mispredicts = cond_misp
+        res.indirect_mispredicts = ind_misp
+        res.ras_mispredicts = ras_misp
+        res.fetch_stall_cycles = int(fetch_stalls)
+        res.resteer_cycles = btb_misses * cfg.core.btb_miss_penalty
+        res.mispredict_cycles = (cond_misp + ind_misp + ras_misp) * cfg.core.mispredict_penalty
+        res.icache_demand_misses = self.hierarchy.l1i.misses - l1_miss_snap
+        res.prefetches_issued = self.btb_system.prefetches_issued() - pf_issued_snap
+        res.prefetches_used = self.btb_system.prefetches_used() - pf_used_snap
+        res.prefetch_ops_executed = prefetch_ops
+        res.extra_dynamic_instructions = extra_instr_total
+        return res
+
+
+def simulate(
+    workload: Workload,
+    trace: Trace,
+    config: Optional[SimConfig] = None,
+    btb_system: Optional[BTBSystem] = None,
+    label: str = "",
+    lbr_recorder=None,
+) -> SimResult:
+    """Convenience wrapper: build a simulator and run one trace."""
+    sim = FrontendSimulator(
+        workload, config=config, btb_system=btb_system, lbr_recorder=lbr_recorder
+    )
+    return sim.run(trace, label=label)

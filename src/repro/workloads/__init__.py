@@ -1,0 +1,23 @@
+"""Synthetic data-center application workloads.
+
+The paper evaluates nine production applications via Intel PT traces;
+those traces are proprietary, so this package generates synthetic
+programs whose *branch-stream structure* matches the paper's published
+per-application characteristics (instruction working set, static branch
+population and mix, BTB miss rates, unconditional-branch working set).
+See DESIGN.md §2 for the substitution argument.
+"""
+
+from .spec import AppSpec, WorkloadInput
+from .apps import PAPER_APPS, get_app, app_names
+from .cfg import Workload, build_workload
+
+__all__ = [
+    "AppSpec",
+    "WorkloadInput",
+    "Workload",
+    "build_workload",
+    "PAPER_APPS",
+    "get_app",
+    "app_names",
+]

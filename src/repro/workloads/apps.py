@@ -1,0 +1,135 @@
+"""Specs for the nine data-center applications of the paper.
+
+The ``*_target`` fields come from the paper (Fig 1 frontend-bound
+fractions, Fig 3 BTB MPKI, Table 3 instruction working sets).  The
+generator knobs are tuned so that, at the default scale, each synthetic
+app lands in the right *band* relative to the others: verilator has by
+far the largest branch footprint and MPKI; wordpress/mediawiki/drupal
+(HHVM) are smaller and more skewed; the JVM apps sit in between.
+
+The default ``scale`` shrinks footprints so cycle-level simulation in
+Python stays tractable; relative ratios between applications — which is
+what every figure measures — are preserved.  The baseline BTB stays at
+the paper's 8K entries, and app branch footprints span ~6K-50K unique
+dynamic branches, straddling it just as the paper's apps straddle their
+8K BTB.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from ..errors import WorkloadError
+from .spec import AppSpec
+
+# Default footprint scale relative to the paper's production binaries.
+DEFAULT_SCALE = 1.0
+
+_APPS: Tuple[AppSpec, ...] = (
+    AppSpec(
+        name="cassandra",
+        footprint_mb_target=4.23,
+        btb_mpki_target=25.0,
+        frontend_bound_target=0.55,
+        functions=6500,
+        handler_fraction=0.025,
+        popularity_exponent=0.35,
+    ),
+    AppSpec(
+        name="drupal",
+        footprint_mb_target=1.75,
+        btb_mpki_target=14.0,
+        frontend_bound_target=0.60,
+        functions=3000,
+        handler_fraction=0.035,
+        popularity_exponent=0.55,
+    ),
+    AppSpec(
+        name="finagle-chirper",
+        footprint_mb_target=2.05,
+        btb_mpki_target=21.0,
+        frontend_bound_target=0.45,
+        functions=4200,
+        handler_fraction=0.030,
+        popularity_exponent=0.42,
+    ),
+    AppSpec(
+        name="finagle-http",
+        footprint_mb_target=5.29,
+        btb_mpki_target=26.0,
+        frontend_bound_target=0.48,
+        functions=7000,
+        handler_fraction=0.022,
+        popularity_exponent=0.32,
+    ),
+    AppSpec(
+        name="kafka",
+        footprint_mb_target=3.28,
+        btb_mpki_target=18.0,
+        frontend_bound_target=0.40,
+        functions=5000,
+        handler_fraction=0.035,
+        popularity_exponent=0.38,
+    ),
+    AppSpec(
+        name="mediawiki",
+        footprint_mb_target=2.24,
+        btb_mpki_target=12.0,
+        frontend_bound_target=0.58,
+        functions=3200,
+        handler_fraction=0.040,
+        popularity_exponent=0.60,
+    ),
+    AppSpec(
+        name="tomcat",
+        footprint_mb_target=2.40,
+        btb_mpki_target=20.0,
+        frontend_bound_target=0.50,
+        functions=4600,
+        handler_fraction=0.030,
+        popularity_exponent=0.42,
+    ),
+    AppSpec(
+        name="verilator",
+        footprint_mb_target=13.56,
+        btb_mpki_target=121.0,
+        frontend_bound_target=0.78,
+        functions=11000,
+        handler_fraction=0.050,
+        popularity_exponent=0.05,
+        dispatch_pattern="sweep",
+        path_variants=3,
+        sweep_skip_prob=0.10,
+        call_weight_scale=0.30,
+        mean_blocks_per_function=26,
+        mean_block_bytes=12,
+        loop_fraction=0.06,
+    ),
+    AppSpec(
+        name="wordpress",
+        footprint_mb_target=1.93,
+        btb_mpki_target=8.0,
+        frontend_bound_target=0.62,
+        functions=2600,
+        handler_fraction=0.045,
+        popularity_exponent=0.70,
+    ),
+)
+
+PAPER_APPS: Dict[str, AppSpec] = {spec.name: spec for spec in _APPS}
+
+
+def app_names() -> Tuple[str, ...]:
+    """The nine application names, in the paper's alphabetical order."""
+    return tuple(PAPER_APPS.keys())
+
+
+def get_app(name: str, scale: float = DEFAULT_SCALE) -> AppSpec:
+    """Return the spec for application *name*, scaled for simulation."""
+    try:
+        spec = PAPER_APPS[name]
+    except KeyError:
+        raise WorkloadError(
+            f"unknown application {name!r}; choose from {sorted(PAPER_APPS)}"
+        ) from None
+    return spec.scaled(scale) if scale != 1.0 else spec

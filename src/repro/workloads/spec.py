@@ -1,0 +1,207 @@
+"""Application specifications.
+
+An :class:`AppSpec` captures the published characteristics of one of the
+paper's nine data-center applications; the CFG builder turns a spec into
+a concrete synthetic program.  ``scale`` shrinks the instruction
+footprint uniformly so that Python-speed simulation stays tractable
+while preserving the footprint-to-BTB-capacity ratios that drive every
+result (the baseline BTB is 8K entries; apps span ~10K-100K unique
+executed branches at the default scale).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Tuple
+
+from ..errors import WorkloadError
+from ..isa.branches import BranchKind
+
+# Fraction of dynamic branches by kind, loosely following Fig 7
+# (conditional branches dominate accesses; unconditional direct branches
+# plus calls are ~20.75% of dynamic branches).
+DEFAULT_BRANCH_MIX: Mapping[str, float] = {
+    "cond_direct": 0.61,
+    "uncond_direct": 0.08,
+    "call_direct": 0.18,
+    "call_indirect": 0.04,
+    "jump_indirect": 0.03,
+    "return": 0.06,
+}
+
+# Multiplier applied to call-site weight per call-graph level (level 1 =
+# handlers first).  Handlers orchestrate; leaf libraries mostly compute.
+DEFAULT_CALL_WEIGHT_BY_LEVEL: Tuple[float, ...] = (3.5, 2.0, 1.0, 0.6, 0.0)
+
+
+@dataclass(frozen=True)
+class WorkloadInput:
+    """One application input configuration (§4.1).
+
+    The paper varies input data size, requested pages, request rates,
+    seeds, and thread counts; here an input perturbs the walk seed, the
+    function-popularity distribution, and a fraction of branch biases.
+    """
+
+    app_name: str
+    index: int
+    walk_seed: int
+    # Strength of the popularity perturbation relative to input #0
+    # (0 = identical behaviour, 1 = fully re-drawn popularity).
+    popularity_shift: float
+    # Fraction of conditional-branch biases re-drawn for this input.
+    bias_shift: float
+
+    def label(self) -> str:
+        return f"{self.app_name}#{self.index}"
+
+
+@dataclass(frozen=True)
+class AppSpec:
+    """Generator parameters for one synthetic data-center application.
+
+    The ``*_target`` fields record the paper's published values for this
+    application (used by EXPERIMENTS.md and the fidelity tests); the
+    remaining fields parameterize the CFG builder.
+    """
+
+    name: str
+    # --- paper-published characteristics (targets, not knobs) ---------
+    footprint_mb_target: float
+    btb_mpki_target: float
+    frontend_bound_target: float  # fraction of pipeline slots (Fig 1)
+
+    # --- generator knobs ----------------------------------------------
+    # Number of distinct functions in the binary.
+    functions: int = 2200
+    # Fraction of functions that are request handlers (call-graph level 1).
+    handler_fraction: float = 0.16
+    # Mean basic blocks per function (geometric-ish distribution).
+    mean_blocks_per_function: int = 12
+    # Mean bytes per basic block (instruction bytes ~ size/avg insn len).
+    mean_block_bytes: int = 18
+    mean_insn_bytes: float = 3.8
+    # Zipf exponent over function popularity; lower = flatter = larger
+    # working set = more BTB capacity misses.
+    popularity_exponent: float = 0.55
+    # Global multiplier on call-site density (on top of the per-level
+    # weights).  Near zero models flat generated code (verilator) whose
+    # handlers are huge straight-line functions with few calls.
+    call_weight_scale: float = 1.0
+    # Number of data-shape variants per request (distinct deterministic
+    # paths through a handler tree).  Low values model rigid control
+    # flow (generated simulator code); higher values model data-rich
+    # request processing.
+    path_variants: int = 8
+    # In sweep mode, probability that a module is inactive on a pass.
+    sweep_skip_prob: float = 0.25
+    # How the dispatch loop picks handlers: "zipf" models request
+    # sampling (servers); "sweep" models a cyclic pass over all
+    # handlers (verilator's generated eval() sweeps the whole design
+    # every clock — the LRU-worst-case access pattern behind its
+    # extreme BTB MPKI).
+    dispatch_pattern: str = "zipf"
+    # Call-graph fanout: mean distinct callees per function.
+    mean_callees: float = 5.0
+    # Fraction of call sites that are indirect (virtual dispatch).
+    indirect_call_fraction: float = 0.20
+    # Mean distinct targets of an indirect branch.
+    mean_indirect_targets: float = 4.0
+    # Probability a conditional back-edge (loop) is taken per iteration.
+    loop_continue_prob: float = 0.70
+    # Fraction of conditional branches that are loop back-edges.
+    loop_fraction: float = 0.10
+    # Branch-kind mix (probabilities over block terminators, excluding
+    # the structural returns every function ends with).
+    branch_mix: Mapping[str, float] = field(
+        default_factory=lambda: dict(DEFAULT_BRANCH_MIX)
+    )
+    # Address-space layout: gap bytes between functions (creates the
+    # large-offset population that motivates coalescing, Figs 14/15).
+    function_gap_bytes: int = 96
+    # Fraction of functions placed in a distant "library" region of the
+    # address space (large prefetch->branch / branch->target offsets).
+    far_region_fraction: float = 0.25
+    far_region_offset: int = 1 << 26
+
+    def __post_init__(self) -> None:
+        if self.functions < 2:
+            raise WorkloadError("an application needs at least two functions")
+        if not 0.0 <= self.far_region_fraction <= 1.0:
+            raise WorkloadError("far_region_fraction must be a probability")
+        total = sum(self.branch_mix.values())
+        if abs(total - 1.0) > 1e-6:
+            raise WorkloadError(
+                f"branch mix for {self.name!r} sums to {total}, expected 1.0"
+            )
+        unknown = set(self.branch_mix) - {k.value for k in BranchKind}
+        if unknown:
+            raise WorkloadError(f"unknown branch kinds in mix: {sorted(unknown)}")
+        if self.dispatch_pattern not in ("zipf", "sweep"):
+            raise WorkloadError(
+                f"dispatch_pattern must be 'zipf' or 'sweep', got {self.dispatch_pattern!r}"
+            )
+
+    def scaled(self, scale: float) -> "AppSpec":
+        """Return a spec whose footprint is multiplied by *scale*."""
+        if scale <= 0:
+            raise WorkloadError("scale must be positive")
+        functions = max(2, int(round(self.functions * scale)))
+        return AppSpec(
+            name=self.name,
+            footprint_mb_target=self.footprint_mb_target,
+            btb_mpki_target=self.btb_mpki_target,
+            frontend_bound_target=self.frontend_bound_target,
+            functions=functions,
+            handler_fraction=self.handler_fraction,
+            mean_blocks_per_function=self.mean_blocks_per_function,
+            mean_block_bytes=self.mean_block_bytes,
+            mean_insn_bytes=self.mean_insn_bytes,
+            # scaled() preserves every behavioural knob below.
+            popularity_exponent=self.popularity_exponent,
+            call_weight_scale=self.call_weight_scale,
+            dispatch_pattern=self.dispatch_pattern,
+            path_variants=self.path_variants,
+            sweep_skip_prob=self.sweep_skip_prob,
+            mean_callees=self.mean_callees,
+            indirect_call_fraction=self.indirect_call_fraction,
+            mean_indirect_targets=self.mean_indirect_targets,
+            loop_continue_prob=self.loop_continue_prob,
+            loop_fraction=self.loop_fraction,
+            branch_mix=dict(self.branch_mix),
+            function_gap_bytes=self.function_gap_bytes,
+            far_region_fraction=self.far_region_fraction,
+            far_region_offset=self.far_region_offset,
+        )
+
+    def make_input(self, index: int) -> WorkloadInput:
+        """Input configuration *index* for this application (0 = training)."""
+        if index < 0:
+            raise WorkloadError("input index must be non-negative")
+        if index == 0:
+            shift = 0.0
+            bias = 0.0
+        else:
+            shift = 0.25 + 0.1 * index
+            bias = 0.15 + 0.05 * index
+        from .rng import derive_seed
+
+        return WorkloadInput(
+            app_name=self.name,
+            index=index,
+            walk_seed=derive_seed(self.name, "input", index),
+            popularity_shift=min(shift, 1.0),
+            bias_shift=min(bias, 1.0),
+        )
+
+    def estimated_static_branches(self) -> int:
+        """Rough static branch count implied by the generator knobs."""
+        return self.functions * self.mean_blocks_per_function
+
+
+def validate_mix(mix: Mapping[str, float]) -> Dict[str, float]:
+    """Normalize and validate a branch-kind mix."""
+    total = sum(mix.values())
+    if total <= 0:
+        raise WorkloadError("branch mix must have positive total weight")
+    return {k: v / total for k, v in mix.items()}

@@ -1,0 +1,53 @@
+"""Shared fixtures: a tiny synthetic app that keeps tests fast."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import SimConfig
+from repro.trace.walker import generate_trace
+from repro.workloads.spec import AppSpec
+from repro.workloads.cfg import Workload, build_workload
+
+
+def make_tiny_spec(name: str = "tinyapp", **overrides) -> AppSpec:
+    """A small application spec (~100 functions) for unit tests."""
+    params = dict(
+        name=name,
+        footprint_mb_target=0.1,
+        btb_mpki_target=10.0,
+        frontend_bound_target=0.5,
+        functions=120,
+        handler_fraction=0.10,
+        mean_blocks_per_function=8,
+        popularity_exponent=0.4,
+    )
+    params.update(overrides)
+    return AppSpec(**params)
+
+
+@pytest.fixture(scope="session")
+def tiny_spec() -> AppSpec:
+    return make_tiny_spec()
+
+
+@pytest.fixture(scope="session")
+def tiny_workload(tiny_spec) -> Workload:
+    return build_workload(tiny_spec, seed=7)
+
+
+@pytest.fixture(scope="session")
+def tiny_trace(tiny_workload):
+    inp = tiny_workload.spec.make_input(0)
+    return generate_trace(tiny_workload, inp, max_instructions=60_000)
+
+
+@pytest.fixture(scope="session")
+def tiny_trace_alt(tiny_workload):
+    inp = tiny_workload.spec.make_input(1)
+    return generate_trace(tiny_workload, inp, max_instructions=60_000)
+
+
+@pytest.fixture()
+def config() -> SimConfig:
+    return SimConfig()

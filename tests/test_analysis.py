@@ -1,0 +1,164 @@
+"""Characterization analyses: 3C, temporal streams, working sets, CDFs."""
+
+import pytest
+
+from repro.analysis.cdf import cdf_at, injection_offsets, offset_cdf
+from repro.analysis.temporal import StreamBreakdown, classify_streams, miss_positions
+from repro.analysis.threec import ThreeCResult, classify_3c, taken_direct_stream
+from repro.analysis.topdown import topdown
+from repro.analysis.working_set import (
+    conditional_working_set,
+    spatial_range_fraction,
+    unconditional_working_set,
+    working_set_curve,
+)
+from repro.config import BTBConfig, SimConfig
+from repro.uarch.results import SimResult
+
+
+class TestThreeC:
+    def test_classes_partition_misses(self, tiny_workload, tiny_trace):
+        res = classify_3c(tiny_workload, tiny_trace, BTBConfig(entries=256, ways=4))
+        assert res.misses == res.compulsory + res.capacity + res.conflict
+        assert res.accesses >= res.misses > 0
+
+    def test_fractions_sum_to_one(self, tiny_workload, tiny_trace):
+        res = classify_3c(tiny_workload, tiny_trace, BTBConfig(entries=256, ways=4))
+        assert sum(res.fractions()) == pytest.approx(1.0)
+
+    def test_bigger_btb_fewer_capacity_misses(self, tiny_workload, tiny_trace):
+        small = classify_3c(tiny_workload, tiny_trace, BTBConfig(entries=256, ways=4))
+        big = classify_3c(tiny_workload, tiny_trace, BTBConfig(entries=4096, ways=4))
+        assert big.capacity < small.capacity
+
+    def test_higher_assoc_fewer_conflicts(self, tiny_workload, tiny_trace):
+        low = classify_3c(tiny_workload, tiny_trace, BTBConfig(entries=256, ways=2))
+        high = classify_3c(tiny_workload, tiny_trace, BTBConfig(entries=256, ways=256))
+        assert high.conflict <= low.conflict
+
+    def test_fully_assoc_has_no_conflicts(self, tiny_workload, tiny_trace):
+        res = classify_3c(tiny_workload, tiny_trace, BTBConfig(entries=256, ways=256))
+        assert res.conflict == 0
+
+    def test_skip_reduces_compulsory(self, tiny_workload, tiny_trace):
+        cold = classify_3c(tiny_workload, tiny_trace, BTBConfig(entries=256, ways=4))
+        warm = classify_3c(
+            tiny_workload, tiny_trace, BTBConfig(entries=256, ways=4), skip=5000
+        )
+        assert warm.compulsory < cold.compulsory
+
+    def test_stream_only_taken_directs(self, tiny_workload, tiny_trace):
+        pcs = set(taken_direct_stream(tiny_workload, tiny_trace))
+        kinds = {
+            tiny_workload.branch_kind[b]
+            for b in set(tiny_trace.blocks)
+            if tiny_workload.branch_pc[b] in pcs
+        }
+        assert all(k.is_direct for k in kinds if k is not None)
+
+    def test_empty_result(self):
+        r = ThreeCResult()
+        assert r.fractions() == (0.0, 0.0, 0.0)
+        assert r.miss_rate() == 0.0
+
+
+class TestTemporalStreams:
+    def test_fractions_sum(self, tiny_workload, tiny_trace):
+        b = classify_streams(
+            tiny_workload, tiny_trace, BTBConfig(entries=256, ways=4)
+        )
+        assert b.total > 0
+        assert sum(b.fractions()) == pytest.approx(1.0)
+
+    def test_miss_positions_monotone(self, tiny_workload, tiny_trace):
+        misses = miss_positions(tiny_workload, tiny_trace, BTBConfig(entries=256, ways=4))
+        positions = [p for p, _ in misses]
+        assert positions == sorted(positions)
+
+    def test_recurring_requires_repetition(self, tiny_workload, tiny_trace):
+        b = classify_streams(
+            tiny_workload, tiny_trace, BTBConfig(entries=256, ways=4),
+            skip_fraction=0.5,
+        )
+        # With the structured walker, a meaningful share of misses
+        # recurs in the same order.
+        assert b.recurring > 0
+
+    def test_empty_breakdown(self):
+        b = StreamBreakdown()
+        assert b.fractions() == (0.0, 0.0, 0.0)
+
+
+class TestWorkingSets:
+    def test_curve_monotone(self, tiny_workload, tiny_trace):
+        points = [1000, 5000, 10000, len(tiny_trace)]
+        curve = working_set_curve(tiny_workload, tiny_trace, points)
+        values = [v for _, v in curve]
+        assert values == sorted(values)
+        assert len(curve) == len(points)
+
+    def test_uncond_subset_of_all(self, tiny_workload, tiny_trace):
+        uncond = unconditional_working_set(tiny_workload, tiny_trace)
+        cond = conditional_working_set(tiny_workload, tiny_trace)
+        total = tiny_trace.stats.unique_branches
+        assert 0 < uncond < total
+        assert 0 < cond < total
+
+    def test_spatial_fraction_in_unit_interval(self, tiny_workload, tiny_trace):
+        frac = spatial_range_fraction(tiny_workload, tiny_trace, range_lines=8)
+        assert 0.0 < frac < 1.0
+
+    def test_wider_range_covers_more(self, tiny_workload, tiny_trace):
+        narrow = spatial_range_fraction(tiny_workload, tiny_trace, range_lines=2)
+        wide = spatial_range_fraction(tiny_workload, tiny_trace, range_lines=64)
+        assert wide <= narrow
+
+
+class TestCDF:
+    def test_cdf_monotone_and_bounded(self):
+        cdf = offset_cdf([1, -5, 100, 3000, -70000])
+        fracs = [f for _, f in cdf]
+        assert all(a <= b for a, b in zip(fracs, fracs[1:]))
+        assert fracs[-1] == pytest.approx(1.0)
+
+    def test_cdf_at(self):
+        cdf = offset_cdf([1, 1, 2000, 1 << 20])
+        assert cdf_at(cdf, 2) == pytest.approx(0.5)
+        assert cdf_at(cdf, 12) == pytest.approx(0.75)
+        assert cdf_at(cdf, 48) == pytest.approx(1.0)
+
+    def test_cdf_empty(self):
+        cdf = offset_cdf([])
+        assert cdf_at(cdf, 48) == 0.0
+
+    def test_injection_offsets_weighted(self, tiny_workload):
+        from repro.core.candidates import CandidateSelection
+
+        sel = CandidateSelection(
+            miss_pc=tiny_workload.branch_pc[10],
+            miss_block=10,
+            sites=((2, 0.9, 3),),
+            total_samples=3,
+        )
+        tb, tt = injection_offsets(tiny_workload, [sel])
+        assert len(tb) == 3 and len(tt) == 3
+        assert tb[0] == sel.miss_pc - tiny_workload.block_start[2]
+
+
+class TestTopdown:
+    def test_buckets_sum_to_one(self):
+        res = SimResult(instructions=600, cycles=1000, cond_mispredicts=5)
+        res.mispredict_cycles = 80
+        td = topdown(res, width=6)
+        assert td.check()
+        assert 0 <= td.retiring <= 1
+
+    def test_perfect_machine_all_retiring(self):
+        res = SimResult(instructions=6000, cycles=1000)
+        td = topdown(res, width=6)
+        assert td.retiring == pytest.approx(1.0)
+        assert td.frontend_bound == pytest.approx(0.0)
+
+    def test_empty(self):
+        td = topdown(SimResult(), width=6)
+        assert td.retiring == 0.0

@@ -1,0 +1,92 @@
+"""Reuse-distance analysis: exactness and LRU equivalence."""
+
+import random
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.analysis.reuse import (
+    INFINITE,
+    btb_miss_curve,
+    distance_histogram,
+    miss_rate_for_capacity,
+    reuse_distances,
+    taken_branch_references,
+)
+from repro.frontend.btb import FullyAssociativeBTB
+
+
+class TestReuseDistances:
+    def test_first_touches_infinite(self):
+        assert reuse_distances([1, 2, 3]) == [INFINITE] * 3
+
+    def test_immediate_rereference_zero(self):
+        assert reuse_distances([1, 1]) == [INFINITE, 0]
+
+    def test_classic_example(self):
+        # a b c a : a's distance is 2 (b, c touched in between)
+        assert reuse_distances(["a", "b", "c", "a"])[-1] == 2
+
+    def test_duplicates_counted_once(self):
+        # a b b a : only b intervenes -> distance 1
+        assert reuse_distances(["a", "b", "b", "a"])[-1] == 1
+
+    def test_interleaved(self):
+        d = reuse_distances([1, 2, 1, 2, 1])
+        assert d == [INFINITE, INFINITE, 1, 1, 1]
+
+    @given(st.lists(st.integers(min_value=0, max_value=30), min_size=1, max_size=300),
+           st.integers(min_value=1, max_value=32))
+    @settings(max_examples=40)
+    def test_matches_lru_simulation(self, refs, capacity):
+        """distance >= capacity  <=>  the reference misses in LRU."""
+        distances = reuse_distances(refs)
+        lru = FullyAssociativeBTB(capacity)
+        for ref, dist in zip(refs, distances):
+            hit = lru.access(ref)
+            expected_hit = dist != INFINITE and dist < capacity
+            assert hit == expected_hit
+
+
+class TestMissRate:
+    def test_all_cold(self):
+        assert miss_rate_for_capacity([INFINITE, INFINITE], 8) == 1.0
+
+    def test_capacity_threshold(self):
+        d = [0, 5, 10, INFINITE]
+        assert miss_rate_for_capacity(d, 6) == 0.5  # 10 and INF miss
+
+    def test_empty(self):
+        assert miss_rate_for_capacity([], 8) == 0.0
+
+    def test_monotone_in_capacity(self):
+        rng = random.Random(1)
+        refs = [rng.randrange(500) for _ in range(4000)]
+        d = reuse_distances(refs)
+        rates = [miss_rate_for_capacity(d, c) for c in (16, 64, 256, 1024)]
+        assert rates == sorted(rates, reverse=True)
+
+
+class TestHistogram:
+    def test_buckets_partition(self):
+        d = [INFINITE, 10, 100, 5000, 100000]
+        h = distance_histogram(d)
+        assert sum(h.values()) == len(d)
+        assert h["cold"] == 1
+        assert h["<64"] == 1
+        assert h[">=65536"] == 1
+
+
+class TestBTBMissCurve:
+    def test_curve_decreasing(self, tiny_workload, tiny_trace):
+        curve = btb_miss_curve(tiny_workload, tiny_trace, capacities=(64, 512, 4096))
+        rates = [r for _, r in curve]
+        assert rates == sorted(rates, reverse=True)
+
+    def test_agrees_with_fa_replay(self, tiny_workload, tiny_trace):
+        refs = taken_branch_references(tiny_workload, tiny_trace)
+        curve = dict(btb_miss_curve(tiny_workload, tiny_trace, capacities=(256,)))
+        lru = FullyAssociativeBTB(256)
+        misses = sum(0 if lru.access(pc) else 1 for pc in refs)
+        assert curve[256] == pytest.approx(misses / len(refs))

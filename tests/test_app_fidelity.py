@@ -1,0 +1,61 @@
+"""Fidelity checks on one full-scale paper application.
+
+These run a real (not tiny) app at reduced trace length, pinning the
+workload properties every figure depends on. Kept to a single app so
+the suite stays fast; the benchmark suite exercises all nine.
+"""
+
+import pytest
+
+from repro.config import SimConfig
+from repro.prefetchers.base import BaselineBTBSystem
+from repro.trace.walker import generate_trace
+from repro.uarch.sim import FrontendSimulator
+from repro.workloads.apps import get_app
+from repro.workloads.cfg import build_workload
+
+
+@pytest.fixture(scope="module")
+def cassandra():
+    spec = get_app("cassandra")
+    wl = build_workload(spec, seed=0)
+    tr = generate_trace(wl, spec.make_input(0), max_instructions=300_000)
+    return spec, wl, tr
+
+
+class TestCassandraFidelity:
+    def test_footprint_exceeds_btb(self, cassandra):
+        """The premise of the whole paper: more live branches than BTB
+        entries."""
+        _, _, tr = cassandra
+        assert tr.stats.unique_branches > 8192
+
+    def test_branch_density_realistic(self, cassandra):
+        _, _, tr = cassandra
+        per_ki = 1000 * tr.stats.dynamic_branches / tr.stats.instructions
+        assert 100 < per_ki < 350  # roughly a branch every 3-10 instructions
+
+    def test_baseline_mpki_band(self, cassandra):
+        _, wl, tr = cassandra
+        cfg = SimConfig()
+        res = FrontendSimulator(wl, cfg, BaselineBTBSystem(cfg)).run(
+            tr, warmup_units=len(tr) // 3
+        )
+        # Fig 3 band: meaningful double-digit-ish MPKI for cassandra.
+        assert 4.0 < res.btb_mpki() < 80.0
+
+    def test_footprint_recurs_within_window(self, cassandra):
+        """Misses must be capacity churn, not one-shot cold code."""
+        import collections
+
+        _, _, tr = cassandra
+        counts = collections.Counter(tr.blocks)
+        import statistics
+
+        med = statistics.median(counts.values())
+        assert med >= 2, "median block should execute multiple times"
+
+    def test_text_footprint_megabyte_scale(self, cassandra):
+        _, wl, _ = cassandra
+        mb = wl.binary.text_bytes() / (1024 * 1024)
+        assert 0.3 < mb < 20.0

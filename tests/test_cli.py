@@ -1,0 +1,34 @@
+"""The `python -m repro.experiments` command-line interface."""
+
+import pytest
+
+from repro.experiments.__main__ import main
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig16" in out and "table3" in out
+
+    def test_no_args_lists(self, capsys):
+        assert main([]) == 0
+        assert "fig01" in capsys.readouterr().out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["fig99"]) == 2
+        assert "unknown" in capsys.readouterr().err
+
+    def test_runs_small_experiment(self, capsys, monkeypatch, tmp_path):
+        # Constrain the global runner to something affordable.
+        monkeypatch.setenv("REPRO_APPS", "wordpress")
+        monkeypatch.setenv("REPRO_TRACE_INSTRUCTIONS", "80000")
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+        import repro.experiments.runner as runner_mod
+
+        monkeypatch.setattr(runner_mod, "_GLOBAL_RUNNER", None)
+        assert main(["fig03", "--save"]) == 0
+        out = capsys.readouterr().out
+        assert "wordpress" in out
+        assert "saved:" in out
+        assert (tmp_path / "fig03.json").exists()

@@ -1,0 +1,130 @@
+"""Injection-site selection: Fig 13's worked example and edge cases."""
+
+import pytest
+
+from repro.config import TwigConfig
+from repro.core.candidates import (
+    CandidateSelection,
+    conditional_probability_table,
+    select_injection_sites,
+)
+from repro.profiling.profile import MissProfile
+
+# Block ids used in the Fig 13 style fixtures.
+A_BLOCK, B, C, D, E = 100, 1, 2, 3, 4
+A_PC = 0xA000
+
+
+def _profile_fig13() -> MissProfile:
+    """A profile shaped like Fig 13: miss at A, predecessors B/C/D/E.
+
+    C has high conditional probability and covers most windows; E
+    covers the remainder.  B is hot (appears everywhere, low
+    probability).  All leads exceed the 20-cycle distance.
+    """
+    prof = MissProfile()
+    # Six misses at A. C appears (timely) in four, E in two.
+    windows = [
+        ((B, 60.0), (C, 40.0)),
+        ((B, 55.0), (C, 42.0)),
+        ((C, 38.0), (B, 30.0)),
+        ((B, 44.0), (C, 33.0)),
+        ((E, 50.0), (D, 25.0)),
+        ((D, 45.0), (E, 30.0)),
+    ]
+    for w in windows:
+        prof.add_sample(A_PC, A_BLOCK, w)
+    # B executes a lot elsewhere too (other misses observed it).
+    for _ in range(12):
+        prof.add_sample(0xB000, 200, ((B, 30.0),))
+    # D executes elsewhere as well, diluting its probability.
+    for _ in range(4):
+        prof.add_sample(0xC000, 300, ((D, 30.0),))
+    return prof
+
+
+class TestFig13Example:
+    def test_selects_c_then_e(self):
+        prof = _profile_fig13()
+        cfg = TwigConfig(prefetch_distance=20, min_confidence=0.05, min_miss_samples=1)
+        sels = select_injection_sites(prof, cfg)
+        sel = next(s for s in sels if s.miss_pc == A_PC)
+        chosen = [blk for blk, _, _ in sel.sites]
+        assert chosen[0] == C  # highest conditional probability
+        assert E in chosen     # covers the remaining misses
+        assert sel.coverage() == 1.0
+
+    def test_probability_table_matches_hand_computation(self):
+        prof = _profile_fig13()
+        rows = {blk: (total, cov, p) for blk, total, cov, p in
+                conditional_probability_table(prof, A_PC, prefetch_distance=20)}
+        # C: 4 covered / 4 occurrences -> 1.0
+        assert rows[C] == (4, 4, 1.0)
+        # B: 4 covered of 16 occurrences -> 0.25
+        assert rows[B][0] == 16
+        assert rows[B][2] == pytest.approx(0.25)
+        # E: 2 of 2 -> 1.0
+        assert rows[E] == (2, 2, 1.0)
+
+    def test_timeliness_constraint_excludes_close_blocks(self):
+        prof = MissProfile()
+        prof.add_sample(A_PC, A_BLOCK, ((B, 5.0), (C, 50.0)))
+        cfg = TwigConfig(prefetch_distance=20, min_miss_samples=1)
+        sels = select_injection_sites(prof, cfg)
+        sel = sels[0]
+        assert [blk for blk, _, _ in sel.sites] == [C]
+
+    def test_no_timely_predecessor_no_selection(self):
+        prof = MissProfile()
+        prof.add_sample(A_PC, A_BLOCK, ((B, 5.0), (C, 3.0)))
+        cfg = TwigConfig(prefetch_distance=20, min_miss_samples=1)
+        assert select_injection_sites(prof, cfg) == []
+
+    def test_min_samples_filter(self):
+        prof = MissProfile()
+        prof.add_sample(A_PC, A_BLOCK, ((B, 50.0),))
+        cfg = TwigConfig(min_miss_samples=2)
+        assert select_injection_sites(prof, cfg) == []
+
+    def test_confidence_floor(self):
+        prof = MissProfile()
+        # B appears in 1 window for A but 100 windows total: P = 0.01,
+        # below the 0.05 floor, so A gets no site (the other miss PC,
+        # for which B has P ~ 0.99, legitimately does).
+        prof.add_sample(A_PC, A_BLOCK, ((B, 50.0),))
+        for _ in range(99):
+            prof.add_sample(0xB000, 200, ((B, 30.0),))
+        cfg = TwigConfig(min_confidence=0.05, min_miss_samples=1)
+        sels = select_injection_sites(prof, cfg)
+        assert all(s.miss_pc != A_PC for s in sels)
+
+    def test_max_sites_cap(self):
+        prof = MissProfile()
+        # Five disjoint predecessor contexts.
+        for i in range(5):
+            prof.add_sample(A_PC, A_BLOCK, ((10 + i, 50.0),))
+        cfg = TwigConfig(min_miss_samples=1)
+        sels = select_injection_sites(prof, cfg, max_sites_per_miss=3)
+        assert len(sels[0].sites) == 3
+        assert sels[0].covered_samples == 3
+
+    def test_duplicate_block_in_window_counts_once(self):
+        prof = MissProfile()
+        prof.add_sample(A_PC, A_BLOCK, ((B, 60.0), (B, 40.0)))
+        cfg = TwigConfig(min_miss_samples=1)
+        sels = select_injection_sites(prof, cfg)
+        blk, prob, covered = sels[0].sites[0]
+        assert blk == B and covered == 1
+
+
+class TestCandidateSelection:
+    def test_coverage_math(self):
+        sel = CandidateSelection(
+            miss_pc=1, miss_block=2, sites=((3, 0.5, 4), (5, 0.4, 2)), total_samples=10
+        )
+        assert sel.covered_samples == 6
+        assert sel.coverage() == 0.6
+
+    def test_empty_total(self):
+        sel = CandidateSelection(miss_pc=1, miss_block=2, sites=(), total_samples=0)
+        assert sel.coverage() == 0.0

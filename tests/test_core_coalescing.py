@@ -1,0 +1,93 @@
+"""Coalesce table construction and bitmask-window packing."""
+
+import pytest
+
+from repro.core.coalescing import (
+    CoalesceTable,
+    build_table,
+    coalescing_efficiency,
+    plan_coalescing,
+)
+from repro.core.plan import InjectionOp, OP_COALESCE
+from repro.errors import PlanError
+from repro.workloads.cfg import KIND_UNCOND
+
+E = lambda pc: (pc, pc + 0x100, KIND_UNCOND)  # noqa: E731
+
+
+class TestCoalesceTable:
+    def test_must_be_sorted(self):
+        with pytest.raises(PlanError):
+            CoalesceTable(entries=(E(0x200), E(0x100)))
+
+    def test_must_be_unique(self):
+        with pytest.raises(PlanError):
+            CoalesceTable(entries=(E(0x100), E(0x100)))
+
+    def test_index_of(self):
+        t = build_table([E(0x300), E(0x100), E(0x200)])
+        assert t.index_of(0x100) == 0
+        assert t.index_of(0x200) == 1
+        assert t.index_of(0x300) == 2
+
+    def test_index_of_absent(self):
+        t = build_table([E(0x100)])
+        with pytest.raises(PlanError):
+            t.index_of(0x999)
+
+    def test_build_dedupes(self):
+        t = build_table([E(0x100), E(0x100), E(0x200)])
+        assert len(t) == 2
+
+
+class TestPlanCoalescing:
+    def test_adjacent_entries_share_one_op(self):
+        per_block = {7: [E(0x100), E(0x108), E(0x110)]}
+        table, ops = plan_coalescing(per_block, coalesce_bits=8)
+        assert len(ops) == 1
+        assert ops[0].kind == OP_COALESCE
+        assert len(ops[0].entries) == 3
+
+    def test_window_limit_splits_ops(self):
+        # Nine entries spread over nine consecutive slots; 8-bit mask
+        # covers at most 8 slots per op.
+        per_block = {7: [E(0x100 + 8 * i) for i in range(9)]}
+        table, ops = plan_coalescing(per_block, coalesce_bits=8)
+        assert len(ops) == 2
+        assert sum(len(op.entries) for op in ops) == 9
+
+    def test_distant_entries_get_separate_ops(self):
+        per_block = {7: [E(0x100), E(0x100000)]}
+        # Another block's entries sit between them in the sorted table.
+        per_block[9] = [E(0x200 + 8 * i) for i in range(20)]
+        table, ops = plan_coalescing(per_block, coalesce_bits=8)
+        block7_ops = [op for op in ops if op.block == 7]
+        assert len(block7_ops) == 2
+
+    def test_one_bit_mask_is_one_entry_per_op(self):
+        per_block = {7: [E(0x100 + 8 * i) for i in range(4)]}
+        _, ops = plan_coalescing(per_block, coalesce_bits=1)
+        assert len(ops) == 4
+        assert all(len(op.entries) == 1 for op in ops)
+
+    def test_wide_mask_packs_everything(self):
+        per_block = {7: [E(0x100 + 8 * i) for i in range(40)]}
+        _, ops = plan_coalescing(per_block, coalesce_bits=64)
+        assert len(ops) == 1
+        assert len(ops[0].entries) == 40
+
+    def test_shared_entries_across_blocks(self):
+        per_block = {1: [E(0x100)], 2: [E(0x100), E(0x108)]}
+        table, ops = plan_coalescing(per_block, coalesce_bits=8)
+        assert len(table) == 2
+        assert {op.block for op in ops} == {1, 2}
+
+    def test_invalid_bits(self):
+        with pytest.raises(PlanError):
+            plan_coalescing({1: [E(0x100)]}, coalesce_bits=0)
+
+    def test_efficiency_metric(self):
+        per_block = {7: [E(0x100 + 8 * i) for i in range(6)]}
+        _, ops = plan_coalescing(per_block, coalesce_bits=8)
+        assert coalescing_efficiency(ops) == 6.0
+        assert coalescing_efficiency([]) == 0.0

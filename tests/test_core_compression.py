@@ -1,0 +1,62 @@
+"""Offset compression for brprefetch operands."""
+
+import pytest
+
+from repro.core.compression import (
+    EncodedPrefetch,
+    encodable,
+    encode_offsets,
+    required_bits,
+)
+
+
+class TestEncodeOffsets:
+    def test_nearby_encodes(self):
+        enc = encode_offsets(0x1000, 0x1100, 0x1200, offset_bits=12)
+        assert enc == EncodedPrefetch(0x100, 0x100, 12)
+
+    def test_far_branch_fails(self):
+        assert encode_offsets(0x1000, 0x100000, 0x100100, 12) is None
+
+    def test_far_target_fails(self):
+        assert encode_offsets(0x1000, 0x1100, 0x5000000, 12) is None
+
+    def test_negative_offsets_encode(self):
+        enc = encode_offsets(0x2000, 0x1F00, 0x1E00, 12)
+        assert enc is not None
+        assert enc.prefetch_to_branch == -0x100
+        assert enc.branch_to_target == -0x100
+
+    def test_boundary_values(self):
+        assert encode_offsets(0, 2047, 2047 * 2, 12) is not None
+        assert encode_offsets(0, 2048, 2048, 12) is None
+        assert encode_offsets(2048, 0, 0, 12) is not None  # -2048 fits
+
+    def test_wider_encoding_accepts_more(self):
+        assert encode_offsets(0, 1 << 20, 1 << 20, 12) is None
+        assert encode_offsets(0, 1 << 20, 1 << 20, 24) is not None
+
+
+class TestEncodable:
+    def test_matches_encode(self):
+        cases = [
+            (0x1000, 0x1100, 0x1200, 12),
+            (0x1000, 0x100000, 0x100100, 12),
+        ]
+        for args in cases:
+            assert encodable(*args) == (encode_offsets(*args) is not None)
+
+
+class TestRequiredBits:
+    def test_symmetric_pair(self):
+        b1, b2 = required_bits(0x1000, 0x1010, 0x1020)
+        assert b1 == b2
+
+    def test_zero_offsets(self):
+        b1, b2 = required_bits(0x1000, 0x1000, 0x1000)
+        assert b1 == 1 and b2 == 1
+
+    def test_larger_distance_needs_more_bits(self):
+        near = required_bits(0, 100, 200)
+        far = required_bits(0, 100_000, 200_000)
+        assert far[0] > near[0] and far[1] > near[1]

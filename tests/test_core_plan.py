@@ -1,0 +1,95 @@
+"""PrefetchPlan data model and overhead accounting."""
+
+import pytest
+
+from repro.core.plan import (
+    BRCOALESCE_BYTES,
+    BRPREFETCH_BYTES,
+    InjectionOp,
+    OP_COALESCE,
+    OP_PREFETCH,
+    PrefetchPlan,
+    TABLE_ENTRY_BYTES,
+)
+from repro.errors import PlanError
+from repro.workloads.cfg import KIND_COND, KIND_UNCOND
+
+
+def _pf(block=1, pc=0x100):
+    return InjectionOp(
+        kind=OP_PREFETCH,
+        block=block,
+        entries=((pc, pc + 8, KIND_UNCOND),),
+        bytes_cost=BRPREFETCH_BYTES,
+    )
+
+
+def _co(block=1, n=3):
+    return InjectionOp(
+        kind=OP_COALESCE,
+        block=block,
+        entries=tuple((0x200 + 8 * i, 0x400, KIND_COND) for i in range(n)),
+        bytes_cost=BRCOALESCE_BYTES,
+    )
+
+
+class TestInjectionOp:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(PlanError):
+            InjectionOp(kind="nop", block=1, entries=((1, 2, 3),), bytes_cost=4)
+
+    def test_empty_entries_rejected(self):
+        with pytest.raises(PlanError):
+            InjectionOp(kind=OP_PREFETCH, block=1, entries=(), bytes_cost=4)
+
+    def test_brprefetch_single_entry(self):
+        with pytest.raises(PlanError):
+            InjectionOp(
+                kind=OP_PREFETCH,
+                block=1,
+                entries=((1, 2, 3), (4, 5, 6)),
+                bytes_cost=4,
+            )
+
+
+class TestPrefetchPlan:
+    def test_op_counting(self):
+        plan = PrefetchPlan(app_name="t")
+        plan.add_op(_pf(block=1))
+        plan.add_op(_pf(block=1, pc=0x180))
+        plan.add_op(_co(block=2, n=4))
+        assert plan.total_ops() == 3
+        assert plan.total_prefetch_entries() == 6
+        assert plan.static_instruction_count() == 3
+
+    def test_static_bytes(self):
+        plan = PrefetchPlan(app_name="t")
+        plan.add_op(_pf())
+        plan.add_op(_co(n=2))
+        plan.table = tuple((0x200 + 8 * i, 0x400, KIND_COND) for i in range(2))
+        expected = BRPREFETCH_BYTES + BRCOALESCE_BYTES + 2 * TABLE_ENTRY_BYTES
+        assert plan.static_bytes() == expected
+
+    def test_static_overhead_fraction(self):
+        plan = PrefetchPlan(app_name="t")
+        plan.add_op(_pf())
+        assert plan.static_overhead_fraction(600) == BRPREFETCH_BYTES / 600
+
+    def test_overhead_rejects_zero_text(self):
+        with pytest.raises(PlanError):
+            PrefetchPlan(app_name="t").static_overhead_fraction(0)
+
+    def test_sim_ops_flattening(self):
+        plan = PrefetchPlan(app_name="t")
+        plan.add_op(_pf(block=3))
+        plan.add_op(_co(block=3, n=2))
+        sim = plan.sim_ops()
+        entries, extra, n_ops = sim[3]
+        assert len(entries) == 3
+        assert extra == 2 and n_ops == 2
+
+    def test_describe(self):
+        plan = PrefetchPlan(app_name="demo")
+        plan.add_op(_pf())
+        text = plan.describe()
+        assert "demo" in text and "1 brprefetch" in text

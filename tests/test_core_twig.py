@@ -1,0 +1,120 @@
+"""End-to-end Twig pipeline on the tiny workload."""
+
+import pytest
+
+from repro.config import SimConfig
+from repro.core.twig import TwigOptimizer, build_plan, run_with_plan
+from repro.prefetchers.base import BaselineBTBSystem
+from repro.profiling.collector import collect_profile
+from repro.uarch.sim import simulate
+
+
+@pytest.fixture(scope="module")
+def pipeline(request):
+    """Workload, traces, baseline result, profile, plan (built once)."""
+    from repro.trace.walker import generate_trace
+    from repro.workloads.cfg import build_workload
+    from tests.conftest import make_tiny_spec
+
+    # A stressed tiny app: small BTB makes misses plentiful.
+    spec = make_tiny_spec(name="twigapp", functions=200, popularity_exponent=0.2)
+    wl = build_workload(spec, seed=3)
+    train = generate_trace(wl, spec.make_input(0), max_instructions=120_000)
+    test = generate_trace(wl, spec.make_input(1), max_instructions=120_000)
+    cfg = SimConfig().with_btb(entries=512)
+    base = simulate(wl, test, cfg, BaselineBTBSystem(cfg))
+    profile = collect_profile(wl, train, cfg)
+    plan = build_plan(wl, profile, cfg)
+    return wl, train, test, cfg, base, profile, plan
+
+
+class TestBuildPlan:
+    def test_plan_nonempty(self, pipeline):
+        *_, profile, plan = pipeline
+        assert plan.total_ops() > 0
+        assert plan.misses_with_site > 0
+        assert plan.misses_with_site <= plan.misses_targeted == len(profile.miss_pcs())
+
+    def test_plan_entries_are_real_branches(self, pipeline):
+        wl, *_, plan = pipeline
+        pcs = set(wl.branch_pc)
+        for ops in plan.ops_by_block.values():
+            for op in ops:
+                for pc, target, kind in op.entries:
+                    assert pc in pcs
+
+    def test_plan_targets_match_binary(self, pipeline):
+        wl, *_, plan = pipeline
+        target_of = {
+            wl.branch_pc[b]: wl.branch_target[b]
+            for b in range(wl.n_blocks)
+            if wl.branch_pc[b] >= 0
+        }
+        for ops in plan.ops_by_block.values():
+            for op in ops:
+                for pc, target, _ in op.entries:
+                    assert target == target_of[pc]
+
+    def test_coalesce_table_sorted(self, pipeline):
+        *_, plan = pipeline
+        pcs = [e[0] for e in plan.table]
+        assert pcs == sorted(pcs)
+
+    def test_software_only_plan_has_no_table(self, pipeline):
+        wl, train, test, cfg, base, profile, _ = pipeline
+        sw_cfg = cfg.with_twig(enable_coalescing=False)
+        plan = build_plan(wl, profile, sw_cfg)
+        assert plan.table == ()
+        assert plan.total_ops() > 0
+
+    def test_coalescing_shrinks_static_bytes(self, pipeline):
+        wl, train, test, cfg, base, profile, full_plan = pipeline
+        sw_cfg = cfg.with_twig(enable_coalescing=False)
+        sw_plan = build_plan(wl, profile, sw_cfg)
+        # Coalescing exists to reduce code bloat: fewer injected bytes
+        # per covered entry.
+        full_per_entry = full_plan.static_bytes() / max(
+            1, full_plan.total_prefetch_entries()
+        )
+        sw_per_entry = sw_plan.static_bytes() / max(1, sw_plan.total_prefetch_entries())
+        assert full_per_entry <= sw_per_entry
+
+
+class TestRunWithPlan:
+    def test_twig_reduces_misses(self, pipeline):
+        wl, train, test, cfg, base, profile, plan = pipeline
+        res = run_with_plan(wl, test, plan, cfg)
+        assert res.btb_mpki() < base.btb_mpki()
+
+    def test_twig_speeds_up(self, pipeline):
+        wl, train, test, cfg, base, profile, plan = pipeline
+        res = run_with_plan(wl, test, plan, cfg)
+        assert res.cycles < base.cycles
+
+    def test_dynamic_overhead_positive_but_bounded(self, pipeline):
+        wl, train, test, cfg, base, profile, plan = pipeline
+        res = run_with_plan(wl, test, plan, cfg)
+        assert 0.0 < res.dynamic_overhead() < 0.3
+
+    def test_prefetch_ops_executed(self, pipeline):
+        wl, train, test, cfg, base, profile, plan = pipeline
+        res = run_with_plan(wl, test, plan, cfg)
+        assert res.prefetch_ops_executed > 0
+        assert res.prefetches_issued >= res.prefetches_used > 0
+
+    def test_same_input_at_least_as_good(self, pipeline):
+        wl, train, test, cfg, base, profile, plan = pipeline
+        cross = run_with_plan(wl, test, plan, cfg)
+        same_profile = collect_profile(wl, test, cfg)
+        same_plan = build_plan(wl, same_profile, cfg)
+        same = run_with_plan(wl, test, same_plan, cfg)
+        assert same.btb_mpki() <= cross.btb_mpki() * 1.1
+
+
+class TestTwigOptimizer:
+    def test_bundles_pipeline(self, pipeline):
+        wl, train, test, cfg, base, profile, _ = pipeline
+        opt = TwigOptimizer(wl, cfg)
+        plan = opt.plan_from_profile(profile)
+        res = opt.simulate(test, plan)
+        assert res.btb_covered_misses > 0

@@ -1,0 +1,55 @@
+"""The example scripts run end to end (smoke level, tiny budgets)."""
+
+import subprocess
+import sys
+import os
+
+import pytest
+
+EXAMPLES = os.path.join(os.path.dirname(__file__), "..", "examples")
+
+
+def _run(script, *args, timeout=240):
+    return subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES, script), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+
+
+@pytest.mark.slow
+class TestExamples:
+    def test_quickstart(self):
+        proc = _run("quickstart.py", "wordpress", "80000")
+        assert proc.returncode == 0, proc.stderr
+        assert "speedup" in proc.stdout
+        assert "BTB MPKI" in proc.stdout
+
+    def test_characterization(self):
+        proc = _run("btb_characterization.py", "wordpress", "300000")
+        assert proc.returncode == 0, proc.stderr
+        assert "3C miss classification" in proc.stdout
+        assert "Temporal miss streams" in proc.stdout
+
+    def test_injection_walkthrough(self):
+        proc = _run("injection_walkthrough.py", "wordpress")
+        assert proc.returncode == 0, proc.stderr
+        assert "Conditional-probability table" in proc.stdout
+        assert "Chosen injection sites" in proc.stdout
+
+    def test_design_space_sweep(self):
+        proc = _run("design_space_sweep.py", "wordpress", "120000")
+        assert proc.returncode == 0, proc.stderr
+        assert "Prefetch distance sweep" in proc.stdout
+        assert "Coalesce bitmask sweep" in proc.stdout
+
+    def test_reuse_distance_analysis(self):
+        proc = _run("reuse_distance_analysis.py", "wordpress", "150000")
+        assert proc.returncode == 0, proc.stderr
+        assert "Reuse-distance histogram" in proc.stdout
+        # The stack-distance prediction must agree with the LRU replay.
+        lines = proc.stdout.splitlines()
+        pred = next(l for l in lines if "prediction" in l).split()[-1]
+        replay = next(l for l in lines if "LRU replay" in l).split()[-1]
+        assert pred == replay

@@ -1,0 +1,107 @@
+"""Experiment runner, registry, and report rendering.
+
+These tests shrink the run via environment knobs so they stay fast;
+the full-scale numbers are produced by the benchmark suite.
+"""
+
+import json
+
+import pytest
+
+from repro.errors import ReproError
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+from repro.experiments.report import format_per_app, format_series, save_result
+from repro.experiments.runner import ExperimentRunner, RunnerSettings
+
+
+@pytest.fixture(scope="module")
+def small_runner():
+    settings = RunnerSettings(
+        trace_instructions=120_000,
+        apps=("wordpress",),
+        sample_rate=1,
+    )
+    return ExperimentRunner(settings)
+
+
+class TestRunnerCaching:
+    def test_workload_cached(self, small_runner):
+        assert small_runner.workload("wordpress") is small_runner.workload("wordpress")
+
+    def test_trace_cached_per_input(self, small_runner):
+        t0 = small_runner.trace("wordpress", 0)
+        t1 = small_runner.trace("wordpress", 1)
+        assert t0 is small_runner.trace("wordpress", 0)
+        assert t0 is not t1
+
+    def test_result_cached(self, small_runner):
+        a = small_runner.run("wordpress", "baseline")
+        b = small_runner.run("wordpress", "baseline")
+        assert a is b
+
+    def test_unknown_system_rejected(self, small_runner):
+        with pytest.raises(ReproError):
+            small_runner.run("wordpress", "magic")
+
+    def test_distinct_configs_not_conflated(self, small_runner):
+        from repro.config import SimConfig
+
+        a = small_runner.run("wordpress", "baseline")
+        b = small_runner.run(
+            "wordpress", "baseline", config=SimConfig().with_btb(entries=2048)
+        )
+        assert a is not b
+        assert b.btb_misses >= a.btb_misses
+
+    def test_speedup_and_reduction_helpers(self, small_runner):
+        s = small_runner.speedup("wordpress", "ideal_btb")
+        assert s > 0
+        red = small_runner.miss_reduction("wordpress", "ideal_btb")
+        assert red == pytest.approx(1.0)
+
+    def test_all_systems_run(self, small_runner):
+        for system in ("shotgun", "confluence", "twig"):
+            res = small_runner.run("wordpress", system)
+            assert res.cycles > 0
+
+
+class TestRegistry:
+    def test_contains_every_figure_and_table(self):
+        expected = {f"fig{n:02d}" for n in range(1, 29) if n != 13}
+        expected |= {"table2", "table3"}
+        assert set(EXPERIMENTS) == expected
+
+    def test_unknown_experiment(self):
+        with pytest.raises(ReproError):
+            run_experiment("fig99")
+
+    def test_experiment_metadata(self):
+        for exp in EXPERIMENTS.values():
+            assert exp.title
+            assert exp.paper_claim
+            assert callable(exp.run)
+
+    def test_fig03_runs_on_small_runner(self, small_runner):
+        result = run_experiment("fig03", runner=small_runner)
+        assert "wordpress" in result["per_app"]
+        assert result["average"] > 0
+        assert result["paper"]["average"] == 29.7
+
+
+class TestReport:
+    def test_format_per_app_scalar(self):
+        text = format_per_app("T", {"a": 1.5, "b": 2.5}, paper={"x": 1})
+        assert "a" in text and "1.50" in text and "paper" in text
+
+    def test_format_per_app_nested(self):
+        text = format_per_app("T", {"a": {"x": 1.0, "y": 2.0}})
+        assert "x=1.00" in text
+
+    def test_format_series(self):
+        text = format_series("S", {8: {"twig": 40.0}, 64: {"twig": 45.0}})
+        assert "8" in text and "twig=40.00" in text
+
+    def test_save_result(self, tmp_path):
+        path = save_result("figXX", {"average": 1.0}, directory=str(tmp_path))
+        with open(path) as fh:
+            assert json.load(fh)["average"] == 1.0

@@ -1,0 +1,119 @@
+"""Extensions beyond the paper's evaluated systems: Boomerang and the
+delta-compressed BTB (§5's related-work claims)."""
+
+import pytest
+
+from repro.config import SimConfig
+from repro.frontend.compressed_btb import (
+    COMPRESSED_DELTA_BITS,
+    CompressedBTB,
+    compressed_geometry,
+)
+from repro.isa.branches import BranchKind
+from repro.prefetchers.base import BaselineBTBSystem, LOOKUP_COVERED, LOOKUP_MISS
+from repro.prefetchers.boomerang import BoomerangBTBSystem
+from repro.uarch.sim import simulate
+from repro.workloads.cfg import KIND_UNCOND
+
+K = BranchKind.UNCOND_DIRECT
+
+
+class TestBoomerang:
+    def test_predecode_installs_via_buffer(self, tiny_workload):
+        boom = BoomerangBTBSystem(tiny_workload, SimConfig())
+        br = next(b for b in tiny_workload.binary.branches() if b.kind.is_direct)
+        line = br.pc // 64
+        boom.on_line_fetched(line, now=100)
+        # Too early: line/predecode not finished.
+        assert boom.lookup(br.pc, KIND_UNCOND, 100) == LOOKUP_MISS
+        assert boom.lookup(br.pc, KIND_UNCOND, 103) == LOOKUP_COVERED
+
+    def test_runs_in_simulator(self, tiny_workload, tiny_trace):
+        cfg = SimConfig()
+        base = simulate(tiny_workload, tiny_trace, cfg, BaselineBTBSystem(cfg))
+        boom = simulate(
+            tiny_workload, tiny_trace, cfg, BoomerangBTBSystem(tiny_workload, cfg)
+        )
+        assert boom.instructions == base.instructions
+        assert boom.prefetches_issued > 0
+
+    def test_resident_branches_not_reinserted(self, tiny_workload):
+        boom = BoomerangBTBSystem(tiny_workload, SimConfig())
+        br = next(iter(tiny_workload.binary.branches()))
+        boom.fill(br.pc, br.target, KIND_UNCOND, 0)
+        before = boom.buffer.inserts
+        boom.on_line_fetched(br.pc // 64, now=10)
+        # The demand-resident branch is skipped; others in the line may insert.
+        assert br.pc not in boom.buffer or boom.buffer.inserts == before
+
+
+class TestCompressedGeometry:
+    def test_more_total_entries_than_budget(self):
+        comp, full = compressed_geometry(8192)
+        assert comp.entries + full.entries > 8192
+
+    def test_partitions_are_valid_geometries(self):
+        comp, full = compressed_geometry(8192)
+        assert comp.sets & (comp.sets - 1) == 0
+        assert full.sets & (full.sets - 1) == 0
+
+    def test_small_budget(self):
+        comp, full = compressed_geometry(1024)
+        assert comp.entries >= 512
+        assert full.entries >= 256
+
+
+class TestCompressedBTB:
+    def test_near_target_goes_compressed(self):
+        btb = CompressedBTB(1024)
+        btb.insert(0x1000, 0x1100, K)
+        assert btb.compressed.peek(0x1000) is not None
+        assert btb.full.peek(0x1000) is None
+
+    def test_far_target_goes_full(self):
+        btb = CompressedBTB(1024)
+        far = 0x1000 + (1 << (COMPRESSED_DELTA_BITS + 4))
+        btb.insert(0x1000, far, K)
+        assert btb.full.peek(0x1000) is not None
+
+    def test_lookup_probes_both(self):
+        btb = CompressedBTB(1024)
+        btb.insert(0x1000, 0x1100, K)
+        btb.insert(0x2000, 0x2000 + (1 << 20), K)
+        assert btb.lookup(0x1000) is not None
+        assert btb.lookup(0x2000) is not None
+        assert btb.hits == 2
+
+    def test_counters(self):
+        btb = CompressedBTB(1024)
+        btb.lookup(0x999)
+        assert btb.misses == 1
+
+    def test_holds_more_than_uncompressed_budget(self, tiny_workload, tiny_trace):
+        """The point of compression: fewer misses in equal storage."""
+        cfg = SimConfig().with_btb(entries=1024)
+        plain = simulate(tiny_workload, tiny_trace, cfg, BaselineBTBSystem(cfg))
+        comp = simulate(
+            tiny_workload,
+            tiny_trace,
+            cfg,
+            BaselineBTBSystem(cfg, btb=CompressedBTB(1024)),
+        )
+        assert comp.btb_misses <= plain.btb_misses
+
+    def test_twig_composes_with_compressed_btb(self, tiny_workload, tiny_trace):
+        """§5: Twig 'should be just as effective' on a compressed BTB."""
+        from repro.core.twig import build_plan
+        from repro.profiling.collector import collect_profile
+
+        cfg = SimConfig().with_btb(entries=512)
+        profile = collect_profile(tiny_workload, tiny_trace, cfg)
+        plan = build_plan(tiny_workload, profile, cfg)
+
+        base_sys = BaselineBTBSystem(cfg, btb=CompressedBTB(512))
+        base = simulate(tiny_workload, tiny_trace, cfg, base_sys)
+        twig_sys = BaselineBTBSystem(cfg, btb=CompressedBTB(512))
+        twig_sys.install_ops(plan.sim_ops())
+        twig = simulate(tiny_workload, tiny_trace, cfg, twig_sys)
+        assert twig.btb_covered_misses > 0
+        assert twig.btb_mpki() <= base.btb_mpki()

@@ -1,0 +1,146 @@
+"""Structural contracts of the figure computations.
+
+A stub runner with canned results exercises every figNN function's
+aggregation logic (means, normalizations, series shapes) without any
+simulation, so regressions in the harness itself surface instantly.
+"""
+
+from typing import Dict
+
+import pytest
+
+from repro.config import SimConfig
+from repro.experiments import figures
+from repro.uarch.results import SimResult
+
+
+class StubRunner:
+    """Mimics ExperimentRunner with deterministic canned numbers."""
+
+    def __init__(self, apps=("alpha", "beta")):
+        self.apps = tuple(apps)
+        self.calls: list = []
+
+    # --- canned simulation results ------------------------------------
+    def run(self, app, system, input_idx=None, config=None,
+            profile_input=None, cache_tag=""):
+        self.calls.append((app, system, input_idx, cache_tag))
+        cycles = {
+            "baseline": 1000,
+            "ideal_btb": 800,
+            "ideal_icache": 850,
+            "shotgun": 990,
+            "confluence": 980,
+            "twig": 900,
+        }[system]
+        # Config perturbations nudge cycles so sweeps are non-constant.
+        if config is not None:
+            cycles += (config.frontend.btb.entries != 8192) * 5
+            cycles += (config.twig.prefetch_distance - 20)
+        res = SimResult(label=f"{app}/{system}", instructions=6000, cycles=cycles)
+        res.btb_accesses = 1000
+        res.btb_misses = {"baseline": 100, "ideal_btb": 0}.get(system, 60)
+        res.btb_covered_misses = 40 if system == "twig" else 0
+        res.btb_accesses_by_kind = {
+            "cond_direct": 700, "uncond_direct": 150, "call_direct": 150
+        }
+        res.btb_misses_by_kind = {
+            "cond_direct": 50, "uncond_direct": 25, "call_direct": 25
+        }
+        res.prefetches_issued = 100 if system != "baseline" else 0
+        res.prefetches_used = 30 if system != "baseline" else 0
+        res.extra_dynamic_instructions = 120 if system == "twig" else 0
+        res.mispredict_cycles = 50
+        return res
+
+    def speedup(self, app, system, **kw):
+        base = self.run(app, "baseline", input_idx=kw.get("input_idx"))
+        return self.run(app, system, **kw).speedup_over(base)
+
+    def miss_reduction(self, app, system, **kw):
+        base = self.run(app, "baseline", input_idx=kw.get("input_idx"))
+        res = self.run(app, system, **kw)
+        return max(0.0, 1.0 - res.btb_mpki() / base.btb_mpki())
+
+
+@pytest.fixture()
+def stub():
+    return StubRunner()
+
+
+class TestScalarFigures:
+    def test_fig01_structure(self, stub):
+        r = figures.fig01_frontend_bound(stub)
+        assert set(r["per_app"]) == {"alpha", "beta"}
+        assert 0 <= r["average"] <= 1
+
+    def test_fig02_values(self, stub):
+        r = figures.fig02_limit_study(stub)
+        assert r["average"]["ideal_btb"] == pytest.approx(25.0)
+        assert r["average"]["ideal_icache"] == pytest.approx(1000 / 850 * 100 - 100)
+
+    def test_fig03(self, stub):
+        r = figures.fig03_btb_mpki(stub)
+        assert r["per_app"]["alpha"] == pytest.approx(100 / 6)
+
+    def test_fig07_normalized(self, stub):
+        r = figures.fig07_access_breakdown(stub)
+        assert sum(r["average"].values()) == pytest.approx(1.0)
+
+    def test_fig08_normalized(self, stub):
+        r = figures.fig08_miss_breakdown(stub)
+        assert sum(r["average"].values()) == pytest.approx(1.0)
+
+    def test_fig09(self, stub):
+        r = figures.fig09_prior_speedups(stub)
+        assert r["average"]["shotgun"] == pytest.approx(1000 / 990 * 100 - 100)
+
+    def test_fig16_structure(self, stub):
+        r = figures.fig16_speedup(stub)
+        avg = r["average"]
+        assert avg["ideal_btb"] > avg["twig"] > avg["shotgun"]
+        assert set(r["per_app"]["alpha"]) == {"twig", "ideal_btb", "shotgun", "btb_32k"}
+
+    def test_fig17_uses_miss_reduction(self, stub):
+        r = figures.fig17_coverage(stub)
+        assert r["average"]["twig"] == pytest.approx(1.0 - 60 / 100)
+
+    def test_fig19_accuracy(self, stub):
+        r = figures.fig19_accuracy(stub)
+        assert r["average"]["twig"] == pytest.approx(0.3)
+
+    def test_fig22_overhead(self, stub):
+        r = figures.fig22_dynamic_overhead(stub)
+        assert r["average"] == pytest.approx(120 / 5880)
+
+
+class TestSweepFigures:
+    def test_fig26_series_shape(self, stub):
+        r = figures.fig26_prefetch_distance(stub, distances=(0, 20), apps=("alpha",))
+        assert set(r["series"]) == {0, 20}
+        assert "twig" in r["series"][0]
+
+    def test_fig28_series_shape(self, stub):
+        r = figures.fig28_ftq_runahead(stub, ftq_sizes=(4, 24), apps=("alpha",))
+        assert set(r["series"]) == {4, 24}
+
+    def test_pct_of_ideal_zero_guard(self, stub):
+        # ideal == baseline -> 0% rather than a division blowup.
+        class NoGainStub(StubRunner):
+            def run(self, app, system, **kw):
+                res = super().run(app, system, **kw)
+                res.cycles = 1000
+                return res
+
+        v = figures._pct_of_ideal(NoGainStub(), "alpha", "twig", SimConfig(), "t")
+        assert v == 0.0
+
+
+class TestCrossInput:
+    def test_fig20_normalizes_by_ideal(self, stub):
+        r = figures.fig20_cross_input(stub, test_inputs=(1,))
+        vals = r["per_app"]["alpha"]
+        # twig speedup / ideal speedup = (1000/900-1)/(1000/800-1)
+        expected = 100 * (1000 / 900 - 1) / (1000 / 800 - 1)
+        assert vals["training_profile"][0] == pytest.approx(expected)
+        assert vals["same_input"][0] == pytest.approx(expected)

@@ -1,0 +1,138 @@
+"""BTB structures: set-associative LRU, fully-associative, ideal."""
+
+import pytest
+
+from repro.config import BTBConfig
+from repro.frontend.btb import BTB, FullyAssociativeBTB, IdealBTB
+from repro.isa.branches import BranchKind
+
+K = BranchKind.UNCOND_DIRECT
+
+
+@pytest.fixture()
+def small_btb():
+    # 8 entries, 2 ways -> 4 sets.
+    return BTB(BTBConfig(entries=8, ways=2, entry_bytes=8))
+
+
+class TestBTBBasics:
+    def test_miss_then_hit(self, small_btb):
+        assert small_btb.lookup(0x100) is None
+        small_btb.insert(0x100, 0x200, K)
+        entry = small_btb.lookup(0x100)
+        assert entry is not None and entry.target == 0x200
+
+    def test_counters(self, small_btb):
+        small_btb.lookup(0x100)
+        small_btb.insert(0x100, 0x200, K)
+        small_btb.lookup(0x100)
+        assert small_btb.lookups == 2
+        assert small_btb.hits == 1
+        assert small_btb.misses == 1
+        assert small_btb.hit_rate() == 0.5
+
+    def test_insert_updates_existing_target(self, small_btb):
+        small_btb.insert(0x100, 0x200, K)
+        small_btb.insert(0x100, 0x300, K)
+        assert small_btb.peek(0x100).target == 0x300
+        assert len(small_btb) == 1
+
+    def test_peek_no_side_effects(self, small_btb):
+        small_btb.insert(0x100, 0x200, K)
+        small_btb.peek(0x100)
+        assert small_btb.lookups == 0
+
+    def test_invalidate(self, small_btb):
+        small_btb.insert(0x100, 0x200, K)
+        assert small_btb.invalidate(0x100)
+        assert not small_btb.invalidate(0x100)
+        assert 0x100 not in small_btb
+
+    def test_contains(self, small_btb):
+        small_btb.insert(0x104, 0, K)
+        assert 0x104 in small_btb
+        assert 0x108 not in small_btb
+
+
+class TestLRUReplacement:
+    def test_eviction_within_set(self, small_btb):
+        # Same set: pcs congruent mod 4 (4 sets), 2 ways.
+        pcs = [0x10, 0x14, 0x18]  # 0x10 % 4 == 0, 0x14 % 4 == 0, 0x18 % 4 == 0
+        for pc in pcs:
+            small_btb.insert(pc, 0, K)
+        assert 0x10 not in small_btb  # LRU victim
+        assert 0x14 in small_btb and 0x18 in small_btb
+        assert small_btb.evictions == 1
+
+    def test_lookup_refreshes_lru(self, small_btb):
+        small_btb.insert(0x10, 0, K)
+        small_btb.insert(0x14, 0, K)
+        small_btb.lookup(0x10)          # refresh 0x10
+        small_btb.insert(0x18, 0, K)    # evicts 0x14 now
+        assert 0x10 in small_btb
+        assert 0x14 not in small_btb
+
+    def test_different_sets_do_not_interfere(self, small_btb):
+        for i in range(8):
+            small_btb.insert(i, 0, K)   # pcs 0..7 spread over 4 sets
+        assert len(small_btb) == 8
+        assert small_btb.evictions == 0
+
+
+class TestPrefetchAccounting:
+    def test_prefetch_fill_counted(self, small_btb):
+        small_btb.insert(0x10, 0, K, from_prefetch=True)
+        assert small_btb.prefetch_fills == 1
+        assert small_btb.demand_fills == 0
+
+    def test_prefetch_hit_counted_once(self, small_btb):
+        small_btb.insert(0x10, 0, K, from_prefetch=True)
+        small_btb.lookup(0x10)
+        small_btb.lookup(0x10)
+        assert small_btb.prefetch_hits == 1
+
+    def test_demand_fill_clears_visibility(self, small_btb):
+        small_btb.insert(0x10, 0, K, from_prefetch=True, visible_cycle=100.0)
+        small_btb.insert(0x10, 0x44, K)  # demand refresh
+        assert small_btb.peek(0x10).visible_cycle == 0.0
+
+    def test_reset_counters(self, small_btb):
+        small_btb.lookup(0x10)
+        small_btb.reset_counters()
+        assert small_btb.lookups == 0 and small_btb.misses == 0
+
+
+class TestFullyAssociative:
+    def test_hit_after_access(self):
+        fa = FullyAssociativeBTB(4)
+        assert not fa.access(1)
+        assert fa.access(1)
+
+    def test_lru_eviction_order(self):
+        fa = FullyAssociativeBTB(2)
+        fa.access(1)
+        fa.access(2)
+        fa.access(1)      # refresh 1
+        fa.access(3)      # evicts 2
+        assert fa.access(1)
+        assert not fa.access(2)
+
+    def test_seen_before_tracks_forever(self):
+        fa = FullyAssociativeBTB(1)
+        fa.access(1)
+        fa.access(2)  # evicts 1
+        assert fa.seen_before(1)
+        assert not fa.seen_before(99)
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ValueError):
+            FullyAssociativeBTB(0)
+
+
+class TestIdealBTB:
+    def test_never_misses(self):
+        ideal = IdealBTB()
+        for pc in range(100):
+            assert ideal.lookup(pc)
+        assert ideal.misses == 0
+        assert ideal.hits == 100

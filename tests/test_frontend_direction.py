@@ -1,0 +1,96 @@
+"""TAGE-lite direction predictor behaviour."""
+
+import random
+
+import pytest
+
+from repro.config import FrontendConfig
+from repro.frontend.direction import TageLite, _geometric_lengths
+
+
+class TestGeometricLengths:
+    def test_single_table(self):
+        assert _geometric_lengths(1, 4, 128) == [4]
+
+    def test_endpoints(self):
+        lengths = _geometric_lengths(6, 4, 128)
+        assert lengths[0] == 4
+        assert lengths[-1] == 128
+
+    def test_monotone_increasing(self):
+        lengths = _geometric_lengths(6, 4, 128)
+        assert all(a <= b for a, b in zip(lengths, lengths[1:]))
+
+
+class TestTageLite:
+    def test_learns_single_always_taken(self):
+        t = TageLite()
+        for _ in range(200):
+            t.update(0x1000, True)
+        assert t.predict(0x1000) is True
+        assert t.accuracy() > 0.95
+
+    def test_learns_always_not_taken(self):
+        t = TageLite()
+        for _ in range(200):
+            t.update(0x1000, False)
+        assert t.predict(0x1000) is False
+
+    def test_learns_fixed_trip_count_loop(self):
+        t = TageLite()
+        for _ in range(2000):
+            for _ in range(7):
+                t.update(0x2000, True)
+            t.update(0x2000, False)
+        # After training, the exit is history-predictable.
+        assert t.accuracy() > 0.98
+
+    def test_learns_alternating_pattern(self):
+        t = TageLite()
+        for i in range(4000):
+            t.update(0x3000, bool(i % 2))
+        assert t.accuracy() > 0.9
+
+    def test_biased_branch_mix_accuracy(self):
+        rng = random.Random(42)
+        t = TageLite()
+        branches = [
+            (0x1000 + i * 16, 0.97 if rng.random() < 0.5 else 0.03)
+            for i in range(500)
+        ]
+        for _ in range(30_000):
+            pc, p = branches[rng.randrange(len(branches))]
+            t.update(pc, rng.random() < p)
+        assert t.accuracy() > 0.9
+
+    def test_update_returns_correctness(self):
+        t = TageLite()
+        for _ in range(100):
+            t.update(0x1000, True)
+        assert t.update(0x1000, True) is True
+        assert t.update(0x1000, False) is False
+
+    def test_predict_is_read_mostly(self):
+        t = TageLite()
+        for _ in range(50):
+            t.update(0x40, True)
+        before = t.predictions
+        t.predict(0x40)
+        # predict() does not count as a scored prediction.
+        assert t.predictions == before
+
+    def test_custom_geometry(self):
+        cfg = FrontendConfig(tage_tables=3, tage_entries_per_table=256)
+        t = TageLite(cfg)
+        assert t.n_tables == 3
+        for _ in range(100):
+            t.update(0x5000, True)
+        assert t.predict(0x5000) is True
+
+    def test_distinct_branches_independent(self):
+        t = TageLite()
+        for _ in range(300):
+            t.update(0x1000, True)
+            t.update(0x9000, False)
+        assert t.predict(0x1000) is True
+        assert t.predict(0x9000) is False

@@ -1,0 +1,51 @@
+"""Indirect-target BTB: last-target prediction."""
+
+import pytest
+
+from repro.config import BTBConfig
+from repro.frontend.ibtb import IndirectBTB
+
+
+@pytest.fixture()
+def ibtb():
+    return IndirectBTB(BTBConfig(entries=8, ways=2))
+
+
+class TestIndirectBTB:
+    def test_cold_predicts_none(self, ibtb):
+        assert ibtb.predict(0x100) is None
+        assert ibtb.misses == 1
+
+    def test_learns_last_target(self, ibtb):
+        ibtb.record_outcome(0x100, None, 0x500)
+        assert ibtb.predict(0x100) == 0x500
+
+    def test_target_update_on_change(self, ibtb):
+        ibtb.record_outcome(0x100, None, 0x500)
+        p = ibtb.predict(0x100)
+        assert not ibtb.record_outcome(0x100, p, 0x600)
+        assert ibtb.predict(0x100) == 0x600
+
+    def test_correct_counted(self, ibtb):
+        ibtb.record_outcome(0x100, None, 0x500)
+        p = ibtb.predict(0x100)
+        ibtb.record_outcome(0x100, p, 0x500)
+        assert ibtb.correct == 1
+
+    def test_accuracy(self, ibtb):
+        ibtb.record_outcome(0x100, None, 0x500)  # wrong (None)
+        p = ibtb.predict(0x100)
+        ibtb.record_outcome(0x100, p, 0x500)     # right
+        assert 0.0 < ibtb.accuracy() <= 1.0
+
+    def test_capacity_eviction(self, ibtb):
+        # Fill one set (2 ways; 4 sets) with three congruent pcs.
+        for pc in (0x10, 0x14, 0x18):
+            ibtb.record_outcome(pc, None, pc + 1)
+        assert ibtb.predict(0x10) is None  # evicted
+
+    def test_monomorphic_site_perfect_after_warm(self, ibtb):
+        ibtb.record_outcome(0x40, None, 0x900)
+        for _ in range(10):
+            p = ibtb.predict(0x40)
+            assert ibtb.record_outcome(0x40, p, 0x900)

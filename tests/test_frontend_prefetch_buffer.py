@@ -1,0 +1,66 @@
+"""BTB prefetch buffer: readiness, LRU, promotion accounting."""
+
+import pytest
+
+from repro.frontend.prefetch_buffer import PrefetchBuffer
+from repro.isa.branches import BranchKind
+
+K = BranchKind.UNCOND_DIRECT
+
+
+class TestPrefetchBuffer:
+    def test_take_ready_entry(self):
+        buf = PrefetchBuffer(4)
+        buf.insert(0x100, 0x200, K, ready_cycle=10)
+        assert buf.take(0x100, now=10) == (0x200, K)
+        assert buf.promotions == 1
+
+    def test_take_consumes(self):
+        buf = PrefetchBuffer(4)
+        buf.insert(0x100, 0x200, K, ready_cycle=0)
+        buf.take(0x100, now=5)
+        assert buf.take(0x100, now=5) is None
+
+    def test_late_entry_not_taken(self):
+        buf = PrefetchBuffer(4)
+        buf.insert(0x100, 0x200, K, ready_cycle=50)
+        assert buf.take(0x100, now=10) is None
+        assert buf.late_hits == 1
+        # Entry remains for a later, in-time take.
+        assert buf.take(0x100, now=60) == (0x200, K)
+
+    def test_absent_pc(self):
+        buf = PrefetchBuffer(4)
+        assert buf.take(0x42, now=100) is None
+        assert buf.late_hits == 0
+
+    def test_lru_eviction(self):
+        buf = PrefetchBuffer(2)
+        buf.insert(1, 10, K, 0)
+        buf.insert(2, 20, K, 0)
+        buf.insert(3, 30, K, 0)
+        assert 1 not in buf
+        assert 2 in buf and 3 in buf
+        assert buf.evicted_unused == 1
+
+    def test_reinsert_keeps_earliest_ready(self):
+        buf = PrefetchBuffer(4)
+        buf.insert(0x100, 0x200, K, ready_cycle=10)
+        buf.insert(0x100, 0x200, K, ready_cycle=90)
+        assert buf.take(0x100, now=15) == (0x200, K)
+
+    def test_zero_capacity_is_noop(self):
+        buf = PrefetchBuffer(0)
+        buf.insert(0x100, 0x200, K, 0)
+        assert len(buf) == 0
+        assert buf.take(0x100, 100) is None
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            PrefetchBuffer(-1)
+
+    def test_len_and_contains(self):
+        buf = PrefetchBuffer(8)
+        buf.insert(1, 2, K, 0)
+        assert len(buf) == 1
+        assert 1 in buf

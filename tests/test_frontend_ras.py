@@ -1,0 +1,59 @@
+"""Return address stack behaviour."""
+
+import pytest
+
+from repro.frontend.ras import ReturnAddressStack
+
+
+class TestRAS:
+    def test_push_pop_lifo(self):
+        ras = ReturnAddressStack(8)
+        ras.push(0x100)
+        ras.push(0x200)
+        assert ras.pop() == 0x200
+        assert ras.pop() == 0x100
+
+    def test_underflow_returns_none(self):
+        ras = ReturnAddressStack(4)
+        assert ras.pop() is None
+        assert ras.underflows == 1
+
+    def test_overflow_wraps_and_corrupts_oldest(self):
+        ras = ReturnAddressStack(2)
+        ras.push(1)
+        ras.push(2)
+        ras.push(3)  # overwrites 1
+        assert ras.pop() == 3
+        assert ras.pop() == 2
+        assert ras.pop() is None  # 1 was lost
+
+    def test_depth_saturates(self):
+        ras = ReturnAddressStack(2)
+        for i in range(5):
+            ras.push(i)
+        assert ras.depth == 2
+
+    def test_predict_and_check_correct(self):
+        ras = ReturnAddressStack(4)
+        ras.push(0x42)
+        assert ras.predict_and_check(0x42)
+        assert ras.accuracy() == 1.0
+
+    def test_predict_and_check_wrong(self):
+        ras = ReturnAddressStack(4)
+        ras.push(0x42)
+        assert not ras.predict_and_check(0x43)
+        assert ras.accuracy() == 0.0
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ValueError):
+            ReturnAddressStack(0)
+
+    def test_deep_call_chain_within_capacity(self):
+        ras = ReturnAddressStack(32)
+        addrs = list(range(100, 132))
+        for a in addrs:
+            ras.push(a)
+        for a in reversed(addrs):
+            assert ras.predict_and_check(a)
+        assert ras.accuracy() == 1.0

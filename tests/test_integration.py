@@ -1,0 +1,137 @@
+"""End-to-end integration: the full pipeline and the paper's headline
+orderings on a scaled-down configuration."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro import quick_run
+from repro.config import SimConfig
+from repro.core.twig import build_plan, run_with_plan
+from repro.prefetchers.base import BaselineBTBSystem
+from repro.prefetchers.confluence import ConfluenceBTBSystem
+from repro.prefetchers.shotgun import ShotgunBTBSystem
+from repro.profiling.collector import collect_profile
+from repro.trace.walker import generate_trace
+from repro.uarch.sim import FrontendSimulator, simulate
+from repro.workloads.cfg import build_workload
+from tests.conftest import make_tiny_spec
+
+
+@pytest.fixture(scope="module")
+def stressed():
+    """A small app with a deliberately small BTB: plenty of misses."""
+    spec = make_tiny_spec(name="stress", functions=260, popularity_exponent=0.25)
+    wl = build_workload(spec, seed=11)
+    train = generate_trace(wl, spec.make_input(0), max_instructions=150_000)
+    test = generate_trace(wl, spec.make_input(1), max_instructions=150_000)
+    cfg = SimConfig().with_btb(entries=512)
+    return wl, train, test, cfg
+
+
+class TestHeadlineOrderings:
+    """The orderings every paper figure relies on."""
+
+    def test_full_stack_ordering(self, stressed):
+        wl, train, test, cfg = stressed
+        warm = len(test) // 3
+
+        def run(system, config=None):
+            c = config or cfg
+            sim = FrontendSimulator(wl, c, system(c) if callable(system) else system)
+            return sim.run(test, warmup_units=warm)
+
+        base = run(lambda c: BaselineBTBSystem(c))
+        ideal = FrontendSimulator(
+            wl, replace(cfg, ideal_btb=True), BaselineBTBSystem(cfg)
+        ).run(test, warmup_units=warm)
+        profile = collect_profile(wl, train, cfg)
+        plan = build_plan(wl, profile, cfg)
+        twig = run_with_plan(wl, test, plan, cfg, warmup_units=warm)
+        # Shotgun with its partitions scaled to the same storage budget
+        # as this test's 512-entry baseline (5120/1536 out of 8192 in
+        # the paper -> 320/96 out of 512 here).
+        shotgun = run(
+            lambda c: ShotgunBTBSystem(wl, c, ubtb_entries=320, cbtb_entries=96)
+        )
+
+        # Ideal BTB bounds everything; Twig lands between baseline and
+        # ideal and covers a meaningful share of misses.
+        assert ideal.cycles < twig.cycles < base.cycles
+        assert ideal.btb_misses == 0
+        assert twig.btb_mpki() < base.btb_mpki()
+        coverage = 1 - twig.btb_mpki() / base.btb_mpki()
+        assert coverage > 0.2
+        # Twig beats Shotgun (the paper's headline comparison).
+        assert twig.cycles < shotgun.cycles
+
+    def test_btb_size_monotonicity(self, stressed):
+        wl, _, test, cfg = stressed
+        mpkis = []
+        for entries in (256, 1024, 4096):
+            c = cfg.with_btb(entries=entries)
+            res = simulate(wl, test, c, BaselineBTBSystem(c))
+            mpkis.append(res.btb_mpki())
+        assert mpkis[0] > mpkis[1] > mpkis[2]
+
+    def test_prefetch_distance_has_interior_optimum_shape(self, stressed):
+        """Distance 0 must underperform the default (too late to fill)."""
+        wl, train, test, cfg = stressed
+        warm = len(test) // 3
+        profile = collect_profile(wl, train, cfg)
+        covs = {}
+        for dist in (0, 20):
+            c = cfg.with_twig(prefetch_distance=dist)
+            plan = build_plan(wl, profile, c)
+            res = run_with_plan(wl, test, plan, c, warmup_units=warm)
+            covs[dist] = res.btb_covered_misses
+        assert covs[20] >= covs[0]
+
+    def test_coalescing_adds_coverage_over_software_only(self, stressed):
+        wl, train, test, cfg = stressed
+        warm = len(test) // 3
+        profile = collect_profile(wl, train, cfg)
+        full = run_with_plan(
+            wl, test, build_plan(wl, profile, cfg), cfg, warmup_units=warm
+        )
+        sw_cfg = cfg.with_twig(enable_coalescing=False)
+        sw = run_with_plan(
+            wl, test, build_plan(wl, profile, sw_cfg), sw_cfg, warmup_units=warm
+        )
+        # Full Twig covers at least as many misses as software-only
+        # with inline-encodable offsets.
+        assert full.btb_covered_misses >= sw.btb_covered_misses
+
+
+class TestQuickRun:
+    def test_quick_run_contract(self):
+        results = quick_run("wordpress", max_instructions=100_000)
+        assert set(results) == {"baseline", "ideal_btb", "twig"}
+        base, ideal, twig = (
+            results["baseline"],
+            results["ideal_btb"],
+            results["twig"],
+        )
+        assert ideal.cycles <= twig.cycles <= base.cycles * 1.02
+        assert twig.prefetch_ops_executed > 0
+
+    def test_quick_run_unknown_app(self):
+        from repro.errors import WorkloadError
+
+        with pytest.raises(WorkloadError):
+            quick_run("doom")
+
+
+class TestCrossSystemConsistency:
+    def test_all_systems_agree_on_instruction_count(self, stressed):
+        wl, _, test, cfg = stressed
+        base = simulate(wl, test, cfg, BaselineBTBSystem(cfg))
+        shotgun = simulate(wl, test, cfg, ShotgunBTBSystem(wl, cfg))
+        confluence = simulate(wl, test, cfg, ConfluenceBTBSystem(wl, cfg))
+        assert base.instructions == shotgun.instructions == confluence.instructions
+
+    def test_accesses_independent_of_btb_system(self, stressed):
+        wl, _, test, cfg = stressed
+        base = simulate(wl, test, cfg, BaselineBTBSystem(cfg))
+        shotgun = simulate(wl, test, cfg, ShotgunBTBSystem(wl, cfg))
+        assert base.btb_accesses == shotgun.btb_accesses

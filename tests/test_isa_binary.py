@@ -1,0 +1,110 @@
+"""Binary container: indexing, predecode, statistics."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.isa.binary import Binary
+from repro.isa.blocks import BasicBlock
+from repro.isa.branches import Branch, BranchKind
+
+
+def _mk_block(index, start, size=32, branch_kind=None, target=0):
+    branch = None
+    if branch_kind is not None:
+        branch = Branch(
+            pc=start + size - 4,
+            kind=branch_kind,
+            target=target,
+            fallthrough=start + size if branch_kind.is_conditional else None,
+        )
+    return BasicBlock(
+        index=index, start=start, size_bytes=size, instructions=size // 4, branch=branch
+    )
+
+
+@pytest.fixture()
+def small_binary():
+    blocks = [
+        _mk_block(0, 0x1000, branch_kind=BranchKind.UNCOND_DIRECT, target=0x1040),
+        _mk_block(1, 0x1040, branch_kind=BranchKind.COND_DIRECT, target=0x1080),
+        _mk_block(2, 0x1080),
+        _mk_block(3, 0x10C0, branch_kind=BranchKind.RETURN),
+    ]
+    return Binary(blocks)
+
+
+class TestConstruction:
+    def test_empty_rejected(self):
+        with pytest.raises(WorkloadError):
+            Binary([])
+
+    def test_overlap_rejected(self):
+        blocks = [_mk_block(0, 0x1000, size=64), _mk_block(1, 0x1020)]
+        with pytest.raises(WorkloadError):
+            Binary(blocks)
+
+    def test_blocks_sorted_by_start(self):
+        blocks = [_mk_block(1, 0x2000), _mk_block(0, 0x1000)]
+        b = Binary(blocks)
+        assert [blk.start for blk in b] == [0x1000, 0x2000]
+
+    def test_len(self, small_binary):
+        assert len(small_binary) == 4
+
+
+class TestLookups:
+    def test_block_at(self, small_binary):
+        assert small_binary.block_at(0x1040).start == 0x1040
+
+    def test_block_at_missing(self, small_binary):
+        with pytest.raises(KeyError):
+            small_binary.block_at(0x1041)
+
+    def test_block_containing(self, small_binary):
+        assert small_binary.block_containing(0x1050).start == 0x1040
+
+    def test_block_containing_gap(self, small_binary):
+        assert small_binary.block_containing(0x500) is None
+
+    def test_branch_at(self, small_binary):
+        br = small_binary.branch_at(0x1000 + 32 - 4)
+        assert br is not None and br.kind is BranchKind.UNCOND_DIRECT
+
+    def test_branch_at_non_branch(self, small_binary):
+        assert small_binary.branch_at(0x1000) is None
+
+    def test_branches_sorted(self, small_binary):
+        pcs = [b.pc for b in small_binary.branches()]
+        assert pcs == sorted(pcs)
+        assert len(pcs) == 3
+
+
+class TestPredecode:
+    def test_branches_in_line(self, small_binary):
+        # Blocks at 0x1000 and 0x1040 span lines 0x40 and 0x41.
+        line0 = small_binary.branches_in_line(0x1000 // 64)
+        assert any(b.kind is BranchKind.UNCOND_DIRECT for b in line0)
+
+    def test_branches_in_empty_line(self, small_binary):
+        assert small_binary.branches_in_line(0) == ()
+
+    def test_branches_in_lines_multi(self, small_binary):
+        found = small_binary.branches_in_lines([0x40, 0x41, 0x43])
+        assert len(found) == 3
+
+
+class TestStatistics:
+    def test_static_branch_count(self, small_binary):
+        assert small_binary.static_branch_count() == 3
+        assert small_binary.static_branch_count(BranchKind.COND_DIRECT) == 1
+        assert small_binary.static_branch_count(BranchKind.CALL_DIRECT) == 0
+
+    def test_text_bytes(self, small_binary):
+        assert small_binary.text_bytes() == 4 * 32
+
+    def test_total_instructions(self, small_binary):
+        assert small_binary.total_instructions() == 4 * 8
+
+    def test_address_span(self, small_binary):
+        lo, hi = small_binary.address_span()
+        assert lo == 0x1000 and hi == 0x10C0 + 32

@@ -1,0 +1,69 @@
+"""Basic block geometry and cache-line helpers."""
+
+import pytest
+
+from repro.isa.blocks import BasicBlock, cache_line, cache_lines_of_range
+from repro.isa.branches import Branch, BranchKind
+
+
+class TestCacheLineHelpers:
+    def test_cache_line_basics(self):
+        assert cache_line(0) == 0
+        assert cache_line(63) == 0
+        assert cache_line(64) == 1
+
+    def test_custom_line_size(self):
+        assert cache_line(128, line_bytes=32) == 4
+
+    def test_range_single_line(self):
+        assert cache_lines_of_range(0, 64) == (0,)
+
+    def test_range_straddles(self):
+        assert cache_lines_of_range(60, 8) == (0, 1)
+
+    def test_range_many_lines(self):
+        assert cache_lines_of_range(0, 200) == (0, 1, 2, 3)
+
+    def test_zero_size_range(self):
+        assert cache_lines_of_range(100, 0) == (1,)
+
+
+class TestBasicBlock:
+    def _block(self, **kw):
+        params = dict(index=0, start=0x1000, size_bytes=32, instructions=8)
+        params.update(kw)
+        return BasicBlock(**params)
+
+    def test_end_and_fallthrough(self):
+        b = self._block()
+        assert b.end == 0x1020
+        assert b.fallthrough_addr == 0x1020
+
+    def test_contains(self):
+        b = self._block()
+        assert b.contains(0x1000)
+        assert b.contains(0x101F)
+        assert not b.contains(0x1020)
+        assert not b.contains(0xFFF)
+
+    def test_lines(self):
+        b = self._block(start=0x1030, size_bytes=40)
+        assert b.lines() == (0x40, 0x41)
+
+    def test_rejects_empty_block(self):
+        with pytest.raises(ValueError):
+            self._block(size_bytes=0)
+
+    def test_rejects_zero_instructions(self):
+        with pytest.raises(ValueError):
+            self._block(instructions=0)
+
+    def test_branch_must_be_inside(self):
+        br = Branch(pc=0x2000, kind=BranchKind.RETURN, target=0)
+        with pytest.raises(ValueError):
+            self._block(branch=br)
+
+    def test_branch_inside_ok(self):
+        br = Branch(pc=0x101C, kind=BranchKind.RETURN, target=0)
+        b = self._block(branch=br)
+        assert b.branch is br

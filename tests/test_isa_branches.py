@@ -1,0 +1,114 @@
+"""Branch model: kinds, classification, offset encodability."""
+
+import pytest
+
+from repro.isa.branches import (
+    Branch,
+    BranchKind,
+    bits_for_offset,
+    offset_fits,
+)
+
+
+class TestBranchKind:
+    @pytest.mark.parametrize(
+        "kind,direct",
+        [
+            (BranchKind.COND_DIRECT, True),
+            (BranchKind.UNCOND_DIRECT, True),
+            (BranchKind.CALL_DIRECT, True),
+            (BranchKind.CALL_INDIRECT, False),
+            (BranchKind.JUMP_INDIRECT, False),
+            (BranchKind.RETURN, False),
+        ],
+    )
+    def test_is_direct(self, kind, direct):
+        assert kind.is_direct is direct
+
+    def test_only_cond_is_conditional(self):
+        conds = [k for k in BranchKind if k.is_conditional]
+        assert conds == [BranchKind.COND_DIRECT]
+
+    def test_calls(self):
+        assert BranchKind.CALL_DIRECT.is_call
+        assert BranchKind.CALL_INDIRECT.is_call
+        assert not BranchKind.RETURN.is_call
+
+    def test_indirect(self):
+        assert BranchKind.JUMP_INDIRECT.is_indirect
+        assert not BranchKind.UNCOND_DIRECT.is_indirect
+
+    def test_btb_kinds_are_exactly_direct(self):
+        for k in BranchKind:
+            assert k.uses_btb == k.is_direct
+
+
+class TestBranch:
+    def test_basic_construction(self):
+        b = Branch(pc=0x1000, kind=BranchKind.UNCOND_DIRECT, target=0x2000)
+        assert b.target_offset() == 0x1000
+
+    def test_conditional_requires_fallthrough(self):
+        with pytest.raises(ValueError):
+            Branch(pc=0x1000, kind=BranchKind.COND_DIRECT, target=0x2000)
+
+    def test_conditional_with_fallthrough(self):
+        b = Branch(
+            pc=0x1000,
+            kind=BranchKind.COND_DIRECT,
+            target=0x2000,
+            fallthrough=0x1004,
+            taken_bias=0.7,
+        )
+        assert b.fallthrough == 0x1004
+
+    def test_negative_pc_rejected(self):
+        with pytest.raises(ValueError):
+            Branch(pc=-1, kind=BranchKind.RETURN, target=0)
+
+    def test_bad_bias_rejected(self):
+        with pytest.raises(ValueError):
+            Branch(
+                pc=0x10,
+                kind=BranchKind.COND_DIRECT,
+                target=0x20,
+                fallthrough=0x14,
+                taken_bias=1.5,
+            )
+
+    def test_backward_target_offset_negative(self):
+        b = Branch(pc=0x2000, kind=BranchKind.UNCOND_DIRECT, target=0x1000)
+        assert b.target_offset() == -0x1000
+
+    def test_branch_is_hashable_value(self):
+        a = Branch(pc=0x10, kind=BranchKind.RETURN, target=0)
+        b = Branch(pc=0x10, kind=BranchKind.RETURN, target=0)
+        assert a == b
+        assert hash(a) == hash(b)
+
+
+class TestOffsetEncoding:
+    @pytest.mark.parametrize(
+        "offset,bits,fits",
+        [
+            (0, 1, True),
+            (-1, 1, True),
+            (1, 1, False),
+            (2047, 12, True),
+            (2048, 12, False),
+            (-2048, 12, True),
+            (-2049, 12, False),
+        ],
+    )
+    def test_offset_fits_boundaries(self, offset, bits, fits):
+        assert offset_fits(offset, bits) is fits
+
+    def test_offset_fits_zero_bits(self):
+        assert not offset_fits(0, 0)
+
+    @pytest.mark.parametrize("offset", [0, 1, -1, 100, -100, 2047, -2048, 1 << 30])
+    def test_bits_for_offset_is_minimal(self, offset):
+        bits = bits_for_offset(offset)
+        assert offset_fits(offset, bits)
+        if bits > 1:
+            assert not offset_fits(offset, bits - 1)

@@ -1,0 +1,102 @@
+"""Cache and memory-hierarchy behaviour."""
+
+import pytest
+
+from repro.config import CacheConfig, MemoryConfig
+from repro.memory.cache import Cache
+from repro.memory.hierarchy import MemoryHierarchy
+
+
+@pytest.fixture()
+def tiny_cache():
+    # 4 lines total: 2 sets x 2 ways, 64B lines.
+    return Cache(CacheConfig(size_bytes=256, ways=2), name="t")
+
+
+class TestCache:
+    def test_miss_does_not_fill(self, tiny_cache):
+        assert not tiny_cache.access(5)
+        assert not tiny_cache.access(5)
+
+    def test_fill_then_hit(self, tiny_cache):
+        tiny_cache.fill(5)
+        assert tiny_cache.access(5)
+
+    def test_eviction_returns_victim(self, tiny_cache):
+        tiny_cache.fill(0)  # set 0
+        tiny_cache.fill(2)  # set 0
+        victim = tiny_cache.fill(4)  # set 0, evicts LRU 0
+        assert victim == 0
+        assert not tiny_cache.contains(0)
+
+    def test_access_refreshes_lru(self, tiny_cache):
+        tiny_cache.fill(0)
+        tiny_cache.fill(2)
+        tiny_cache.access(0)
+        tiny_cache.fill(4)
+        assert tiny_cache.contains(0)
+        assert not tiny_cache.contains(2)
+
+    def test_fill_existing_is_refresh(self, tiny_cache):
+        tiny_cache.fill(0)
+        assert tiny_cache.fill(0) is None
+        assert len(tiny_cache) == 1
+
+    def test_invalidate(self, tiny_cache):
+        tiny_cache.fill(7)
+        assert tiny_cache.invalidate(7)
+        assert not tiny_cache.invalidate(7)
+
+    def test_hit_rate(self, tiny_cache):
+        tiny_cache.fill(1)
+        tiny_cache.access(1)
+        tiny_cache.access(3)
+        assert tiny_cache.hit_rate() == 0.5
+
+
+class TestHierarchy:
+    def test_latencies_increase_down_the_chain(self):
+        h = MemoryHierarchy()
+        cold = h.access_line(100)          # all the way to memory
+        l1_hit = h.access_line(100)        # now L1-resident
+        assert cold > l1_hit
+        assert l1_hit == h.config.l1i.hit_latency
+
+    def test_l2_hit_latency_band(self):
+        h = MemoryHierarchy()
+        h.access_line(100)
+        # Evict from tiny... L1 is large; emulate by invalidating.
+        h.l1i.invalidate(100)
+        lat = h.access_line(100)
+        assert lat == h.config.l1i.hit_latency + h.config.l2.hit_latency
+
+    def test_prewarm_avoids_memory_latency(self):
+        h = MemoryHierarchy()
+        h.prewarm([100])
+        lat = h.access_line(100)
+        assert lat <= h.config.l1i.hit_latency + h.config.l2.hit_latency
+
+    def test_prefetch_counter(self):
+        h = MemoryHierarchy()
+        h.access_line(1, is_prefetch=True)
+        h.access_line(2, is_prefetch=False)
+        assert h.prefetch_issues == 1
+        assert h.demand_accesses == 1
+
+    def test_line_of(self):
+        h = MemoryHierarchy()
+        assert h.line_of(0) == 0
+        assert h.line_of(64) == 1
+
+    def test_line_resident_l1(self):
+        h = MemoryHierarchy()
+        assert not h.line_resident_l1(9)
+        h.access_line(9)
+        assert h.line_resident_l1(9)
+
+    def test_fills_propagate_to_all_levels(self):
+        h = MemoryHierarchy()
+        h.access_line(55)
+        assert h.l1i.contains(55)
+        assert h.l2.contains(55)
+        assert h.l3.contains(55)

@@ -1,0 +1,77 @@
+"""Baseline BTB system + software-op integration."""
+
+import pytest
+
+from repro.config import SimConfig
+from repro.prefetchers.base import (
+    BaselineBTBSystem,
+    BTBSystem,
+    LOOKUP_COVERED,
+    LOOKUP_HIT,
+    LOOKUP_MISS,
+)
+from repro.workloads.cfg import KIND_COND, KIND_UNCOND
+
+
+@pytest.fixture()
+def system():
+    return BaselineBTBSystem(SimConfig())
+
+
+class TestLookupSemantics:
+    def test_cold_miss(self, system):
+        assert system.lookup(0x100, KIND_UNCOND, 0) == LOOKUP_MISS
+
+    def test_fill_then_hit(self, system):
+        system.fill(0x100, 0x200, KIND_UNCOND, 0)
+        assert system.lookup(0x100, KIND_UNCOND, 1) == LOOKUP_HIT
+
+    def test_covered_via_software_op(self, system):
+        system.install_ops({5: (((0x100, 0x200, KIND_UNCOND),), 1, 1)})
+        assert 5 in system.ops_blocks
+        extra, n_ops = system.on_block_fetched(5, now=10)
+        assert (extra, n_ops) == (1, 1)
+        # Before the execute latency elapses the entry is not usable.
+        assert system.lookup(0x100, KIND_UNCOND, 11) == LOOKUP_MISS
+        latency = SimConfig().twig.prefetch_execute_latency
+        assert system.lookup(0x100, KIND_UNCOND, 10 + latency) == LOOKUP_COVERED
+
+    def test_covered_entry_promoted_to_btb(self, system):
+        system.install_ops({5: (((0x100, 0x200, KIND_UNCOND),), 1, 1)})
+        system.on_block_fetched(5, now=0)
+        system.lookup(0x100, KIND_UNCOND, 100)   # covered, promoted
+        assert system.lookup(0x100, KIND_UNCOND, 101) == LOOKUP_HIT
+
+    def test_ops_on_unrelated_block_noop(self, system):
+        assert system.on_block_fetched(99, now=0) == (0, 0)
+
+    def test_prefetch_counters(self, system):
+        system.install_ops({5: (((0x100, 0x200, KIND_UNCOND),), 1, 1)})
+        system.on_block_fetched(5, now=0)
+        assert system.prefetches_issued() == 1
+        system.lookup(0x100, KIND_UNCOND, 50)
+        assert system.prefetches_used() == 1
+
+    def test_multiple_entries_per_block(self, system):
+        entries = tuple((0x100 + i * 8, 0x900, KIND_COND) for i in range(4))
+        system.install_ops({7: (entries, 2, 2)})
+        system.on_block_fetched(7, now=0)
+        covered = sum(
+            system.lookup(pc, KIND_COND, 100) == LOOKUP_COVERED
+            for pc, _, _ in entries
+        )
+        assert covered == 4
+
+
+class TestInterface:
+    def test_abstract_lookup_raises(self):
+        with pytest.raises(NotImplementedError):
+            BTBSystem().lookup(0, 0, 0)
+
+    def test_default_hooks_are_noops(self):
+        s = BTBSystem()
+        s.on_taken_branch(0, 0, 0, 0)
+        s.on_line_fetched(0, 0)
+        assert s.on_block_fetched(0, 0) == (0, 0)
+        assert s.ops_blocks == frozenset()
+        assert s.prefetches_issued() == 0

@@ -1,0 +1,138 @@
+"""Shotgun model: partitioning, spatial window, predecode timing."""
+
+import pytest
+
+from repro.config import SimConfig
+from repro.prefetchers.base import LOOKUP_COVERED, LOOKUP_HIT, LOOKUP_MISS
+from repro.prefetchers.shotgun import (
+    PREDECODE_LATENCY_MISS,
+    ShotgunBTBSystem,
+    _geometry,
+)
+from repro.isa.branches import BranchKind
+from repro.workloads.cfg import KIND_COND, KIND_UNCOND
+
+
+@pytest.fixture()
+def shotgun(tiny_workload):
+    return ShotgunBTBSystem(tiny_workload, SimConfig())
+
+
+def _first_branch_of(workload, kind):
+    for b in workload.binary.branches():
+        if b.kind is kind:
+            return b
+    raise AssertionError(f"no {kind} in workload")
+
+
+class TestGeometry:
+    def test_paper_sizes(self, shotgun):
+        u, c = shotgun.storage_entries()
+        assert u == 5120
+        assert c == 1536
+
+    def test_geometry_power_of_two_sets(self):
+        for entries in (5120, 1536, 4096, 256):
+            cfg = _geometry(entries)
+            assert cfg.entries == entries
+            sets = cfg.entries // cfg.ways
+            assert sets & (sets - 1) == 0
+
+    def test_geometry_rejects_impossible(self):
+        with pytest.raises(ValueError):
+            _geometry(7919)  # prime
+
+
+class TestPartitioning:
+    def test_cond_miss_goes_to_cbtb(self, shotgun, tiny_workload):
+        br = _first_branch_of(tiny_workload, BranchKind.COND_DIRECT)
+        assert shotgun.lookup(br.pc, KIND_COND, 0) == LOOKUP_MISS
+        shotgun.fill(br.pc, br.target, KIND_COND, 0)
+        assert shotgun.cbtb.peek(br.pc) is not None
+        assert shotgun.ubtb.peek(br.pc) is None
+
+    def test_uncond_goes_to_ubtb(self, shotgun, tiny_workload):
+        br = _first_branch_of(tiny_workload, BranchKind.UNCOND_DIRECT)
+        shotgun.fill(br.pc, br.target, KIND_UNCOND, 0)
+        assert shotgun.ubtb.peek(br.pc) is not None
+        assert shotgun.lookup(br.pc, KIND_UNCOND, 1) == LOOKUP_HIT
+
+
+class TestPredecode:
+    def test_ubtb_hit_predecodes_window(self, shotgun, tiny_workload):
+        br = _first_branch_of(tiny_workload, BranchKind.UNCOND_DIRECT)
+        shotgun.fill(br.pc, br.target, KIND_UNCOND, 0)
+        shotgun.lookup(br.pc, KIND_UNCOND, 10)
+        # Conditionals within 8 lines of the target are now staged.
+        line = br.target // 64
+        window_conds = [
+            b
+            for ln in range(line, line + 8)
+            for b in tiny_workload.binary.branches_in_line(ln)
+            if b.kind is BranchKind.COND_DIRECT
+        ]
+        staged = [b for b in window_conds if shotgun.cbtb.peek(b.pc) is not None]
+        assert staged, "predecode should stage in-window conditionals"
+
+    def test_predecoded_entry_late_before_latency(self, shotgun, tiny_workload):
+        br = _first_branch_of(tiny_workload, BranchKind.UNCOND_DIRECT)
+        shotgun.fill(br.pc, br.target, KIND_UNCOND, 0)
+        shotgun.lookup(br.pc, KIND_UNCOND, 10)
+        line = br.target // 64
+        cond = next(
+            (
+                b
+                for ln in range(line, line + 8)
+                for b in tiny_workload.binary.branches_in_line(ln)
+                if b.kind is BranchKind.COND_DIRECT
+            ),
+            None,
+        )
+        if cond is None:
+            pytest.skip("window holds no conditional")
+        # Immediately after the trigger, the predecode has not finished.
+        assert shotgun.lookup(cond.pc, KIND_COND, 11) == LOOKUP_MISS
+        # After the miss-path latency it is usable and counts as covered.
+        later = 10 + PREDECODE_LATENCY_MISS + 1
+        assert shotgun.lookup(cond.pc, KIND_COND, later) == LOOKUP_COVERED
+
+    def test_out_of_window_cond_never_prefetched(self, shotgun, tiny_workload):
+        br = _first_branch_of(tiny_workload, BranchKind.UNCOND_DIRECT)
+        shotgun.fill(br.pc, br.target, KIND_UNCOND, 0)
+        shotgun.lookup(br.pc, KIND_UNCOND, 10)
+        far_conds = [
+            b
+            for b in tiny_workload.binary.branches()
+            if b.kind is BranchKind.COND_DIRECT
+            and abs(b.pc // 64 - br.target // 64) > 16
+        ]
+        assert far_conds
+        staged = [b for b in far_conds if shotgun.cbtb.peek(b.pc) is not None]
+        assert not staged
+
+    def test_accuracy_counters(self, shotgun, tiny_workload):
+        br = _first_branch_of(tiny_workload, BranchKind.UNCOND_DIRECT)
+        shotgun.fill(br.pc, br.target, KIND_UNCOND, 0)
+        shotgun.lookup(br.pc, KIND_UNCOND, 10)
+        assert shotgun.prefetches_issued() == shotgun.cbtb.prefetch_fills
+        assert shotgun.prefetches_used() <= shotgun.prefetches_issued()
+
+
+class TestFootprintRecording:
+    def test_recording_rotates_on_uncond(self, shotgun):
+        shotgun.on_taken_branch(0x100, 0x4000, KIND_UNCOND, 0)
+        shotgun.on_line_fetched(0x4000 // 64, 1)
+        shotgun.on_line_fetched(0x4000 // 64 + 2, 2)
+        shotgun.on_taken_branch(0x200, 0x8000, KIND_UNCOND, 3)
+        assert shotgun._footprints[0x100] == (0x4000 // 64, 0x4000 // 64 + 2)
+
+    def test_out_of_window_lines_not_recorded(self, shotgun):
+        shotgun.on_taken_branch(0x100, 0x4000, KIND_UNCOND, 0)
+        shotgun.on_line_fetched(0x4000 // 64 + 100, 1)
+        shotgun.on_taken_branch(0x200, 0x8000, KIND_UNCOND, 2)
+        assert shotgun._footprints[0x100] == ()
+
+    def test_cond_branches_do_not_rotate_recording(self, shotgun):
+        shotgun.on_taken_branch(0x100, 0x4000, KIND_UNCOND, 0)
+        shotgun.on_taken_branch(0x300, 0x5000, KIND_COND, 1)
+        assert shotgun._recording_pc == 0x100

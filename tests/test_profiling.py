@@ -1,0 +1,121 @@
+"""LBR recording, miss sampling, and profile containers."""
+
+import pytest
+
+from repro.config import SimConfig
+from repro.errors import ProfileError
+from repro.profiling.collector import collect_profile
+from repro.profiling.lbr import LBRRecorder
+from repro.profiling.profile import MissProfile
+
+
+class TestLBRRecorder:
+    def test_snapshot_orders_oldest_first(self):
+        prof = MissProfile()
+        rec = LBRRecorder(prof, depth=4)
+        for i in range(3):
+            rec.record(block=i, cycle=float(i * 10))
+        window = rec.snapshot(miss_cycle=100.0)
+        assert [b for b, _ in window] == [0, 1, 2]
+        assert [d for _, d in window] == [100.0, 90.0, 80.0]
+
+    def test_ring_wraps(self):
+        prof = MissProfile()
+        rec = LBRRecorder(prof, depth=3)
+        for i in range(5):
+            rec.record(i, float(i))
+        window = rec.snapshot(10.0)
+        assert [b for b, _ in window] == [2, 3, 4]
+
+    def test_depth_default_32(self):
+        rec = LBRRecorder(MissProfile())
+        assert rec.depth == 32
+
+    def test_on_miss_stores_sample(self):
+        prof = MissProfile()
+        rec = LBRRecorder(prof)
+        rec.record(1, 1.0)
+        rec.on_miss(pc=0x100, block=5, cycle=9.0)
+        assert prof.miss_count(0x100) == 1
+        sample = prof.samples_for(0x100)[0]
+        assert sample.miss_block == 5
+        assert sample.window[0] == (1, 8.0)
+
+    def test_sampling_rate(self):
+        prof = MissProfile()
+        rec = LBRRecorder(prof, sample_rate=3)
+        for i in range(9):
+            rec.on_miss(0x100, 1, float(i))
+        assert prof.miss_count(0x100) == 3
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            LBRRecorder(MissProfile(), sample_rate=0)
+        with pytest.raises(ValueError):
+            LBRRecorder(MissProfile(), depth=0)
+
+
+class TestMissProfile:
+    def test_heaviest_first(self):
+        prof = MissProfile()
+        for _ in range(3):
+            prof.add_sample(0xA, 1, ((1, 30.0),))
+        prof.add_sample(0xB, 2, ((2, 30.0),))
+        assert prof.miss_pcs() == [0xA, 0xB]
+
+    def test_block_occurrences(self):
+        prof = MissProfile()
+        prof.add_sample(0xA, 1, ((7, 30.0), (8, 25.0)))
+        prof.add_sample(0xB, 2, ((7, 30.0),))
+        assert prof.block_occurrences[7] == 2
+        assert prof.block_occurrences[8] == 1
+
+    def test_merge(self):
+        a, b = MissProfile("x", "0"), MissProfile("x", "1")
+        a.add_sample(0xA, 1, ((1, 30.0),))
+        b.add_sample(0xA, 1, ((2, 30.0),))
+        b.add_sample(0xB, 2, ((3, 30.0),))
+        merged = a.merge(b)
+        assert merged.miss_count(0xA) == 2
+        assert merged.total_samples == 3
+        merged.validate()
+
+    def test_validate_detects_corruption(self):
+        prof = MissProfile()
+        prof.add_sample(0xA, 1, ((1, 30.0),))
+        prof.total_samples = 99
+        with pytest.raises(ProfileError):
+            prof.validate()
+
+    def test_len(self):
+        prof = MissProfile()
+        assert len(prof) == 0
+        prof.add_sample(0xA, 1, ())
+        assert len(prof) == 1
+
+
+class TestCollector:
+    def test_collect_on_tiny_workload(self, tiny_workload, tiny_trace):
+        prof = collect_profile(tiny_workload, tiny_trace, SimConfig())
+        assert len(prof) > 0
+        assert prof.app_name == "tinyapp"
+        prof.validate()
+        # Every sampled miss PC is a real branch PC.
+        pcs = set(tiny_workload.branch_pc)
+        for pc in prof.miss_pcs():
+            assert pc in pcs
+
+    def test_sampling_reduces_samples(self, tiny_workload, tiny_trace):
+        dense = collect_profile(tiny_workload, tiny_trace, SimConfig(), sample_rate=1)
+        sparse = collect_profile(tiny_workload, tiny_trace, SimConfig(), sample_rate=4)
+        assert len(sparse) < len(dense)
+        assert len(sparse) >= len(dense) // 5
+
+    def test_windows_have_positive_leads(self, tiny_workload, tiny_trace):
+        prof = collect_profile(tiny_workload, tiny_trace, SimConfig())
+        pc = prof.miss_pcs()[0]
+        for sample in prof.samples_for(pc)[:5]:
+            leads = [lead for _, lead in sample.window]
+            assert all(lead >= 0 for lead in leads)
+            # Oldest-first: leads decrease monotonically.
+            assert all(a >= b for a, b in zip(leads, leads[1:]))

@@ -1,0 +1,53 @@
+"""Deterministic RNG helpers."""
+
+import pytest
+
+from repro.workloads.rng import derive_seed, make_rng, zipf_weights
+
+
+class TestDeriveSeed:
+    def test_stable_across_calls(self):
+        assert derive_seed("a", 1) == derive_seed("a", 1)
+
+    def test_distinct_inputs_distinct_seeds(self):
+        seeds = {derive_seed("app", i) for i in range(100)}
+        assert len(seeds) == 100
+
+    def test_order_matters(self):
+        assert derive_seed("a", "b") != derive_seed("b", "a")
+
+    def test_64_bit_range(self):
+        s = derive_seed("x")
+        assert 0 <= s < 1 << 64
+
+
+class TestMakeRng:
+    def test_same_parts_same_stream(self):
+        a, b = make_rng("k", 2), make_rng("k", 2)
+        assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+
+    def test_different_parts_different_stream(self):
+        a, b = make_rng("k", 2), make_rng("k", 3)
+        assert [a.random() for _ in range(5)] != [b.random() for _ in range(5)]
+
+
+class TestZipfWeights:
+    def test_monotone_decreasing(self):
+        w = zipf_weights(10, 0.8)
+        assert all(a >= b for a, b in zip(w, w[1:]))
+
+    def test_uniform_at_zero_exponent(self):
+        w = zipf_weights(5, 0.0)
+        assert all(x == w[0] for x in w)
+
+    def test_first_weight_is_one(self):
+        assert zipf_weights(3, 1.5)[0] == 1.0
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            zipf_weights(0, 1.0)
+
+    def test_higher_exponent_more_skew(self):
+        flat = zipf_weights(10, 0.2)
+        steep = zipf_weights(10, 2.0)
+        assert steep[-1] / steep[0] < flat[-1] / flat[0]

@@ -1,0 +1,60 @@
+"""Runner details: long traces and budget-scaled competitors."""
+
+import pytest
+
+from repro.config import SimConfig
+from repro.experiments.runner import ExperimentRunner, RunnerSettings
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return ExperimentRunner(
+        RunnerSettings(trace_instructions=60_000, apps=("wordpress",), sample_rate=1)
+    )
+
+
+class TestLongTrace:
+    def test_longer_than_default(self, runner):
+        short = runner.trace("wordpress")
+        long = runner.long_trace("wordpress")
+        assert len(long) > 2 * len(short)
+
+    def test_cached(self, runner):
+        assert runner.long_trace("wordpress") is runner.long_trace("wordpress")
+
+    def test_multiplier(self, runner):
+        t2 = runner.long_trace("wordpress", multiplier=2)
+        t3 = runner.long_trace("wordpress", multiplier=3)
+        assert len(t3) > len(t2)
+
+
+class TestCompetitorScaling:
+    def test_shotgun_partitions_scale_with_budget(self, runner):
+        runner.run("wordpress", "shotgun", config=SimConfig().with_btb(entries=2048))
+        # Reach inside the cached result path via a fresh simulate call.
+        from repro.prefetchers.shotgun import ShotgunBTBSystem
+
+        # The scaling rule itself: budget/8192 applied to both partitions.
+        cfg = SimConfig().with_btb(entries=2048)
+        scale = cfg.frontend.btb.entries / 8192
+        assert int(5120 * scale) == 1280
+        assert int(1536 * scale) == 384
+        system = ShotgunBTBSystem(
+            runner.workload("wordpress"),
+            cfg,
+            ubtb_entries=max(320, int(5120 * scale)),
+            cbtb_entries=max(96, int(1536 * scale)),
+        )
+        u, c = system.storage_entries()
+        assert (u, c) == (1280, 384)
+
+    def test_default_budget_keeps_paper_sizes(self, runner):
+        from repro.prefetchers.shotgun import ShotgunBTBSystem
+
+        system = ShotgunBTBSystem(runner.workload("wordpress"), SimConfig())
+        assert system.storage_entries() == (5120, 1536)
+
+    def test_scaled_runs_complete(self, runner):
+        small = SimConfig().with_btb(entries=2048)
+        res = runner.run("wordpress", "shotgun", config=small, cache_tag="scaled")
+        assert res.cycles > 0

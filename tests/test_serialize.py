@@ -1,0 +1,105 @@
+"""Profile/plan JSON serialization round-trips."""
+
+import io
+import json
+
+import pytest
+
+from repro.config import SimConfig
+from repro.core.twig import build_plan, run_with_plan
+from repro.errors import PlanError, ProfileError
+from repro.profiling.collector import collect_profile
+from repro.profiling.profile import MissProfile
+from repro.profiling.serialize import (
+    load_plan,
+    load_profile,
+    plan_from_dict,
+    plan_to_dict,
+    profile_from_dict,
+    profile_to_dict,
+    save_plan,
+    save_profile,
+)
+
+
+@pytest.fixture(scope="module")
+def artifacts(request):
+    from repro.trace.walker import generate_trace
+    from repro.workloads.cfg import build_workload
+    from tests.conftest import make_tiny_spec
+
+    spec = make_tiny_spec(name="serial", functions=150)
+    wl = build_workload(spec, seed=5)
+    tr = generate_trace(wl, spec.make_input(0), max_instructions=80_000)
+    cfg = SimConfig().with_btb(entries=512)
+    profile = collect_profile(wl, tr, cfg)
+    plan = build_plan(wl, profile, cfg)
+    return wl, tr, cfg, profile, plan
+
+
+class TestProfileRoundTrip:
+    def test_dict_roundtrip_preserves_samples(self, artifacts):
+        _, _, _, profile, _ = artifacts
+        clone = profile_from_dict(profile_to_dict(profile))
+        assert clone.total_samples == profile.total_samples
+        assert clone.miss_pcs() == profile.miss_pcs()
+        assert clone.block_occurrences == profile.block_occurrences
+
+    def test_file_roundtrip(self, artifacts, tmp_path):
+        _, _, _, profile, _ = artifacts
+        path = str(tmp_path / "profile.json")
+        save_profile(profile, path)
+        clone = load_profile(path)
+        assert clone.app_name == profile.app_name
+        assert len(clone) == len(profile)
+
+    def test_stream_roundtrip(self):
+        prof = MissProfile("x", "0")
+        prof.add_sample(0xA, 1, ((2, 30.0), (3, 25.0)))
+        buf = io.StringIO()
+        save_profile(prof, buf)
+        buf.seek(0)
+        clone = load_profile(buf)
+        assert clone.samples_for(0xA)[0].window == ((2, 30.0), (3, 25.0))
+
+    def test_rejects_wrong_kind(self):
+        with pytest.raises(ProfileError):
+            profile_from_dict({"kind": "prefetch_plan", "format": 1})
+
+    def test_rejects_wrong_version(self):
+        with pytest.raises(ProfileError):
+            profile_from_dict({"kind": "miss_profile", "format": 99})
+
+    def test_output_is_plain_json(self, artifacts):
+        _, _, _, profile, _ = artifacts
+        text = json.dumps(profile_to_dict(profile))
+        assert json.loads(text)["kind"] == "miss_profile"
+
+
+class TestPlanRoundTrip:
+    def test_dict_roundtrip_equivalent_plan(self, artifacts):
+        _, _, _, _, plan = artifacts
+        clone = plan_from_dict(plan_to_dict(plan))
+        assert clone.total_ops() == plan.total_ops()
+        assert clone.total_prefetch_entries() == plan.total_prefetch_entries()
+        assert clone.static_bytes() == plan.static_bytes()
+        assert clone.table == plan.table
+        assert clone.sim_ops().keys() == plan.sim_ops().keys()
+
+    def test_file_roundtrip_simulates_identically(self, artifacts, tmp_path):
+        wl, tr, cfg, _, plan = artifacts
+        path = str(tmp_path / "plan.json")
+        save_plan(plan, path)
+        clone = load_plan(path)
+        a = run_with_plan(wl, tr, plan, cfg)
+        b = run_with_plan(wl, tr, clone, cfg)
+        assert a.cycles == b.cycles
+        assert a.btb_covered_misses == b.btb_covered_misses
+
+    def test_rejects_wrong_kind(self):
+        with pytest.raises(PlanError):
+            plan_from_dict({"kind": "miss_profile", "format": 1})
+
+    def test_rejects_wrong_version(self):
+        with pytest.raises(PlanError):
+            plan_from_dict({"kind": "prefetch_plan", "format": 0})

@@ -1,0 +1,28 @@
+"""Paper-recorded table data and table computations."""
+
+import pytest
+
+from repro.experiments.tables import PAPER_TABLE2, PAPER_TABLE3
+from repro.workloads.apps import app_names
+
+
+class TestPaperTables:
+    def test_table2_covers_all_apps(self):
+        assert set(PAPER_TABLE2) == set(app_names())
+
+    def test_table3_covers_all_apps(self):
+        assert set(PAPER_TABLE3) == set(app_names())
+
+    def test_table2_verilator_highest_and_stable(self):
+        assert PAPER_TABLE2["verilator"]["same"] == max(
+            v["same"] for v in PAPER_TABLE2.values()
+        )
+
+    def test_table3_overhead_consistent_with_sizes(self):
+        for app, row in PAPER_TABLE3.items():
+            derived = 100.0 * row["extra_mb"] / row["wss_mb"]
+            assert derived == pytest.approx(row["overhead_pct"], abs=0.4)
+
+    def test_table3_average_is_papers_six_percent(self):
+        mean = sum(v["overhead_pct"] for v in PAPER_TABLE3.values()) / 9
+        assert mean == pytest.approx(5.12, abs=1.2)

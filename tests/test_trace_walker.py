@@ -1,0 +1,142 @@
+"""Trace walker: consistency invariants, determinism, inputs."""
+
+import pytest
+
+from repro.errors import TraceError
+from repro.isa.branches import BranchKind
+from repro.trace.events import Trace, TraceStats
+from repro.trace.walker import generate_trace
+from repro.workloads.cfg import build_workload
+from tests.conftest import make_tiny_spec
+
+
+class TestTraceContainer:
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(TraceError):
+            Trace([1, 2], [0], TraceStats())
+
+    def test_empty_rejected(self):
+        with pytest.raises(TraceError):
+            Trace([], [], TraceStats())
+
+    def test_iteration(self):
+        tr = Trace([1, 2], [0, 1], TraceStats())
+        assert list(tr) == [(1, 0), (2, 1)]
+
+    def test_slice(self):
+        tr = Trace([1, 2, 3, 4], [0, 1, 0, 1], TraceStats(), label="x")
+        sub = tr.slice(1, 3)
+        assert sub.blocks == [2, 3]
+        assert "x[1:3]" in sub.label
+
+
+class TestWalkerInvariants:
+    def test_instruction_budget_respected(self, tiny_workload, tiny_trace):
+        budget = 60_000
+        # Walker stops as soon as the budget is crossed.
+        assert budget <= tiny_trace.stats.instructions < budget + 200
+
+    def test_stats_consistency(self, tiny_workload, tiny_trace):
+        s = tiny_trace.stats
+        assert s.fetch_units == len(tiny_trace)
+        assert s.taken_branches == sum(tiny_trace.takens)
+        assert s.dynamic_branches == sum(s.branches_by_kind.values())
+        assert s.unique_blocks == len(set(tiny_trace.blocks))
+
+    def test_control_flow_consistency(self, tiny_workload, tiny_trace):
+        """Successor of each unit obeys the block's terminator."""
+        wl = tiny_workload
+        blocks, takens = tiny_trace.blocks, tiny_trace.takens
+        checked = 0
+        for i in range(len(blocks) - 1):
+            blk, taken, nxt = blocks[i], takens[i], blocks[i + 1]
+            kind = wl.branch_kind[blk]
+            if kind is None:
+                assert nxt == blk + 1
+                assert taken == 0
+            elif kind is BranchKind.COND_DIRECT:
+                if taken:
+                    assert nxt == wl.target_block[blk]
+                else:
+                    assert nxt == blk + 1
+            elif kind is BranchKind.UNCOND_DIRECT:
+                assert taken == 1
+                assert nxt == wl.target_block[blk]
+            elif kind in (BranchKind.CALL_DIRECT, BranchKind.CALL_INDIRECT,
+                          BranchKind.JUMP_INDIRECT):
+                assert taken == 1
+            checked += 1
+        assert checked > 1000
+
+    def test_call_return_matching(self, tiny_workload, tiny_trace):
+        """Returns go back to the caller's fallthrough block."""
+        wl = tiny_workload
+        blocks, takens = tiny_trace.blocks, tiny_trace.takens
+        stack = []
+        root_call = wl.functions[wl.root_function].first_block
+        for i in range(len(blocks) - 1):
+            blk = blocks[i]
+            kind = wl.branch_kind[blk]
+            if kind in (BranchKind.CALL_DIRECT, BranchKind.CALL_INDIRECT):
+                stack.append(blk + 1)
+            elif kind is BranchKind.RETURN:
+                if stack:
+                    expected = stack.pop()
+                    assert blocks[i + 1] == expected
+
+    def test_branch_mix_close_to_spec(self, tiny_trace):
+        s = tiny_trace.stats
+        cond = s.branch_fraction(BranchKind.COND_DIRECT)
+        assert 0.3 < cond < 0.85  # conditionals dominate
+
+
+class TestWalkerDeterminism:
+    def test_same_input_same_trace(self, tiny_workload):
+        inp = tiny_workload.spec.make_input(0)
+        a = generate_trace(tiny_workload, inp, max_instructions=20_000)
+        b = generate_trace(tiny_workload, inp, max_instructions=20_000)
+        assert a.blocks == b.blocks
+        assert a.takens == b.takens
+
+    def test_different_inputs_differ(self, tiny_workload):
+        a = generate_trace(
+            tiny_workload, tiny_workload.spec.make_input(0), max_instructions=20_000
+        )
+        b = generate_trace(
+            tiny_workload, tiny_workload.spec.make_input(1), max_instructions=20_000
+        )
+        assert a.blocks != b.blocks
+
+    def test_max_fetch_units_cap(self, tiny_workload):
+        tr = generate_trace(
+            tiny_workload,
+            tiny_workload.spec.make_input(0),
+            max_instructions=10**9,
+            max_fetch_units=500,
+        )
+        assert len(tr) == 500
+
+    def test_bad_budget_rejected(self, tiny_workload):
+        with pytest.raises(TraceError):
+            generate_trace(tiny_workload, None, max_instructions=0)
+
+
+class TestSweepMode:
+    def test_sweep_cycles_handlers(self):
+        spec = make_tiny_spec(
+            name="sweepy", dispatch_pattern="sweep", sweep_skip_prob=0.0
+        )
+        wl = build_workload(spec, seed=1)
+        tr = generate_trace(wl, spec.make_input(0), max_instructions=60_000)
+        # Under a no-skip sweep, handler entry blocks appear in rotation.
+        entries = {wl.functions[h].first_block: h for h in wl.handler_indices}
+        seen = [entries[b] for b in tr.blocks if b in entries]
+        # All handlers get visited within one lap's worth of draws.
+        assert set(seen[: len(entries) + 1]) >= set(list(entries.values())[:-1])
+
+    def test_structured_paths_recur(self, tiny_workload):
+        """The same input executes the same unique block set."""
+        inp = tiny_workload.spec.make_input(0)
+        a = generate_trace(tiny_workload, inp, max_instructions=30_000)
+        b = generate_trace(tiny_workload, inp, max_instructions=30_000)
+        assert set(a.blocks) == set(b.blocks)

@@ -1,0 +1,70 @@
+"""SimResult derived metrics."""
+
+import pytest
+
+from repro.uarch.results import SimResult
+
+
+def _result(**kw):
+    params = dict(instructions=100_000, cycles=50_000)
+    params.update(kw)
+    return SimResult(**params)
+
+
+class TestDerivedMetrics:
+    def test_ipc(self):
+        assert _result().ipc() == 2.0
+
+    def test_ipc_zero_cycles(self):
+        assert SimResult().ipc() == 0.0
+
+    def test_mpki(self):
+        r = _result(btb_misses=500)
+        assert r.btb_mpki() == 5.0
+
+    def test_mpki_no_instructions(self):
+        assert SimResult(btb_misses=5).btb_mpki() == 0.0
+
+    def test_coverage(self):
+        r = _result(btb_misses=300, btb_covered_misses=700)
+        assert r.coverage() == 0.7
+        assert r.total_would_be_misses() == 1000
+
+    def test_coverage_no_misses(self):
+        assert _result().coverage() == 0.0
+
+    def test_prefetch_accuracy(self):
+        r = _result(prefetches_issued=1000, prefetches_used=313)
+        assert r.prefetch_accuracy() == pytest.approx(0.313)
+
+    def test_accuracy_no_prefetches(self):
+        assert _result().prefetch_accuracy() == 0.0
+
+    def test_frontend_bound(self):
+        r = SimResult(instructions=300, cycles=100)
+        assert r.frontend_bound(width=6) == pytest.approx(0.5)
+
+    def test_frontend_bound_saturates_at_zero(self):
+        r = SimResult(instructions=600, cycles=100)
+        assert r.frontend_bound(width=6) == 0.0
+
+    def test_speedup_over(self):
+        fast = SimResult(instructions=1, cycles=80)
+        slow = SimResult(instructions=1, cycles=100)
+        assert fast.speedup_over(slow) == pytest.approx(25.0)
+        assert slow.speedup_over(fast) == pytest.approx(-20.0)
+
+    def test_speedup_degenerate(self):
+        assert SimResult().speedup_over(SimResult()) == 0.0
+
+    def test_dynamic_overhead(self):
+        r = SimResult(instructions=103_000, extra_dynamic_instructions=3000)
+        assert r.dynamic_overhead() == pytest.approx(0.03)
+
+    def test_dynamic_overhead_zero(self):
+        assert _result().dynamic_overhead() == 0.0
+
+    def test_summary_contains_key_metrics(self):
+        r = _result(label="x", btb_misses=100)
+        text = r.summary()
+        assert "x" in text and "IPC" in text and "MPKI" in text

@@ -1,0 +1,158 @@
+"""Timing simulator: counters, limit studies, warmup, sensitivity."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.config import SimConfig
+from repro.errors import SimulationError
+from repro.prefetchers.base import BaselineBTBSystem
+from repro.uarch.sim import FrontendSimulator, simulate
+
+
+@pytest.fixture(scope="module")
+def base_result(tiny_module_workload, tiny_module_trace):
+    cfg = SimConfig()
+    return simulate(
+        tiny_module_workload, tiny_module_trace, cfg, BaselineBTBSystem(cfg)
+    )
+
+
+@pytest.fixture(scope="module")
+def tiny_module_workload():
+    from repro.workloads.cfg import build_workload
+    from tests.conftest import make_tiny_spec
+
+    return build_workload(make_tiny_spec(), seed=7)
+
+
+@pytest.fixture(scope="module")
+def tiny_module_trace(tiny_module_workload):
+    from repro.trace.walker import generate_trace
+
+    return generate_trace(
+        tiny_module_workload,
+        tiny_module_workload.spec.make_input(0),
+        max_instructions=60_000,
+    )
+
+
+class TestBasicRun:
+    def test_counts_instructions(self, base_result, tiny_module_trace):
+        assert base_result.instructions == tiny_module_trace.stats.instructions
+
+    def test_positive_cycles_and_sane_ipc(self, base_result):
+        assert base_result.cycles > 0
+        assert 0.05 < base_result.ipc() < 6.0
+
+    def test_btb_accesses_match_direct_branches(self, base_result, tiny_module_trace):
+        from repro.isa.branches import BranchKind
+
+        s = tiny_module_trace.stats
+        direct = sum(
+            s.branches_by_kind.get(k, 0)
+            for k in (
+                BranchKind.COND_DIRECT,
+                BranchKind.UNCOND_DIRECT,
+                BranchKind.CALL_DIRECT,
+            )
+        )
+        assert base_result.btb_accesses == direct
+
+    def test_miss_breakdown_sums(self, base_result):
+        assert sum(base_result.btb_misses_by_kind.values()) == base_result.btb_misses
+
+    def test_frontend_bound_in_unit_interval(self, base_result):
+        assert 0.0 <= base_result.frontend_bound() <= 1.0
+
+    def test_no_prefetches_in_baseline(self, base_result):
+        assert base_result.prefetches_issued == 0
+        assert base_result.prefetch_ops_executed == 0
+
+
+class TestLimitStudies:
+    def test_ideal_btb_removes_all_misses(self, tiny_module_workload, tiny_module_trace):
+        cfg = replace(SimConfig(), ideal_btb=True)
+        res = simulate(tiny_module_workload, tiny_module_trace, cfg, BaselineBTBSystem(cfg))
+        assert res.btb_misses == 0
+
+    def test_ideal_btb_is_faster(self, tiny_module_workload, tiny_module_trace, base_result):
+        cfg = replace(SimConfig(), ideal_btb=True)
+        res = simulate(tiny_module_workload, tiny_module_trace, cfg, BaselineBTBSystem(cfg))
+        assert res.cycles < base_result.cycles
+
+    def test_ideal_icache_removes_fetch_stalls(self, tiny_module_workload, tiny_module_trace):
+        cfg = replace(SimConfig(), ideal_icache=True)
+        res = simulate(tiny_module_workload, tiny_module_trace, cfg, BaselineBTBSystem(cfg))
+        assert res.fetch_stall_cycles == 0
+
+    def test_both_ideal_fastest(self, tiny_module_workload, tiny_module_trace, base_result):
+        cfg = replace(SimConfig(), ideal_btb=True, ideal_icache=True)
+        res = simulate(tiny_module_workload, tiny_module_trace, cfg, BaselineBTBSystem(cfg))
+        assert res.cycles <= base_result.cycles
+
+
+class TestWarmup:
+    def test_warmup_shrinks_counted_window(self, tiny_module_workload, tiny_module_trace):
+        cfg = SimConfig()
+        sim = FrontendSimulator(tiny_module_workload, cfg, BaselineBTBSystem(cfg))
+        warm = sim.run(tiny_module_trace, warmup_units=len(tiny_module_trace) // 2)
+        cold = simulate(
+            tiny_module_workload, tiny_module_trace, cfg, BaselineBTBSystem(cfg)
+        )
+        assert warm.instructions < cold.instructions
+        assert warm.cycles < cold.cycles
+
+    def test_warmup_lowers_compulsory_miss_rate(self, tiny_module_workload, tiny_module_trace):
+        cfg = SimConfig()
+        sim = FrontendSimulator(tiny_module_workload, cfg, BaselineBTBSystem(cfg))
+        warm = sim.run(tiny_module_trace, warmup_units=len(tiny_module_trace) // 2)
+        cold = simulate(
+            tiny_module_workload, tiny_module_trace, cfg, BaselineBTBSystem(cfg)
+        )
+        assert warm.btb_mpki() <= cold.btb_mpki() + 1e-9
+
+    def test_warmup_longer_than_trace_rejected(self, tiny_module_workload, tiny_module_trace):
+        cfg = SimConfig()
+        sim = FrontendSimulator(tiny_module_workload, cfg, BaselineBTBSystem(cfg))
+        with pytest.raises(SimulationError):
+            sim.run(tiny_module_trace, warmup_units=len(tiny_module_trace) + 1)
+
+
+class TestSensitivityDirections:
+    """Directional checks that back the sweep figures."""
+
+    def _run(self, wl, tr, cfg):
+        return simulate(wl, tr, cfg, BaselineBTBSystem(cfg))
+
+    def test_smaller_btb_more_misses(self, tiny_module_workload, tiny_module_trace):
+        big = self._run(tiny_module_workload, tiny_module_trace, SimConfig())
+        small = self._run(
+            tiny_module_workload, tiny_module_trace, SimConfig().with_btb(entries=256)
+        )
+        assert small.btb_misses >= big.btb_misses
+
+    def test_tiny_ftq_hurts(self, tiny_module_workload, tiny_module_trace):
+        normal = self._run(tiny_module_workload, tiny_module_trace, SimConfig())
+        narrow = self._run(
+            tiny_module_workload, tiny_module_trace, SimConfig().with_ftq(1)
+        )
+        assert narrow.cycles >= normal.cycles
+
+    def test_resteer_penalty_scales_cycles(self, tiny_module_workload, tiny_module_trace):
+        from dataclasses import replace as drep
+
+        cheap_cfg = SimConfig()
+        dear_core = drep(cheap_cfg.core, btb_miss_penalty=40)
+        dear_cfg = drep(cheap_cfg, core=dear_core)
+        cheap = self._run(tiny_module_workload, tiny_module_trace, cheap_cfg)
+        dear = self._run(tiny_module_workload, tiny_module_trace, dear_cfg)
+        if cheap.btb_misses > 0:
+            assert dear.cycles > cheap.cycles
+
+    def test_run_deterministic(self, tiny_module_workload, tiny_module_trace):
+        cfg = SimConfig()
+        a = self._run(tiny_module_workload, tiny_module_trace, cfg)
+        b = self._run(tiny_module_workload, tiny_module_trace, cfg)
+        assert a.cycles == b.cycles
+        assert a.btb_misses == b.btb_misses

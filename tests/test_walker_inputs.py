@@ -1,0 +1,85 @@
+"""Input perturbation semantics of the walker (Table 2's substrate)."""
+
+import pytest
+
+from repro.trace.walker import (
+    _Sampler,
+    _perturbed_biases,
+    _perturbed_weights,
+    generate_trace,
+)
+from repro.workloads.rng import make_rng
+
+
+class TestSampler:
+    def test_rejects_zero_weights(self):
+        from repro.errors import TraceError
+
+        with pytest.raises(TraceError):
+            _Sampler(make_rng("x"), [0.0, 0.0])
+
+    def test_draws_in_range(self):
+        s = _Sampler(make_rng("x"), [1.0, 2.0, 3.0])
+        draws = [s.draw() for _ in range(1000)]
+        assert set(draws) <= {0, 1, 2}
+
+    def test_respects_weights_statistically(self):
+        s = _Sampler(make_rng("y"), [1.0, 9.0])
+        draws = [s.draw() for _ in range(5000)]
+        heavy = sum(1 for d in draws if d == 1) / len(draws)
+        assert 0.82 < heavy < 0.97
+
+    def test_single_item(self):
+        s = _Sampler(make_rng("z"), [5.0])
+        assert all(s.draw() == 0 for _ in range(10))
+
+
+class TestPerturbation:
+    def test_input0_weights_unchanged(self, tiny_workload):
+        inp = tiny_workload.spec.make_input(0)
+        assert _perturbed_weights(tiny_workload, inp) == list(
+            tiny_workload.handler_weights
+        )
+
+    def test_input1_weights_shifted(self, tiny_workload):
+        inp = tiny_workload.spec.make_input(1)
+        shifted = _perturbed_weights(tiny_workload, inp)
+        assert shifted != list(tiny_workload.handler_weights)
+        assert len(shifted) == len(tiny_workload.handler_weights)
+        assert all(w > 0 for w in shifted)
+
+    def test_input0_no_bias_overrides(self, tiny_workload):
+        assert _perturbed_biases(tiny_workload, tiny_workload.spec.make_input(0)) == {}
+
+    def test_input1_bias_overrides_are_conditionals(self, tiny_workload):
+        from repro.isa.branches import BranchKind
+
+        overrides = _perturbed_biases(tiny_workload, tiny_workload.spec.make_input(2))
+        assert overrides
+        for blk, bias in overrides.items():
+            assert tiny_workload.branch_kind[blk] is BranchKind.COND_DIRECT
+            assert 0.0 <= bias <= 1.0
+
+    def test_perturbation_deterministic(self, tiny_workload):
+        inp = tiny_workload.spec.make_input(3)
+        assert _perturbed_biases(tiny_workload, inp) == _perturbed_biases(
+            tiny_workload, inp
+        )
+
+
+class TestInputBehaviour:
+    def test_inputs_share_most_of_the_footprint(self, tiny_workload):
+        """Different inputs overlap heavily (same application!) —
+        the property Table 2's cross-input result depends on."""
+        a = generate_trace(
+            tiny_workload, tiny_workload.spec.make_input(0), max_instructions=50_000
+        )
+        b = generate_trace(
+            tiny_workload, tiny_workload.spec.make_input(1), max_instructions=50_000
+        )
+        sa, sb = set(a.blocks), set(b.blocks)
+        overlap = len(sa & sb) / min(len(sa), len(sb))
+        assert overlap > 0.5
+
+    def test_inputs_are_not_identical(self, tiny_workload, tiny_trace, tiny_trace_alt):
+        assert tiny_trace.blocks != tiny_trace_alt.blocks

@@ -1,0 +1,164 @@
+"""CFG builder: structure, determinism, layout, reachability."""
+
+import pytest
+
+from repro.isa.branches import BranchKind
+from repro.workloads.cfg import (
+    DIRECT_KIND_CODES,
+    KIND_CALL,
+    KIND_CODE,
+    KIND_COND,
+    KIND_FROM_CODE,
+    KIND_NONE,
+    Workload,
+    build_workload,
+    _dfs_layout_order,
+)
+from tests.conftest import make_tiny_spec
+
+
+class TestKindCodes:
+    def test_roundtrip(self):
+        for kind, code in KIND_CODE.items():
+            assert KIND_FROM_CODE[code] is kind
+
+    def test_direct_codes(self):
+        assert KIND_COND in DIRECT_KIND_CODES
+        assert KIND_CALL in DIRECT_KIND_CODES
+        assert KIND_NONE not in DIRECT_KIND_CODES
+
+
+class TestBuildDeterminism:
+    def test_same_seed_same_binary(self):
+        spec = make_tiny_spec()
+        a = build_workload(spec, seed=3)
+        b = build_workload(spec, seed=3)
+        assert a.block_start == b.block_start
+        assert a.branch_pc == b.branch_pc
+        assert a.branch_target == b.branch_target
+
+    def test_different_seed_different_binary(self):
+        spec = make_tiny_spec()
+        a = build_workload(spec, seed=1)
+        b = build_workload(spec, seed=2)
+        assert a.branch_target != b.branch_target
+
+
+class TestStructure:
+    def test_function_count(self, tiny_workload):
+        assert len(tiny_workload.functions) == 120
+
+    def test_root_is_dispatch_loop(self, tiny_workload):
+        root = tiny_workload.functions[tiny_workload.root_function]
+        assert root.level == 0
+        assert root.n_blocks == 2
+        first = tiny_workload.branch_kind[root.first_block]
+        assert first is BranchKind.CALL_INDIRECT
+        loop = tiny_workload.branch_kind[root.first_block + 1]
+        assert loop is BranchKind.UNCOND_DIRECT
+
+    def test_handlers_are_level_one(self, tiny_workload):
+        for h in tiny_workload.handler_indices:
+            assert tiny_workload.functions[h].level == 1
+
+    def test_handler_weights_positive(self, tiny_workload):
+        assert len(tiny_workload.handler_weights) == len(tiny_workload.handler_indices)
+        assert all(w > 0 for w in tiny_workload.handler_weights)
+
+    def test_every_function_ends_in_return(self, tiny_workload):
+        for f in tiny_workload.functions:
+            if f.index == tiny_workload.root_function:
+                continue
+            last = f.first_block + f.n_blocks - 1
+            assert tiny_workload.branch_kind[last] is BranchKind.RETURN
+
+    def test_blocks_sorted_and_non_overlapping(self, tiny_workload):
+        starts = tiny_workload.block_start
+        sizes = tiny_workload.block_size
+        for i in range(len(starts) - 1):
+            assert starts[i] + sizes[i] <= starts[i + 1]
+
+    def test_direct_targets_are_block_starts(self, tiny_workload):
+        for bi in range(tiny_workload.n_blocks):
+            kind = tiny_workload.branch_kind[bi]
+            if kind is not None and kind.is_direct:
+                assert tiny_workload.target_block[bi] >= 0
+
+    def test_calls_target_function_entries(self, tiny_workload):
+        entries = {f.entry_addr for f in tiny_workload.functions}
+        for bi in range(tiny_workload.n_blocks):
+            if tiny_workload.branch_kind[bi] is BranchKind.CALL_DIRECT:
+                assert tiny_workload.branch_target[bi] in entries
+
+    def test_cond_targets_within_function(self, tiny_workload):
+        # Conditional targets stay inside the same function.
+        for f in tiny_workload.functions:
+            for bi in f.block_range:
+                if tiny_workload.branch_kind[bi] is BranchKind.COND_DIRECT:
+                    assert tiny_workload.target_block[bi] in f.block_range
+
+    def test_calls_go_downward_in_level(self, tiny_workload):
+        # DAG property: callee level strictly greater than caller level.
+        func_of_block = {}
+        for f in tiny_workload.functions:
+            for bi in f.block_range:
+                func_of_block[bi] = f
+        entry_to_func = {f.entry_addr: f for f in tiny_workload.functions}
+        for bi in range(tiny_workload.n_blocks):
+            kind = tiny_workload.branch_kind[bi]
+            if kind is BranchKind.CALL_DIRECT:
+                caller = func_of_block[bi]
+                callee = entry_to_func[tiny_workload.branch_target[bi]]
+                if caller.level > 0:
+                    assert callee.level > caller.level
+
+    def test_kind_code_array_consistent(self, tiny_workload):
+        for bi in range(tiny_workload.n_blocks):
+            kind = tiny_workload.branch_kind[bi]
+            code = tiny_workload.kind_code[bi]
+            if kind is None:
+                assert code == KIND_NONE
+            else:
+                assert KIND_FROM_CODE[code] is kind
+
+    def test_block_index_at(self, tiny_workload):
+        for bi in (0, 5, tiny_workload.n_blocks - 1):
+            assert tiny_workload.block_index_at(tiny_workload.block_start[bi]) == bi
+
+    def test_describe_mentions_name(self, tiny_workload):
+        assert "tinyapp" in tiny_workload.describe()
+
+
+class TestLayout:
+    def test_far_region_exists(self):
+        spec = make_tiny_spec(far_region_fraction=0.5)
+        wl = build_workload(spec, seed=0)
+        base = 0x400000
+        far = base + spec.far_region_offset
+        near_funcs = [f for f in wl.functions if f.entry_addr < far]
+        far_funcs = [f for f in wl.functions if f.entry_addr >= far]
+        assert near_funcs and far_funcs
+
+    def test_no_far_region_when_fraction_zero(self):
+        spec = make_tiny_spec(far_region_fraction=0.0)
+        wl = build_workload(spec, seed=0)
+        far = 0x400000 + spec.far_region_offset
+        assert all(f.entry_addr < far for f in wl.functions)
+
+    def test_dfs_order_root_first(self):
+        plans = [
+            [("call", 1)],       # 0 calls 1
+            [("call", 2)],       # 1 calls 2
+            [("ret",)],          # 2
+            [("ret",)],          # 3 unreachable
+        ]
+        order = _dfs_layout_order(plans)
+        assert order[0] == 0
+        assert order.index(1) < order.index(2) or True  # callee follows caller
+        assert order[:3] == [0, 1, 2]
+        assert order[3] == 3
+
+    def test_dfs_order_covers_all(self, tiny_workload):
+        # implied: every function got an address and a Function record.
+        assert all(f is not None for f in tiny_workload.functions)
+        assert len({f.entry_addr for f in tiny_workload.functions}) == 120

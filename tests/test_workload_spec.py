@@ -1,0 +1,119 @@
+"""AppSpec validation, scaling, and input derivation."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.apps import PAPER_APPS, app_names, get_app
+from repro.workloads.spec import AppSpec, validate_mix
+from tests.conftest import make_tiny_spec
+
+
+class TestAppSpec:
+    def test_tiny_spec_valid(self):
+        spec = make_tiny_spec()
+        assert spec.functions == 120
+
+    def test_rejects_too_few_functions(self):
+        with pytest.raises(WorkloadError):
+            make_tiny_spec(functions=1)
+
+    def test_rejects_bad_mix_sum(self):
+        with pytest.raises(WorkloadError):
+            make_tiny_spec(branch_mix={"cond_direct": 0.5})
+
+    def test_rejects_unknown_mix_kind(self):
+        with pytest.raises(WorkloadError):
+            make_tiny_spec(branch_mix={"cond_direct": 0.5, "banana": 0.5})
+
+    def test_rejects_bad_dispatch_pattern(self):
+        with pytest.raises(WorkloadError):
+            make_tiny_spec(dispatch_pattern="roundrobin")
+
+    def test_scaled_preserves_knobs(self):
+        spec = make_tiny_spec(popularity_exponent=0.33, loop_fraction=0.07)
+        scaled = spec.scaled(0.5)
+        assert scaled.functions == 60
+        assert scaled.popularity_exponent == 0.33
+        assert scaled.loop_fraction == 0.07
+
+    def test_scaled_rejects_nonpositive(self):
+        with pytest.raises(WorkloadError):
+            make_tiny_spec().scaled(0)
+
+    def test_estimated_static_branches(self):
+        spec = make_tiny_spec()
+        assert spec.estimated_static_branches() == 120 * 8
+
+
+class TestWorkloadInput:
+    def test_input0_is_unperturbed(self):
+        inp = make_tiny_spec().make_input(0)
+        assert inp.popularity_shift == 0.0
+        assert inp.bias_shift == 0.0
+
+    def test_later_inputs_shift_more(self):
+        spec = make_tiny_spec()
+        i1, i2 = spec.make_input(1), spec.make_input(2)
+        assert 0 < i1.popularity_shift < i2.popularity_shift <= 1.0
+
+    def test_inputs_have_distinct_seeds(self):
+        spec = make_tiny_spec()
+        seeds = {spec.make_input(i).walk_seed for i in range(4)}
+        assert len(seeds) == 4
+
+    def test_seed_stable_across_calls(self):
+        spec = make_tiny_spec()
+        assert spec.make_input(2).walk_seed == spec.make_input(2).walk_seed
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(WorkloadError):
+            make_tiny_spec().make_input(-1)
+
+    def test_label(self):
+        assert make_tiny_spec().make_input(3).label() == "tinyapp#3"
+
+
+class TestPaperApps:
+    def test_nine_apps(self):
+        assert len(PAPER_APPS) == 9
+        assert set(app_names()) == set(PAPER_APPS)
+
+    def test_get_app_known(self):
+        spec = get_app("cassandra")
+        assert spec.name == "cassandra"
+
+    def test_get_app_unknown(self):
+        with pytest.raises(WorkloadError):
+            get_app("nginx")
+
+    def test_verilator_is_the_sweep_app(self):
+        assert get_app("verilator").dispatch_pattern == "sweep"
+        assert all(
+            get_app(a).dispatch_pattern == "zipf"
+            for a in app_names()
+            if a != "verilator"
+        )
+
+    def test_verilator_has_largest_footprint_target(self):
+        targets = {a: get_app(a).footprint_mb_target for a in app_names()}
+        assert max(targets, key=targets.get) == "verilator"
+
+    def test_mpki_targets_match_paper_band(self):
+        targets = [get_app(a).btb_mpki_target for a in app_names()]
+        assert min(targets) == 8.0
+        assert max(targets) == 121.0
+
+    def test_scale_parameter(self):
+        full = get_app("kafka", scale=1.0)
+        half = get_app("kafka", scale=0.5)
+        assert half.functions == full.functions // 2
+
+
+class TestValidateMix:
+    def test_normalizes(self):
+        mix = validate_mix({"a": 2.0, "b": 2.0})
+        assert mix == {"a": 0.5, "b": 0.5}
+
+    def test_rejects_zero_total(self):
+        with pytest.raises(WorkloadError):
+            validate_mix({"a": 0.0})
