@@ -32,6 +32,10 @@ class ProfileError(ReproError):
     """Profile collection or parsing failed."""
 
 
+class CacheError(ReproError):
+    """An on-disk experiment-cache entry could not be read or written."""
+
+
 class PlanError(ReproError):
     """A Twig prefetch plan could not be built or applied."""
 

@@ -1,11 +1,25 @@
 """Experiment harness: regenerates every table and figure of the paper.
 
-``runner`` provides cached end-to-end runs; ``figures``/``tables``
-compute each experiment's rows; ``registry`` maps paper figure/table
-ids to those functions; ``report`` renders them as text.
+``runner`` provides cached end-to-end runs; ``cache`` persists them on
+disk across processes; ``parallel`` fans them out over a process pool;
+``figures``/``tables`` compute each experiment's rows; ``registry``
+maps paper figure/table ids to those functions; ``report`` renders
+them as text.
 """
 
-from .runner import ExperimentRunner, get_runner
-from .registry import EXPERIMENTS, run_experiment
+from .cache import ResultCache
+from .parallel import RunRequest
+from .runner import ExperimentRunner, RunnerSettings, get_runner, set_runner
+from .registry import EXPERIMENTS, run_experiment, warm_experiments
 
-__all__ = ["ExperimentRunner", "get_runner", "EXPERIMENTS", "run_experiment"]
+__all__ = [
+    "ExperimentRunner",
+    "RunnerSettings",
+    "ResultCache",
+    "RunRequest",
+    "get_runner",
+    "set_runner",
+    "EXPERIMENTS",
+    "run_experiment",
+    "warm_experiments",
+]

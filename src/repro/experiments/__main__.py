@@ -4,16 +4,28 @@ Usage::
 
     python -m repro.experiments fig16 fig17
     python -m repro.experiments --list
+    python -m repro.experiments --jobs 8 fig16 fig23        # parallel fan-out
+    python -m repro.experiments --no-cache fig03            # force re-simulation
+    python -m repro.experiments --cache-dir /tmp/twig fig03
     REPRO_APPS=cassandra,wordpress python -m repro.experiments fig03
+
+``--jobs``/``--cache-dir`` default to the ``REPRO_JOBS`` /
+``REPRO_CACHE_DIR`` environment knobs; results persist under
+``.repro_cache/`` unless ``--no-cache`` is given.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
-from .registry import EXPERIMENTS, run_experiment
+from ..errors import ReproError
+from .cache import DEFAULT_CACHE_DIR, ResultCache
+from .parallel import resolve_jobs
+from .registry import EXPERIMENTS, warm_experiments
 from .report import format_per_app, format_series, save_result
+from .runner import ExperimentRunner, RunnerSettings, set_runner
 
 
 def main(argv=None) -> int:
@@ -24,6 +36,23 @@ def main(argv=None) -> int:
     parser.add_argument("experiments", nargs="*", help="experiment ids (e.g. fig16)")
     parser.add_argument("--list", action="store_true", help="list experiments")
     parser.add_argument("--save", action="store_true", help="save JSON results")
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="parallel simulation workers (default: $REPRO_JOBS or 1)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help=f"on-disk result cache directory "
+        f"(default: $REPRO_CACHE_DIR or {DEFAULT_CACHE_DIR})",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the on-disk result cache for this invocation",
+    )
     args = parser.parse_args(argv)
 
     if args.list or not args.experiments:
@@ -31,11 +60,37 @@ def main(argv=None) -> int:
             print(f"{exp_id:8s} {exp.title} — paper: {exp.paper_claim}")
         return 0
 
-    for exp_id in args.experiments:
-        exp = EXPERIMENTS.get(exp_id)
-        if exp is None:
+    unknown = [e for e in args.experiments if e not in EXPERIMENTS]
+    if unknown:
+        for exp_id in unknown:
             print(f"unknown experiment {exp_id!r}", file=sys.stderr)
-            return 2
+        return 2
+
+    try:
+        settings = RunnerSettings.from_env()
+        jobs = resolve_jobs(args.jobs)
+        if args.no_cache:
+            cache = None
+        else:
+            cache_dir = (
+                args.cache_dir
+                or os.environ.get("REPRO_CACHE_DIR")
+                or DEFAULT_CACHE_DIR
+            )
+            cache = ResultCache(cache_dir)
+        runner = ExperimentRunner(settings, cache=cache, jobs=jobs)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    set_runner(runner)
+
+    if jobs > 1:
+        # One fan-out covers the default-config runs every requested
+        # experiment shares (each figure still warms its own sweeps).
+        warm_experiments(args.experiments, runner=runner)
+
+    for exp_id in args.experiments:
+        exp = EXPERIMENTS[exp_id]
         result = exp.run()
         title = f"{exp_id}: {exp.title}"
         if "per_app" in result:

@@ -27,6 +27,7 @@ from ..analysis.working_set import (
 from ..config import BTBConfig, SimConfig
 from ..core.candidates import select_injection_sites
 from ..workloads.apps import PAPER_APPS
+from .parallel import RunRequest
 from .runner import ExperimentRunner, get_runner
 
 # Apps used for parameter sweeps (full nine-app sweeps would multiply
@@ -39,6 +40,28 @@ def _mean(values: Sequence[float]) -> float:
     return statistics.fmean(values) if values else 0.0
 
 
+def _requests(
+    r: ExperimentRunner,
+    systems: Sequence[str],
+    apps: Optional[Sequence[str]] = None,
+    config: Optional[SimConfig] = None,
+    cache_tag: str = "",
+    inputs: Sequence[Optional[int]] = (None,),
+) -> List[RunRequest]:
+    """Cross-product of run requests for :meth:`ExperimentRunner.warm`.
+
+    Each figure warms every run it is about to consume in one call, so
+    with ``jobs > 1`` the whole figure fans out across workers before
+    the (now cache-hitting) serial aggregation loop below it.
+    """
+    return [
+        RunRequest(app, system, input_idx=idx, cache_tag=cache_tag, config=config)
+        for app in (apps if apps is not None else r.apps)
+        for system in systems
+        for idx in inputs
+    ]
+
+
 # ----------------------------------------------------------------------
 # §2 characterization
 # ----------------------------------------------------------------------
@@ -46,6 +69,7 @@ def _mean(values: Sequence[float]) -> float:
 def fig01_frontend_bound(runner: Optional[ExperimentRunner] = None) -> Dict:
     """Fig 1: fraction of pipeline slots lost to the frontend."""
     r = runner or get_runner()
+    r.warm(_requests(r, ("baseline",)))
     per_app = {}
     for app in r.apps:
         res = r.run(app, "baseline")
@@ -61,6 +85,7 @@ def fig01_frontend_bound(runner: Optional[ExperimentRunner] = None) -> Dict:
 def fig02_limit_study(runner: Optional[ExperimentRunner] = None) -> Dict:
     """Fig 2: ideal-I-cache and ideal-BTB speedups over FDIP."""
     r = runner or get_runner()
+    r.warm(_requests(r, ("baseline", "ideal_icache", "ideal_btb")))
     per_app = {}
     for app in r.apps:
         per_app[app] = {
@@ -80,6 +105,7 @@ def fig02_limit_study(runner: Optional[ExperimentRunner] = None) -> Dict:
 def fig03_btb_mpki(runner: Optional[ExperimentRunner] = None) -> Dict:
     """Fig 3: baseline BTB MPKI per app (paper: 8-121, avg 29.7)."""
     r = runner or get_runner()
+    r.warm(_requests(r, ("baseline",)))
     per_app = {app: r.run(app, "baseline").btb_mpki() for app in r.apps}
     return {
         "per_app": per_app,
@@ -166,6 +192,7 @@ def fig06_conflict_vs_assoc(
 def fig07_access_breakdown(runner: Optional[ExperimentRunner] = None) -> Dict:
     """Fig 7: BTB accesses by branch type (conditionals dominate)."""
     r = runner or get_runner()
+    r.warm(_requests(r, ("baseline",)))
     per_app = {}
     for app in r.apps:
         res = r.run(app, "baseline")
@@ -186,6 +213,7 @@ def fig07_access_breakdown(runner: Optional[ExperimentRunner] = None) -> Dict:
 def fig08_miss_breakdown(runner: Optional[ExperimentRunner] = None) -> Dict:
     """Fig 8: BTB misses by branch type (uncond+calls overrepresented)."""
     r = runner or get_runner()
+    r.warm(_requests(r, ("baseline",)))
     per_app = {}
     for app in r.apps:
         res = r.run(app, "baseline")
@@ -205,6 +233,7 @@ def fig08_miss_breakdown(runner: Optional[ExperimentRunner] = None) -> Dict:
 def fig09_prior_speedups(runner: Optional[ExperimentRunner] = None) -> Dict:
     """Fig 9: Shotgun and Confluence speedups over FDIP."""
     r = runner or get_runner()
+    r.warm(_requests(r, ("baseline", "shotgun", "confluence")))
     per_app = {
         app: {
             "shotgun": r.speedup(app, "shotgun"),
@@ -318,6 +347,10 @@ def fig16_speedup(runner: Optional[ExperimentRunner] = None) -> Dict:
     """Fig 16: Twig vs ideal BTB, Shotgun, and a 32K-entry BTB."""
     r = runner or get_runner()
     cfg32k = SimConfig().with_btb(entries=32768)
+    r.warm(
+        _requests(r, ("baseline", "twig", "ideal_btb", "shotgun"))
+        + _requests(r, ("baseline",), config=cfg32k)
+    )
     per_app = {}
     for app in r.apps:
         per_app[app] = {
@@ -342,6 +375,7 @@ def fig16_speedup(runner: Optional[ExperimentRunner] = None) -> Dict:
 def fig17_coverage(runner: Optional[ExperimentRunner] = None) -> Dict:
     """Fig 17: BTB miss coverage of Twig, Confluence, and Shotgun."""
     r = runner or get_runner()
+    r.warm(_requests(r, ("baseline", "twig", "shotgun", "confluence")))
     per_app = {
         app: {
             "twig": r.miss_reduction(app, "twig"),
@@ -364,6 +398,10 @@ def fig18_contribution(runner: Optional[ExperimentRunner] = None) -> Dict:
     """Fig 18: software-prefetch-only vs +coalescing contribution."""
     r = runner or get_runner()
     no_coalesce = SimConfig().with_twig(enable_coalescing=False)
+    r.warm(
+        _requests(r, ("baseline", "twig"))
+        + _requests(r, ("twig",), config=no_coalesce, cache_tag="sw_only")
+    )
     per_app = {}
     for app in r.apps:
         full = r.speedup(app, "twig")
@@ -388,6 +426,7 @@ def fig18_contribution(runner: Optional[ExperimentRunner] = None) -> Dict:
 def fig19_accuracy(runner: Optional[ExperimentRunner] = None) -> Dict:
     """Fig 19: BTB prefetch accuracy of Twig, Confluence, Shotgun."""
     r = runner or get_runner()
+    r.warm(_requests(r, ("twig", "shotgun", "confluence")))
     per_app = {
         app: {
             "twig": r.run(app, "twig").prefetch_accuracy(),
@@ -416,6 +455,15 @@ def fig20_cross_input(
     re-profiles on the test input itself.
     """
     r = runner or get_runner()
+    r.warm(
+        _requests(r, ("baseline", "ideal_btb"), inputs=test_inputs)
+        + [
+            RunRequest(app, "twig", input_idx=idx, profile_input=pidx)
+            for app in r.apps
+            for idx in test_inputs
+            for pidx in (0, idx)
+        ]
+    )
     per_app: Dict[str, Dict[str, List[float]]] = {}
     for app in r.apps:
         same: List[float] = []
@@ -463,6 +511,7 @@ def fig21_static_overhead(runner: Optional[ExperimentRunner] = None) -> Dict:
 def fig22_dynamic_overhead(runner: Optional[ExperimentRunner] = None) -> Dict:
     """Fig 22: dynamic instruction overhead (paper avg 3%)."""
     r = runner or get_runner()
+    r.warm(_requests(r, ("twig",)))
     per_app = {app: r.run(app, "twig").dynamic_overhead() for app in r.apps}
     return {
         "per_app": per_app,
@@ -492,6 +541,14 @@ def fig23_btb_size(
 ) -> Dict:
     """Fig 23: % of ideal-BTB speedup vs BTB capacity."""
     r = runner or get_runner()
+    sweep_systems = ("baseline", "ideal_btb", "twig", "shotgun", "confluence")
+    r.warm([
+        q
+        for size in sizes
+        for q in _requests(r, sweep_systems, apps=apps,
+                           config=SimConfig().with_btb(entries=size),
+                           cache_tag=f"size{size}")
+    ])
     series = {}
     for size in sizes:
         cfg = SimConfig().with_btb(entries=size)
@@ -511,6 +568,14 @@ def fig24_btb_assoc(
 ) -> Dict:
     """Fig 24: % of ideal-BTB speedup vs associativity."""
     r = runner or get_runner()
+    sweep_systems = ("baseline", "ideal_btb", "twig", "shotgun", "confluence")
+    r.warm([
+        q
+        for ways in ways_list
+        for q in _requests(r, sweep_systems, apps=apps,
+                           config=SimConfig().with_btb(ways=ways),
+                           cache_tag=f"assoc{ways}")
+    ])
     series = {}
     for ways in ways_list:
         cfg = SimConfig().with_btb(ways=ways)
@@ -530,6 +595,13 @@ def fig25_prefetch_buffer(
 ) -> Dict:
     """Fig 25: % of ideal vs prefetch-buffer size (scales to ~128)."""
     r = runner or get_runner()
+    r.warm([
+        q
+        for size in sizes
+        for q in _requests(r, ("baseline", "ideal_btb", "twig"), apps=apps,
+                           config=SimConfig().with_prefetch_buffer(size),
+                           cache_tag=f"pfbuf{size}")
+    ])
     series = {}
     for size in sizes:
         cfg = SimConfig().with_prefetch_buffer(size)
@@ -548,6 +620,13 @@ def fig26_prefetch_distance(
 ) -> Dict:
     """Fig 26: % of ideal vs prefetch distance (best 15-25 cycles)."""
     r = runner or get_runner()
+    r.warm([
+        q
+        for dist in distances
+        for q in _requests(r, ("baseline", "ideal_btb", "twig"), apps=apps,
+                           config=SimConfig().with_twig(prefetch_distance=dist),
+                           cache_tag=f"dist{dist}")
+    ])
     series = {}
     for dist in distances:
         cfg = SimConfig().with_twig(prefetch_distance=dist)
@@ -566,6 +645,13 @@ def fig27_coalesce_bitmask(
 ) -> Dict:
     """Fig 27: coalescing gain vs bitmask width (8 bits enough)."""
     r = runner or get_runner()
+    r.warm([
+        q
+        for bits in bits_list
+        for q in _requests(r, ("baseline", "ideal_btb", "twig"), apps=apps,
+                           config=SimConfig().with_twig(coalesce_bits=bits),
+                           cache_tag=f"mask{bits}")
+    ])
     series = {}
     for bits in bits_list:
         cfg = SimConfig().with_twig(coalesce_bits=bits)
@@ -584,6 +670,13 @@ def fig28_ftq_runahead(
 ) -> Dict:
     """Fig 28: % of ideal vs FTQ depth (Twig stable at every depth)."""
     r = runner or get_runner()
+    r.warm([
+        q
+        for size in ftq_sizes
+        for q in _requests(r, ("baseline", "ideal_btb", "twig"), apps=apps,
+                           config=SimConfig().with_ftq(size),
+                           cache_tag=f"ftq{size}")
+    ])
     series = {}
     for size in ftq_sizes:
         cfg = SimConfig().with_ftq(size)

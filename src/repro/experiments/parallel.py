@@ -1,0 +1,146 @@
+"""Process-pool fan-out for simulation runs.
+
+:func:`execute_runs` shards a list of :class:`RunRequest`\\ s across a
+``ProcessPoolExecutor``.  Workers are long-lived: each builds one
+:class:`~repro.experiments.runner.ExperimentRunner` (sharing the
+parent's on-disk cache when enabled), so workloads, traces, and
+profiles are reused across every request a worker receives, and every
+result a worker computes lands in the shared disk cache for later
+processes.
+
+Failure policy: a request whose worker raises is retried once in a
+fresh pool (transient failures: a killed worker, a broken pool, an
+OOM'd child); a request that fails twice resolves to ``None`` and the
+caller — :meth:`ExperimentRunner.warm` — falls back to computing it
+serially in-process, where the real exception surfaces to the user.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..config import SimConfig
+from ..errors import ReproError
+from ..uarch.results import SimResult
+
+# One retry round: transient failures get a second chance, systematic
+# ones fail fast into the serial fallback.
+MAX_RETRY_ROUNDS = 1
+
+
+def resolve_jobs(jobs: Optional[int] = None) -> int:
+    """Validate an explicit worker count, or read ``REPRO_JOBS``."""
+    if jobs is None:
+        raw = os.environ.get("REPRO_JOBS", "").strip()
+        if not raw:
+            return 1
+        try:
+            jobs = int(raw)
+        except ValueError:
+            raise ReproError(
+                f"REPRO_JOBS must be a positive integer, got {raw!r}"
+            ) from None
+    if jobs < 1:
+        raise ReproError(f"job count must be >= 1, got {jobs}")
+    return jobs
+
+
+@dataclass(frozen=True)
+class RunRequest:
+    """One (app, system, input) simulation to execute.
+
+    Mirrors the signature of :meth:`ExperimentRunner.run`; picklable so
+    it can cross the process boundary.
+    """
+
+    app: str
+    system: str
+    input_idx: Optional[int] = None
+    profile_input: Optional[int] = None
+    cache_tag: str = ""
+    config: Optional[SimConfig] = None
+
+    @classmethod
+    def coerce(cls, value) -> "RunRequest":
+        """Accept a RunRequest or a plain (app, system[, input_idx]) tuple."""
+        if isinstance(value, RunRequest):
+            return value
+        if isinstance(value, (tuple, list)) and 2 <= len(value) <= 3:
+            return cls(*value)
+        raise ReproError(
+            f"cannot interpret {value!r} as a run request; pass a RunRequest "
+            "or an (app, system[, input_idx]) tuple"
+        )
+
+
+# Worker-process state: one runner per worker, built by the initializer.
+_WORKER_RUNNER = None
+
+
+def _init_worker(settings, cache_dir: Optional[str]) -> None:
+    global _WORKER_RUNNER
+    from .cache import ResultCache
+    from .runner import ExperimentRunner
+
+    cache = ResultCache(cache_dir) if cache_dir else None
+    _WORKER_RUNNER = ExperimentRunner(settings, cache=cache, jobs=1)
+
+
+def _run_request(request: RunRequest) -> SimResult:
+    return _WORKER_RUNNER.run(
+        request.app,
+        request.system,
+        input_idx=request.input_idx,
+        config=request.config,
+        profile_input=request.profile_input,
+        cache_tag=request.cache_tag,
+    )
+
+
+def execute_runs(
+    settings,
+    requests: Sequence[RunRequest],
+    jobs: int,
+    cache_dir: Optional[str] = None,
+) -> List[Optional[SimResult]]:
+    """Execute *requests* across *jobs* worker processes.
+
+    Returns results aligned with *requests*; an entry is ``None`` when
+    its request failed after the retry round (or the pool could not be
+    started at all) — callers must fall back to serial execution for
+    those.
+    """
+    requests = list(requests)
+    if not requests:
+        return []
+    jobs = max(1, min(int(jobs), len(requests)))
+    results: List[Optional[SimResult]] = [None] * len(requests)
+    pending = list(enumerate(requests))
+    for _round in range(MAX_RETRY_ROUNDS + 1):
+        if not pending:
+            break
+        try:
+            with ProcessPoolExecutor(
+                max_workers=jobs,
+                initializer=_init_worker,
+                initargs=(settings, cache_dir),
+            ) as pool:
+                futures = {
+                    pool.submit(_run_request, req): (i, req) for i, req in pending
+                }
+                failed = []
+                for fut in as_completed(futures):
+                    i, req = futures[fut]
+                    try:
+                        results[i] = fut.result()
+                    except Exception:
+                        failed.append((i, req))
+        except Exception:
+            # The pool itself could not start (restricted environment,
+            # resource exhaustion); leave the rest for the serial path.
+            break
+        pending = sorted(failed)
+    return results

@@ -3,20 +3,29 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, Iterable, Optional, Tuple
 
 from ..errors import ReproError
 from . import figures, tables
+from .runner import ExperimentRunner, get_runner
 
 
 @dataclass(frozen=True)
 class Experiment:
-    """A runnable reproduction of one paper figure or table."""
+    """A runnable reproduction of one paper figure or table.
+
+    ``systems`` names the default-configuration systems the experiment
+    simulates for every app — the schedulable unit
+    :func:`warm_experiments` fans out across workers before a batch of
+    experiments runs.  Sweep figures (and analysis-only figures) leave
+    it empty and parallelize internally instead.
+    """
 
     id: str
     title: str
     paper_claim: str
     run: Callable[..., Dict]
+    systems: Tuple[str, ...] = ()
 
 
 EXPERIMENTS: Dict[str, Experiment] = {
@@ -26,15 +35,18 @@ EXPERIMENTS: Dict[str, Experiment] = {
             "fig01", "Frontend-bound pipeline slots",
             "24-78% of slots are frontend bound",
             figures.fig01_frontend_bound,
+            systems=('baseline',),
         ),
         Experiment(
             "fig02", "FDIP limit study",
             "ideal I-cache +24%, ideal BTB +31% over FDIP",
             figures.fig02_limit_study,
+            systems=('baseline', 'ideal_icache', 'ideal_btb'),
         ),
         Experiment(
             "fig03", "BTB MPKI", "MPKI 8-121, average 29.7",
             figures.fig03_btb_mpki,
+            systems=('baseline',),
         ),
         Experiment(
             "fig04", "3C miss classification",
@@ -55,16 +67,19 @@ EXPERIMENTS: Dict[str, Experiment] = {
             "fig07", "BTB accesses by branch type",
             "conditional branches dominate accesses",
             figures.fig07_access_breakdown,
+            systems=('baseline',),
         ),
         Experiment(
             "fig08", "BTB misses by branch type",
             "uncond+calls: 20.75% of branches, 37.5% of misses",
             figures.fig08_miss_breakdown,
+            systems=('baseline',),
         ),
         Experiment(
             "fig09", "Prior prefetcher speedups",
             "Shotgun/Confluence capture little of the ideal-BTB gain",
             figures.fig09_prior_speedups,
+            systems=('baseline', 'shotgun', 'confluence'),
         ),
         Experiment(
             "fig10", "Temporal miss streams",
@@ -95,21 +110,25 @@ EXPERIMENTS: Dict[str, Experiment] = {
             "fig16", "Twig speedup",
             "avg 20.86% (2-145%), beating Shotgun and a 32K BTB",
             figures.fig16_speedup,
+            systems=('baseline', 'twig', 'ideal_btb', 'shotgun'),
         ),
         Experiment(
             "fig17", "BTB miss coverage",
             "Twig covers 65.4% of misses",
             figures.fig17_coverage,
+            systems=('baseline', 'twig', 'shotgun', 'confluence'),
         ),
         Experiment(
             "fig18", "Mechanism contribution",
             "software prefetching ~71% of gains, coalescing ~29%",
             figures.fig18_contribution,
+            systems=('baseline', 'twig'),
         ),
         Experiment(
             "fig19", "Prefetch accuracy",
             "Twig 31.3% average accuracy, +12.3% over Shotgun",
             figures.fig19_accuracy,
+            systems=('twig', 'shotgun', 'confluence'),
         ),
         Experiment(
             "fig20", "Cross-input generalization",
@@ -125,6 +144,7 @@ EXPERIMENTS: Dict[str, Experiment] = {
             "fig22", "Dynamic instruction overhead",
             "average 3%, up to 12.6%",
             figures.fig22_dynamic_overhead,
+            systems=('twig',),
         ),
         Experiment(
             "fig23", "BTB size sensitivity",
@@ -160,6 +180,7 @@ EXPERIMENTS: Dict[str, Experiment] = {
             "table2", "Cross-input speedup table",
             "Twig reaches 34-80% of ideal across inputs",
             tables.table2_cross_input,
+            systems=("baseline", "ideal_btb", "twig"),
         ),
         Experiment(
             "table3", "Working-set overhead table",
@@ -170,12 +191,38 @@ EXPERIMENTS: Dict[str, Experiment] = {
 }
 
 
-def run_experiment(experiment_id: str, **kwargs) -> Dict:
-    """Run a registered experiment by id (e.g. ``fig16``)."""
+def get_experiment(experiment_id: str) -> Experiment:
+    """Look up a registered experiment by id, or raise ReproError."""
     try:
-        exp = EXPERIMENTS[experiment_id]
+        return EXPERIMENTS[experiment_id]
     except KeyError:
         raise ReproError(
             f"unknown experiment {experiment_id!r}; known: {sorted(EXPERIMENTS)}"
         ) from None
-    return exp.run(**kwargs)
+
+
+def run_experiment(experiment_id: str, **kwargs) -> Dict:
+    """Run a registered experiment by id (e.g. ``fig16``)."""
+    return get_experiment(experiment_id).run(**kwargs)
+
+
+def warm_experiments(
+    experiment_ids: Iterable[str],
+    runner: Optional[ExperimentRunner] = None,
+    jobs: Optional[int] = None,
+) -> int:
+    """Pre-run every (app, system) pair the given experiments declare.
+
+    Collecting the union of ``systems`` across a whole batch lets one
+    process-pool fan-out cover runs shared by several figures (e.g. the
+    baseline), instead of each figure warming its own slice.  Returns
+    the number of warmed requests.
+    """
+    r = runner if runner is not None else get_runner()
+    systems = sorted({
+        s for exp_id in experiment_ids for s in get_experiment(exp_id).systems
+    })
+    requests = [(app, system) for app in r.apps for system in systems]
+    if requests:
+        r.warm(requests, jobs=jobs)
+    return len(requests)

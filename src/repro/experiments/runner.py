@@ -5,11 +5,23 @@ which memoizes workload builds, traces, profiles, plans, and simulation
 results, so e.g. the baseline run of ``cassandra`` is simulated once
 and reused by a dozen figures.
 
-Environment knobs (read once, at first use):
+On top of the in-memory memo, the runner can attach an on-disk
+:class:`~repro.experiments.cache.ResultCache` so results and profiles
+persist across processes, and can fan simulation runs out across a
+process pool via :meth:`ExperimentRunner.warm` (see
+:mod:`repro.experiments.parallel`).
+
+Environment knobs (read once, at first use; invalid values raise
+:class:`~repro.errors.ReproError`):
 
 * ``REPRO_TRACE_INSTRUCTIONS`` — trace length per run (default 1e6).
 * ``REPRO_APPS`` — comma-separated subset of apps (default: all nine).
-* ``REPRO_SAMPLE_RATE`` — LBR miss-sampling rate (default 2).
+* ``REPRO_SAMPLE_RATE`` — LBR miss-sampling rate (default 1).
+* ``REPRO_JOBS`` — parallel simulation workers (default 1).
+* ``REPRO_CACHE_DIR`` / ``REPRO_NO_CACHE`` — on-disk cache location /
+  kill switch (default ``.repro_cache/``, used by the process-wide
+  runner and the CLI; directly constructed runners default to no disk
+  cache).
 """
 
 from __future__ import annotations
@@ -18,6 +30,7 @@ import os
 from dataclasses import dataclass, replace
 from typing import Dict, Iterable, List, Optional, Tuple
 
+from .. import __version__
 from ..config import SimConfig
 from ..core.plan import PrefetchPlan
 from ..core.twig import build_plan
@@ -27,12 +40,21 @@ from ..prefetchers.confluence import ConfluenceBTBSystem
 from ..prefetchers.shotgun import ShotgunBTBSystem
 from ..profiling.collector import collect_profile
 from ..profiling.profile import MissProfile
+from ..profiling.serialize import (
+    FORMAT_VERSION as PAYLOAD_FORMAT,
+    profile_from_dict,
+    profile_to_dict,
+    result_from_dict,
+    result_to_dict,
+)
 from ..trace.events import Trace
 from ..trace.walker import generate_trace
 from ..uarch.results import SimResult
 from ..uarch.sim import FrontendSimulator
 from ..workloads.apps import app_names, get_app
 from ..workloads.cfg import Workload, build_workload
+from .cache import ResultCache, cache_from_env
+from .parallel import RunRequest, execute_runs, resolve_jobs
 
 # System identifiers accepted by ExperimentRunner.run().
 SYSTEMS = (
@@ -46,8 +68,17 @@ SYSTEMS = (
 
 
 def _env_int(name: str, default: int) -> int:
-    value = os.environ.get(name)
-    return int(value) if value else default
+    """Read a positive integer knob; reject garbage loudly."""
+    raw = os.environ.get(name)
+    if raw is None or not raw.strip():
+        return default
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ReproError(f"{name} must be a positive integer, got {raw!r}") from None
+    if value <= 0:
+        raise ReproError(f"{name} must be positive, got {value}")
+    return value
 
 
 @dataclass(frozen=True)
@@ -58,14 +89,32 @@ class RunnerSettings:
     train_input: int = 0
     test_input: int = 1
 
+    def __post_init__(self) -> None:
+        if self.trace_instructions <= 0:
+            raise ReproError(
+                f"trace_instructions must be positive, got {self.trace_instructions}"
+            )
+        if self.sample_rate <= 0:
+            raise ReproError(f"sample_rate must be positive, got {self.sample_rate}")
+        if not self.apps:
+            raise ReproError("at least one app is required")
+
     @classmethod
     def from_env(cls) -> "RunnerSettings":
         apps_env = os.environ.get("REPRO_APPS", "")
-        apps = (
-            tuple(a.strip() for a in apps_env.split(",") if a.strip())
-            if apps_env
-            else app_names()
-        )
+        if apps_env:
+            apps = tuple(a.strip() for a in apps_env.split(",") if a.strip())
+            if not apps:
+                raise ReproError("REPRO_APPS must name at least one app")
+            known = app_names()
+            unknown = sorted(set(apps) - set(known))
+            if unknown:
+                raise ReproError(
+                    f"REPRO_APPS names unknown app(s) {unknown}; "
+                    f"choose from {sorted(known)}"
+                )
+        else:
+            apps = app_names()
         return cls(
             trace_instructions=_env_int("REPRO_TRACE_INSTRUCTIONS", 1_000_000),
             apps=apps,
@@ -73,11 +122,34 @@ class RunnerSettings:
         )
 
 
+@dataclass
+class RunnerStats:
+    """Work counters for one runner (used by cache-hit assertions).
+
+    ``simulations``/``profiles_collected`` count work done *in this
+    process*; results imported from parallel workers or loaded from the
+    disk cache do not increment them.
+    """
+
+    simulations: int = 0
+    profiles_collected: int = 0
+    disk_hits: int = 0
+    parallel_runs: int = 0
+
+
 class ExperimentRunner:
     """Memoizing facade over the whole pipeline."""
 
-    def __init__(self, settings: Optional[RunnerSettings] = None):
+    def __init__(
+        self,
+        settings: Optional[RunnerSettings] = None,
+        cache: Optional[ResultCache] = None,
+        jobs: Optional[int] = None,
+    ):
         self.settings = settings if settings is not None else RunnerSettings.from_env()
+        self.cache = cache
+        self.jobs = resolve_jobs(jobs)
+        self.stats = RunnerStats()
         self._workloads: Dict[str, Workload] = {}
         self._traces: Dict[Tuple[str, int], Trace] = {}
         self._profiles: Dict[Tuple[str, int], MissProfile] = {}
@@ -128,15 +200,86 @@ class ExperimentRunner:
         return self._traces[key]
 
     # ------------------------------------------------------------------
+    # Disk-cache keys.  Every field that can change the artifact is
+    # hashed into the key, so a mismatch on any of them is a clean miss
+    # (never a stale hit): package version, payload format, trace
+    # length, sampling rate, input indices, and the full config
+    # signature.
+    def _base_cache_fields(self) -> dict:
+        return {
+            "repro_version": __version__,
+            "payload_format": PAYLOAD_FORMAT,
+            "trace_instructions": self.settings.trace_instructions,
+            "sample_rate": self.settings.sample_rate,
+            "train_input": self.settings.train_input,
+            "test_input": self.settings.test_input,
+        }
+
+    def _result_cache_fields(
+        self,
+        app: str,
+        system: str,
+        input_idx: int,
+        cfg: SimConfig,
+        profile_input: Optional[int],
+        cache_tag: str,
+    ) -> dict:
+        fields = self._base_cache_fields()
+        fields.update(
+            kind="sim_result",
+            app=app,
+            system=system,
+            input_idx=input_idx,
+            profile_input=profile_input,
+            cache_tag=cache_tag,
+            config=_config_signature(cfg),
+        )
+        return fields
+
+    def _profile_cache_fields(self, app: str, input_idx: int) -> dict:
+        fields = self._base_cache_fields()
+        fields.update(
+            kind="miss_profile",
+            app=app,
+            input_idx=input_idx,
+            config=_config_signature(SimConfig()),
+        )
+        return fields
+
+    def _cached_payload(self, fields: dict, decoder):
+        """Load + decode one disk-cache entry; quarantine decode failures."""
+        if self.cache is None:
+            return None
+        payload = self.cache.load(fields)
+        if payload is None:
+            return None
+        try:
+            artifact = decoder(payload)
+        except ReproError:
+            # Checksum-valid but semantically bad (e.g. written by a
+            # buggy/foreign producer): quarantine and recompute.
+            self.cache.quarantine_entry(fields)
+            return None
+        self.stats.disk_hits += 1
+        return artifact
+
+    # ------------------------------------------------------------------
     def profile(self, app: str, input_idx: Optional[int] = None) -> MissProfile:
         idx = self.settings.train_input if input_idx is None else input_idx
         key = (app, idx)
         if key not in self._profiles:
-            wl = self.workload(app)
-            tr = self.trace(app, idx)
-            self._profiles[key] = collect_profile(
-                wl, tr, SimConfig(), sample_rate=self.settings.sample_rate
-            )
+            fields = self._profile_cache_fields(app, idx)
+            profile = self._cached_payload(fields, profile_from_dict)
+            if profile is None:
+                wl = self.workload(app)
+                tr = self.trace(app, idx)
+                profile = collect_profile(
+                    wl, tr, SimConfig(), sample_rate=self.settings.sample_rate
+                )
+                self.stats.profiles_collected += 1
+                if self.cache is not None:
+                    self.cache.store(fields, profile_to_dict(profile))
+            self._profiles[key] = profile
         return self._profiles[key]
 
     def plan(
@@ -163,15 +306,82 @@ class ExperimentRunner:
         profile_input: Optional[int] = None,
         cache_tag: str = "",
     ) -> SimResult:
-        """Simulate (app, system) on the given input; cached."""
+        """Simulate (app, system) on the given input; cached.
+
+        Results are memoized in-process and, when a disk cache is
+        attached, persisted under ``cache_dir`` so later processes and
+        parallel workers skip the simulation entirely.
+        """
         if system not in SYSTEMS:
             raise ReproError(f"unknown system {system!r}; choose from {SYSTEMS}")
         cfg = config if config is not None else SimConfig()
         idx = self.settings.test_input if input_idx is None else input_idx
         key = (app, system, idx, _config_signature(cfg), profile_input, cache_tag)
         if key not in self._results:
-            self._results[key] = self._simulate(app, system, idx, cfg, profile_input)
+            fields = self._result_cache_fields(
+                app, system, idx, cfg, profile_input, cache_tag
+            )
+            result = self._cached_payload(fields, result_from_dict)
+            if result is None:
+                result = self._simulate(app, system, idx, cfg, profile_input)
+                self.stats.simulations += 1
+                if self.cache is not None:
+                    self.cache.store(fields, result_to_dict(result))
+            self._results[key] = result
         return self._results[key]
+
+    # ------------------------------------------------------------------
+    def warm(
+        self,
+        requests: Iterable,
+        jobs: Optional[int] = None,
+    ) -> List[SimResult]:
+        """Ensure every requested run is available, in parallel if asked.
+
+        *requests* is an iterable of :class:`RunRequest` objects or
+        ``(app, system[, input_idx])`` tuples.  With ``jobs > 1`` the
+        missing runs are sharded across a process pool (each worker
+        shares the disk cache, so its work also persists); with
+        ``jobs == 1`` — or for any request the pool failed twice — the
+        run happens serially in-process.  Returns the results in
+        request order.
+        """
+        reqs = [RunRequest.coerce(q) for q in requests]
+        jobs = self.jobs if jobs is None else resolve_jobs(jobs)
+
+        def _key(q: RunRequest) -> tuple:
+            cfg = q.config if q.config is not None else SimConfig()
+            idx = self.settings.test_input if q.input_idx is None else q.input_idx
+            return (q.app, q.system, idx, _config_signature(cfg), q.profile_input,
+                    q.cache_tag)
+
+        pending: List[RunRequest] = []
+        seen = set()
+        for q in reqs:
+            key = _key(q)
+            if key not in self._results and key not in seen:
+                seen.add(key)
+                pending.append(q)
+
+        if jobs > 1 and len(pending) > 1:
+            cache_dir = self.cache.directory if self.cache is not None else None
+            outcomes = execute_runs(self.settings, pending, jobs, cache_dir=cache_dir)
+            for q, res in zip(pending, outcomes):
+                if res is not None:
+                    self._results[_key(q)] = res
+                    self.stats.parallel_runs += 1
+            pending = [q for q, res in zip(pending, outcomes) if res is None]
+
+        for q in pending:  # serial path, and fallback for failed workers
+            self.run(
+                q.app,
+                q.system,
+                input_idx=q.input_idx,
+                config=q.config,
+                profile_input=q.profile_input,
+                cache_tag=q.cache_tag,
+            )
+        return [self._results[_key(q)] for q in reqs]
 
     def _simulate(
         self,
@@ -266,8 +476,19 @@ _GLOBAL_RUNNER: Optional[ExperimentRunner] = None
 
 
 def get_runner() -> ExperimentRunner:
-    """Process-wide shared runner (so figures reuse each other's runs)."""
+    """Process-wide shared runner (so figures reuse each other's runs).
+
+    Unlike directly constructed runners, the shared runner attaches the
+    env-configured disk cache (``.repro_cache/`` by default) so figure
+    regenerations persist across processes.
+    """
     global _GLOBAL_RUNNER
     if _GLOBAL_RUNNER is None:
-        _GLOBAL_RUNNER = ExperimentRunner()
+        _GLOBAL_RUNNER = ExperimentRunner(cache=cache_from_env())
     return _GLOBAL_RUNNER
+
+
+def set_runner(runner: Optional[ExperimentRunner]) -> None:
+    """Install *runner* as the process-wide shared runner (CLI hook)."""
+    global _GLOBAL_RUNNER
+    _GLOBAL_RUNNER = runner

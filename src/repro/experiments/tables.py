@@ -1,4 +1,11 @@
-"""Tables 2 and 3 of the paper."""
+"""Tables 2 and 3 of the paper.
+
+Both tables pull their runs through the shared
+:class:`~repro.experiments.runner.ExperimentRunner`, so they benefit
+from its on-disk cache and — via the warm pre-pass inside
+:func:`~repro.experiments.figures.fig20_cross_input` — from process-pool
+fan-out when the runner is configured with ``jobs > 1``.
+"""
 
 from __future__ import annotations
 

@@ -9,10 +9,12 @@ ints, windows are nested lists.
 from __future__ import annotations
 
 import json
+from dataclasses import fields as dataclass_fields
 from typing import IO, Union
 
 from ..core.plan import InjectionOp, PrefetchPlan
-from ..errors import ProfileError, PlanError
+from ..errors import CacheError, ProfileError, PlanError
+from ..uarch.results import SimResult
 from .profile import MissProfile
 
 FORMAT_VERSION = 1
@@ -139,3 +141,42 @@ def load_plan(fh: Union[str, IO]) -> PrefetchPlan:
         with open(fh) as f:
             return plan_from_dict(json.load(f))
     return plan_from_dict(json.load(fh))
+
+
+# ----------------------------------------------------------------------
+# SimResult
+# ----------------------------------------------------------------------
+
+# Counter fields are enumerated from the dataclass itself so a new
+# SimResult counter is serialized without touching this module.
+_RESULT_FIELDS = tuple(f.name for f in dataclass_fields(SimResult))
+_RESULT_DICT_FIELDS = ("btb_accesses_by_kind", "btb_misses_by_kind")
+
+
+def result_to_dict(result: SimResult) -> dict:
+    """JSON-ready representation of a simulation result."""
+    data = {"format": FORMAT_VERSION, "kind": "sim_result"}
+    for name in _RESULT_FIELDS:
+        value = getattr(result, name)
+        data[name] = dict(value) if name in _RESULT_DICT_FIELDS else value
+    return data
+
+
+def result_from_dict(data: dict) -> SimResult:
+    """Rebuild a result from :func:`result_to_dict` output."""
+    if not isinstance(data, dict) or data.get("kind") != "sim_result":
+        raise CacheError("not a serialized sim result")
+    if data.get("format") != FORMAT_VERSION:
+        raise CacheError(f"unsupported sim result format {data.get('format')!r}")
+    kwargs = {}
+    try:
+        for name in _RESULT_FIELDS:
+            value = data[name]
+            if name in _RESULT_DICT_FIELDS:
+                value = {str(k): int(v) for k, v in value.items()}
+            elif name != "label":
+                value = int(value)
+            kwargs[name] = value
+    except (KeyError, TypeError, ValueError, AttributeError) as exc:
+        raise CacheError(f"malformed sim result payload: {exc}") from exc
+    return SimResult(**kwargs)

@@ -19,16 +19,50 @@ class TestCLI:
         assert main(["fig99"]) == 2
         assert "unknown" in capsys.readouterr().err
 
-    def test_runs_small_experiment(self, capsys, monkeypatch, tmp_path):
-        # Constrain the global runner to something affordable.
+    @pytest.fixture()
+    def small_env(self, monkeypatch, tmp_path):
+        # Constrain the global runner to something affordable, and keep
+        # the on-disk cache inside the test's tmp dir.
         monkeypatch.setenv("REPRO_APPS", "wordpress")
         monkeypatch.setenv("REPRO_TRACE_INSTRUCTIONS", "80000")
         monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
         import repro.experiments.runner as runner_mod
 
         monkeypatch.setattr(runner_mod, "_GLOBAL_RUNNER", None)
+        return tmp_path
+
+    def test_runs_small_experiment(self, capsys, small_env):
         assert main(["fig03", "--save"]) == 0
         out = capsys.readouterr().out
         assert "wordpress" in out
         assert "saved:" in out
-        assert (tmp_path / "fig03.json").exists()
+        assert (small_env / "fig03.json").exists()
+
+    def test_cache_dir_flag_populates_cache(self, capsys, small_env):
+        cache_dir = small_env / "explicit-cache"
+        assert main(["fig03", "--cache-dir", str(cache_dir)]) == 0
+        assert any(cache_dir.glob("*.json"))
+
+    def test_no_cache_flag_writes_nothing(self, capsys, small_env):
+        assert main(["fig03", "--no-cache"]) == 0
+        assert not (small_env / "cache").exists()
+
+    def test_jobs_flag_matches_serial(self, capsys, small_env):
+        assert main(["fig03", "--jobs", "2"]) == 0
+        parallel_out = capsys.readouterr().out
+        import repro.experiments.runner as runner_mod
+
+        runner_mod.set_runner(None)
+        assert main(["fig03", "--no-cache"]) == 0
+        serial_out = capsys.readouterr().out
+        assert parallel_out.splitlines()[:3] == serial_out.splitlines()[:3]
+
+    def test_invalid_jobs_rejected(self, capsys, small_env):
+        assert main(["fig03", "--jobs", "0"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_invalid_env_knob_rejected(self, capsys, small_env, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE_INSTRUCTIONS", "not-a-number")
+        assert main(["fig03"]) == 2
+        assert "REPRO_TRACE_INSTRUCTIONS" in capsys.readouterr().err

@@ -22,6 +22,11 @@ class StubRunner:
         self.calls: list = []
 
     # --- canned simulation results ------------------------------------
+    def warm(self, requests, jobs=None):
+        # Figures issue a warm pre-pass before their aggregation loop;
+        # the stub computes results on demand, so there is nothing to do.
+        return []
+
     def run(self, app, system, input_idx=None, config=None,
             profile_input=None, cache_tag=""):
         self.calls.append((app, system, input_idx, cache_tag))

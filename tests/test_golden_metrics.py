@@ -1,0 +1,67 @@
+"""Golden-metrics regression gate for the simulator.
+
+``tests/data/golden_metrics.json`` pins baseline/Twig metrics for two
+apps at a short trace length.  Any change to the workload generator,
+the timing model, the profiler, or the plan builder that shifts these
+numbers fails this test loudly — silent simulator drift is exactly what
+an on-disk result cache must never paper over.
+
+If a change *intentionally* alters simulator output, regenerate the
+goldens and commit the new file::
+
+    REPRO_UPDATE_GOLDENS=1 PYTHONPATH=src python -m pytest tests/test_golden_metrics.py
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.experiments.runner import ExperimentRunner, RunnerSettings
+
+GOLDEN_PATH = os.path.join(os.path.dirname(__file__), "data", "golden_metrics.json")
+APPS = ("wordpress", "drupal")
+SETTINGS = RunnerSettings(trace_instructions=60_000, apps=APPS, sample_rate=1)
+
+
+def _measure() -> dict:
+    runner = ExperimentRunner(SETTINGS)
+    metrics = {}
+    for app in APPS:
+        base = runner.run(app, "baseline")
+        twig = runner.run(app, "twig")
+        metrics[app] = {
+            "baseline_btb_mpki": base.btb_mpki(),
+            "baseline_ipc": base.ipc(),
+            "twig_btb_mpki": twig.btb_mpki(),
+            "twig_ipc": twig.ipc(),
+            "twig_speedup_pct": twig.speedup_over(base),
+            "twig_coverage": twig.coverage(),
+        }
+    return metrics
+
+
+def test_golden_metrics():
+    measured = _measure()
+    if os.environ.get("REPRO_UPDATE_GOLDENS") == "1":
+        os.makedirs(os.path.dirname(GOLDEN_PATH), exist_ok=True)
+        with open(GOLDEN_PATH, "w") as fh:
+            json.dump(measured, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        pytest.skip(f"goldens regenerated at {GOLDEN_PATH}")
+    assert os.path.exists(GOLDEN_PATH), (
+        f"golden metrics file missing; regenerate with "
+        f"REPRO_UPDATE_GOLDENS=1 (expected at {GOLDEN_PATH})"
+    )
+    with open(GOLDEN_PATH) as fh:
+        golden = json.load(fh)
+    assert set(measured) == set(golden)
+    for app in APPS:
+        for metric, expected in golden[app].items():
+            assert measured[app][metric] == pytest.approx(
+                expected, rel=1e-12, abs=1e-12
+            ), (
+                f"{app}.{metric} drifted: measured {measured[app][metric]!r} "
+                f"vs golden {expected!r}; if intentional, regenerate with "
+                f"REPRO_UPDATE_GOLDENS=1"
+            )

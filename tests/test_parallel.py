@@ -1,0 +1,87 @@
+"""Process-pool fan-out: request coercion, retries, serial fallback."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.experiments.cache import ResultCache
+from repro.experiments.parallel import RunRequest, execute_runs
+from repro.experiments.runner import ExperimentRunner, RunnerSettings
+from repro.profiling.serialize import result_to_dict
+from repro.uarch.results import SimResult
+
+SETTINGS = RunnerSettings(trace_instructions=30_000, apps=("wordpress",), sample_rate=1)
+
+
+class TestRunRequest:
+    def test_coerce_passthrough(self):
+        req = RunRequest("wordpress", "baseline")
+        assert RunRequest.coerce(req) is req
+
+    def test_coerce_pair_and_triple(self):
+        assert RunRequest.coerce(("a", "baseline")) == RunRequest("a", "baseline")
+        assert RunRequest.coerce(["a", "twig", 2]) == RunRequest(
+            "a", "twig", input_idx=2
+        )
+
+    @pytest.mark.parametrize("bad", ["wordpress", ("only-one",), (1, 2, 3, 4, 5)])
+    def test_coerce_rejects_garbage(self, bad):
+        with pytest.raises(ReproError):
+            RunRequest.coerce(bad)
+
+
+class TestExecuteRuns:
+    def test_empty_request_list(self):
+        assert execute_runs(SETTINGS, [], jobs=4) == []
+
+    @pytest.mark.slow
+    def test_failed_request_resolves_to_none(self):
+        # An unknown system raises inside the worker on every attempt;
+        # the valid request must still come back as a real result.
+        requests = [
+            RunRequest("wordpress", "baseline"),
+            RunRequest("wordpress", "no-such-system"),
+        ]
+        results = execute_runs(SETTINGS, requests, jobs=2)
+        assert isinstance(results[0], SimResult)
+        assert results[1] is None
+
+    @pytest.mark.slow
+    def test_workers_populate_shared_disk_cache(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        requests = [
+            RunRequest("wordpress", "baseline"),
+            RunRequest("wordpress", "ideal_btb"),
+        ]
+        results = execute_runs(SETTINGS, requests, jobs=2, cache_dir=cache_dir)
+        assert all(isinstance(r, SimResult) for r in results)
+        # A fresh runner sharing the directory needs zero simulations.
+        reader = ExperimentRunner(SETTINGS, cache=ResultCache(cache_dir))
+        reread = reader.run("wordpress", "baseline")
+        assert reader.stats.simulations == 0
+        assert result_to_dict(reread) == result_to_dict(results[0])
+
+
+class TestWarm:
+    def test_serial_warm_memoizes(self):
+        runner = ExperimentRunner(SETTINGS)  # jobs=1 -> serial path
+        out = runner.warm([("wordpress", "baseline"), ("wordpress", "baseline")])
+        assert len(out) == 2 and out[0] is out[1]
+        assert runner.stats.simulations == 1
+        # Subsequent run() is a pure memo hit.
+        assert runner.run("wordpress", "baseline") is out[0]
+        assert runner.stats.simulations == 1
+
+    @pytest.mark.slow
+    def test_parallel_warm_falls_back_serially_for_failures(self):
+        runner = ExperimentRunner(SETTINGS, jobs=2)
+        # The failing request fails in the pool twice, then the serial
+        # fallback re-raises the real error in-process.
+        with pytest.raises(ReproError, match="no-such-system"):
+            runner.warm(
+                [
+                    RunRequest("wordpress", "baseline"),
+                    RunRequest("wordpress", "no-such-system"),
+                ]
+            )
+        # The healthy run still landed in the memo before the failure.
+        assert runner.stats.parallel_runs == 1

@@ -1,0 +1,116 @@
+#!/usr/bin/env python
+"""Maintenance CLI for the on-disk experiment cache (``.repro_cache/``).
+
+Usage::
+
+    python tools/check_cache.py list                 # what is cached?
+    python tools/check_cache.py verify               # checksum every entry
+    python tools/check_cache.py verify --quarantine  # and move corrupt ones aside
+    python tools/check_cache.py purge --stale        # drop other-version entries
+    python tools/check_cache.py purge --all          # drop everything
+
+All commands accept ``--cache-dir`` (default: ``$REPRO_CACHE_DIR`` or
+``.repro_cache``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+)
+
+from repro import __version__  # noqa: E402
+from repro.experiments.cache import DEFAULT_CACHE_DIR, ResultCache  # noqa: E402
+
+
+def _describe(entry) -> str:
+    fields = entry.get("fields") if isinstance(entry, dict) else None
+    if not isinstance(fields, dict):
+        return "<no key fields>"
+    kind = fields.get("kind", "?")
+    app = fields.get("app", "?")
+    parts = [f"{kind:12s} {app:16s}"]
+    if kind == "sim_result":
+        parts.append(f"{fields.get('system', '?'):12s}")
+        parts.append(f"input={fields.get('input_idx', '?')}")
+        if fields.get("cache_tag"):
+            parts.append(f"tag={fields['cache_tag']}")
+    else:
+        parts.append(f"input={fields.get('input_idx', '?')}")
+    parts.append(f"trace={fields.get('trace_instructions', '?')}")
+    parts.append(f"v{fields.get('repro_version', '?')}")
+    return " ".join(str(p) for p in parts)
+
+
+def cmd_list(cache: ResultCache) -> int:
+    count = 0
+    for path, entry in cache.entries():
+        count += 1
+        size_kb = os.path.getsize(path) / 1024.0
+        print(f"{os.path.basename(path)[:12]}…  {size_kb:8.1f}KB  {_describe(entry)}")
+    print(f"{count} entries in {cache.directory}")
+    return 0
+
+
+def cmd_verify(cache: ResultCache, quarantine: bool) -> int:
+    ok, corrupt = cache.verify(quarantine=quarantine)
+    print(f"{ok} entries OK, {len(corrupt)} corrupt")
+    for path in corrupt:
+        action = "quarantined" if quarantine else "corrupt"
+        print(f"  {action}: {path}")
+    return 1 if corrupt else 0
+
+
+def cmd_purge(cache: ResultCache, purge_all: bool) -> int:
+    keep = None if purge_all else __version__
+    removed = cache.purge(keep_version=keep)
+    what = "entries" if purge_all else f"stale entries (version != {__version__})"
+    print(f"removed {removed} {what} from {cache.directory}")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python tools/check_cache.py",
+        description="List, verify, or purge the on-disk experiment cache.",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help=f"cache directory (default: $REPRO_CACHE_DIR or {DEFAULT_CACHE_DIR})",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="show every cached entry")
+    verify = sub.add_parser("verify", help="checksum every entry")
+    verify.add_argument(
+        "--quarantine",
+        action="store_true",
+        help="move corrupt entries into quarantine/ instead of only reporting",
+    )
+    purge = sub.add_parser("purge", help="remove cache entries")
+    group = purge.add_mutually_exclusive_group(required=True)
+    group.add_argument(
+        "--stale",
+        action="store_true",
+        help="remove entries written by a different repro version (or unreadable)",
+    )
+    group.add_argument("--all", action="store_true", help="remove every entry")
+    args = parser.parse_args(argv)
+
+    directory = (
+        args.cache_dir or os.environ.get("REPRO_CACHE_DIR") or DEFAULT_CACHE_DIR
+    )
+    cache = ResultCache(directory)
+    if args.command == "list":
+        return cmd_list(cache)
+    if args.command == "verify":
+        return cmd_verify(cache, args.quarantine)
+    return cmd_purge(cache, args.all)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
