@@ -11,6 +11,7 @@ value, and sweeps produce new configurations via :func:`dataclasses.replace`.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field, replace
 from typing import Optional
 
@@ -20,6 +21,22 @@ from .errors import ConfigError
 def _require(condition: bool, message: str) -> None:
     if not condition:
         raise ConfigError(message)
+
+
+def sanitize_from_env() -> bool:
+    """Default for :attr:`SimConfig.sanitize`, read from ``REPRO_SANITIZE``.
+
+    Evaluated at config *construction* time, so setting the variable
+    (or passing ``--sanitize`` to the CLI, which sets it) turns checks
+    on for every subsequently built default config — including the ones
+    parallel workers build in their own processes.
+    """
+    raw = os.environ.get("REPRO_SANITIZE", "").strip().lower()
+    if raw in ("", "0", "false", "no", "off"):
+        return False
+    if raw in ("1", "true", "yes", "on"):
+        return True
+    raise ConfigError(f"REPRO_SANITIZE must be a boolean flag, got {raw!r}")
 
 
 def is_power_of_two(value: int) -> bool:
@@ -195,6 +212,12 @@ class SimConfig:
     # lookup hits.
     ideal_icache: bool = False
     ideal_btb: bool = False
+    # Runtime invariant sanitizers (repro.validate): structural checks
+    # on the frontend models plus accounting identities on the results.
+    # Never changes simulation outcomes — sanitized and plain runs of
+    # the same point are counter-for-counter identical — but the cache
+    # key still includes it so the two populations stay separate.
+    sanitize: bool = field(default_factory=sanitize_from_env)
 
     def with_btb(self, entries: Optional[int] = None, ways: Optional[int] = None) -> "SimConfig":
         """Return a copy with a resized BTB (used by the sweep figures)."""
@@ -220,5 +243,12 @@ class SimConfig:
         """Return a copy with updated Twig parameters."""
         return replace(self, twig=replace(self.twig, **kwargs))
 
+    def with_sanitize(self, enabled: bool = True) -> "SimConfig":
+        """Return a copy with runtime invariant checks toggled."""
+        return replace(self, sanitize=enabled)
 
-DEFAULT_CONFIG = SimConfig()
+
+# Fixed reference config: built with sanitize pinned off so importing
+# the package never depends on (or crashes on) REPRO_SANITIZE; the env
+# default applies only to configs constructed after import.
+DEFAULT_CONFIG = SimConfig(sanitize=False)

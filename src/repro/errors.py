@@ -28,6 +28,28 @@ class SimulationError(ReproError):
     """The timing simulator reached an inconsistent state."""
 
 
+class InvariantViolation(ReproError):
+    """A runtime sanitizer check failed (see ``repro.validate``).
+
+    Structured so harnesses can triage programmatically: ``structure``
+    names the model that broke (``"btb"``, ``"ras"``, ...), ``cycle``
+    is the BPU cycle at which the check ran, and ``entry`` carries the
+    offending entry/detail when one exists.
+    """
+
+    def __init__(self, structure: str, message: str, cycle=None, entry=None):
+        self.structure = structure
+        self.cycle = cycle
+        self.entry = entry
+        where = f"{structure}" if cycle is None else f"{structure} @ cycle {cycle:.0f}"
+        detail = "" if entry is None else f" [{entry!r}]"
+        super().__init__(f"invariant violated in {where}: {message}{detail}")
+
+
+class DivergenceError(ReproError):
+    """An optimized structure diverged from its reference oracle."""
+
+
 class ProfileError(ReproError):
     """Profile collection or parsing failed."""
 

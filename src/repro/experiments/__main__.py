@@ -20,6 +20,7 @@ import argparse
 import os
 import sys
 
+from ..config import sanitize_from_env
 from ..errors import ReproError
 from .cache import DEFAULT_CACHE_DIR, ResultCache
 from .parallel import resolve_jobs
@@ -53,7 +54,18 @@ def main(argv=None) -> int:
         action="store_true",
         help="disable the on-disk result cache for this invocation",
     )
+    parser.add_argument(
+        "--sanitize",
+        action="store_true",
+        help="enable runtime invariant checks in every simulation "
+        "(equivalent to REPRO_SANITIZE=1; results are cached separately)",
+    )
     args = parser.parse_args(argv)
+
+    if args.sanitize:
+        # Via the environment so parallel workers inherit it and every
+        # default-constructed SimConfig in this process picks it up.
+        os.environ["REPRO_SANITIZE"] = "1"
 
     if args.list or not args.experiments:
         for exp_id, exp in sorted(EXPERIMENTS.items()):
@@ -67,6 +79,9 @@ def main(argv=None) -> int:
         return 2
 
     try:
+        # Validate eagerly so a garbage REPRO_SANITIZE is a clean exit-2
+        # here rather than a ConfigError mid-experiment.
+        sanitize_from_env()
         settings = RunnerSettings.from_env()
         jobs = resolve_jobs(args.jobs)
         if args.no_cache:

@@ -468,6 +468,11 @@ def _config_signature(cfg: SimConfig) -> tuple:
         cfg.core.mispredict_penalty,
         cfg.ideal_btb,
         cfg.ideal_icache,
+        # Sanitized runs are defined to be bit-identical to plain runs,
+        # but they must never *share* cache entries: a sanitizer bug (or
+        # a future check that perturbs state) would otherwise leak into
+        # the plain population silently.
+        cfg.sanitize,
         _twig_signature(cfg),
     )
 

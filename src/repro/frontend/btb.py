@@ -55,6 +55,13 @@ class BTB:
         self.prefetch_fills = 0
         self.prefetch_hits = 0  # lookups served by a prefetched entry
         self.evictions = 0
+        # Optional runtime sanitizer (repro.validate.invariants); None
+        # keeps the hot path branch-cheap.
+        self._san = None
+
+    def attach_sanitizer(self, sanitizer) -> None:
+        """Enable invariant checks at every mutation of this BTB."""
+        self._san = sanitizer
 
     # ------------------------------------------------------------------
     def _set_of(self, pc: int) -> OrderedDict:
@@ -85,18 +92,27 @@ class BTB:
         kind: BranchKind,
         from_prefetch: bool = False,
         visible_cycle: float = 0.0,
-    ) -> None:
-        """Install or refresh an entry, evicting LRU if the set is full."""
-        entries = self._set_of(pc)
+    ) -> Optional[BTBEntry]:
+        """Install or refresh an entry, evicting LRU if the set is full.
+
+        Returns the evicted victim entry (None when nothing was
+        displaced) so differential oracles can compare replacement
+        decisions, not just hit/miss outcomes.
+        """
+        set_index = pc & self._set_mask
+        entries = self._sets[set_index]
         existing = entries.get(pc)
         if existing is not None:
             existing.target = target
             if not from_prefetch:
                 existing.visible_cycle = 0.0
             entries.move_to_end(pc)
-            return
+            if self._san is not None:
+                self._san.check_btb_set(self, set_index)
+            return None
+        victim = None
         if len(entries) >= self._ways:
-            entries.popitem(last=False)
+            _, victim = entries.popitem(last=False)
             self.evictions += 1
         entries[pc] = BTBEntry(
             pc=pc,
@@ -109,6 +125,9 @@ class BTB:
             self.prefetch_fills += 1
         else:
             self.demand_fills += 1
+        if self._san is not None:
+            self._san.check_btb_set(self, set_index)
+        return victim
 
     def invalidate(self, pc: int) -> bool:
         """Remove the entry for *pc*; True if it was present."""

@@ -65,6 +65,11 @@ class CompressedBTB:
         self.lookups = 0
         self.hits = 0
 
+    def attach_sanitizer(self, sanitizer) -> None:
+        """Enable invariant checks on both partitions."""
+        self.compressed.attach_sanitizer(sanitizer)
+        self.full.attach_sanitizer(sanitizer)
+
     @staticmethod
     def _compressible(pc: int, target: int) -> bool:
         return offset_fits(target - pc, COMPRESSED_DELTA_BITS)
@@ -89,9 +94,9 @@ class CompressedBTB:
         kind: BranchKind,
         from_prefetch: bool = False,
         visible_cycle: float = 0.0,
-    ) -> None:
+    ) -> Optional[BTBEntry]:
         part = self.compressed if self._compressible(pc, target) else self.full
-        part.insert(
+        return part.insert(
             pc, target, kind, from_prefetch=from_prefetch, visible_cycle=visible_cycle
         )
 

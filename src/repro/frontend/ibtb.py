@@ -26,6 +26,12 @@ class IndirectBTB:
         self.lookups = 0
         self.hits = 0           # entry present
         self.correct = 0        # entry present and target matched
+        # Optional runtime sanitizer (repro.validate.invariants).
+        self._san = None
+
+    def attach_sanitizer(self, sanitizer) -> None:
+        """Enable set-geometry checks at every update."""
+        self._san = sanitizer
 
     def predict(self, pc: int) -> Optional[int]:
         """Predicted target for *pc*, or None when untracked."""
@@ -43,7 +49,8 @@ class IndirectBTB:
         was_correct = predicted == actual
         if was_correct:
             self.correct += 1
-        entries = self._sets[pc & self._set_mask]
+        set_index = pc & self._set_mask
+        entries = self._sets[set_index]
         if pc in entries:
             entries[pc] = actual
             entries.move_to_end(pc)
@@ -51,6 +58,8 @@ class IndirectBTB:
             if len(entries) >= self._ways:
                 entries.popitem(last=False)
             entries[pc] = actual
+        if self._san is not None:
+            self._san.check_ibtb_set(self, set_index)
         return was_correct
 
     @property

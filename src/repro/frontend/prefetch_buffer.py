@@ -30,6 +30,18 @@ class PrefetchBuffer:
         self.promotions = 0
         self.late_hits = 0   # entry present but fill not yet complete
         self.evicted_unused = 0
+        # Sanitizer state (repro.validate.invariants): when attached,
+        # ``_seq`` mirrors insertion recency so the FIFO/LRU-order
+        # invariant of the OrderedDict is independently checkable.
+        self._san = None
+        self._seq: dict = {}
+        self._seq_counter = 0
+
+    def attach_sanitizer(self, sanitizer) -> None:
+        """Enable occupancy and recency-order checks on every mutation."""
+        self._san = sanitizer
+        self._seq = {pc: i for i, pc in enumerate(self._entries)}
+        self._seq_counter = len(self._seq)
 
     def insert(self, pc: int, target: int, kind: BranchKind, ready_cycle: int) -> None:
         """Record a prefetch for (pc -> target) completing at *ready_cycle*."""
@@ -40,9 +52,15 @@ class PrefetchBuffer:
             old_target, old_kind, old_ready = self._entries.pop(pc)
             ready_cycle = min(ready_cycle, old_ready)
         elif len(self._entries) >= self.capacity:
-            self._entries.popitem(last=False)
+            evicted_pc, _ = self._entries.popitem(last=False)
             self.evicted_unused += 1
+            if self._san is not None:
+                self._seq.pop(evicted_pc, None)
         self._entries[pc] = (target, kind, ready_cycle)
+        if self._san is not None:
+            self._seq_counter += 1
+            self._seq[pc] = self._seq_counter
+            self._san.check_prefetch_buffer(self)
 
     def take(self, pc: int, now: int) -> Optional[Tuple[int, BranchKind]]:
         """Consume the entry for *pc* if present and ready at cycle *now*.
@@ -59,6 +77,9 @@ class PrefetchBuffer:
             return None
         del self._entries[pc]
         self.promotions += 1
+        if self._san is not None:
+            self._seq.pop(pc, None)
+            self._san.check_prefetch_buffer(self)
         return target, kind
 
     def __len__(self) -> int:

@@ -25,21 +25,33 @@ class ReturnAddressStack:
         self.pops = 0
         self.underflows = 0
         self.correct = 0
+        # Optional runtime sanitizer (repro.validate.invariants).
+        self._san = None
+
+    def attach_sanitizer(self, sanitizer) -> None:
+        """Enable depth/index bound checks at every push and pop."""
+        self._san = sanitizer
 
     def push(self, return_addr: int) -> None:
         self._stack[self._top] = return_addr
         self._top = (self._top + 1) % self.capacity
         self._depth = min(self._depth + 1, self.capacity)
         self.pushes += 1
+        if self._san is not None:
+            self._san.check_ras(self)
 
     def pop(self) -> Optional[int]:
         """Pop the predicted return address (None on underflow)."""
         self.pops += 1
         if self._depth == 0:
             self.underflows += 1
+            if self._san is not None:
+                self._san.check_ras(self)
             return None
         self._top = (self._top - 1) % self.capacity
         self._depth -= 1
+        if self._san is not None:
+            self._san.check_ras(self)
         return self._stack[self._top]
 
     def predict_and_check(self, actual: int) -> bool:

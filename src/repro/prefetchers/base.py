@@ -37,6 +37,19 @@ class BTBSystem:
         """Demand-fill after a resteer resolved the branch."""
         raise NotImplementedError
 
+    def attach_sanitizer(self, sanitizer) -> None:
+        """Weave a runtime sanitizer through this system's structures.
+
+        The default walks the conventional attribute names (``btb``,
+        ``ubtb``, ``cbtb``, ``buffer``) so every system built from the
+        standard frontend structures gets checks without opting in;
+        systems with bespoke state override this.
+        """
+        for name in ("btb", "ubtb", "cbtb", "buffer"):
+            structure = getattr(self, name, None)
+            if structure is not None and hasattr(structure, "attach_sanitizer"):
+                structure.attach_sanitizer(sanitizer)
+
     def on_taken_branch(self, pc: int, target: int, kind_code: int, now: int) -> None:
         """Training hook: every taken branch on the committed path."""
 

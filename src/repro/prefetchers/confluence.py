@@ -69,6 +69,11 @@ class ConfluenceBTBSystem(BTBSystem):
         self._replay_depth = replay_depth
         self._issued = 0
         self._used = 0
+        self._san = None
+
+    def attach_sanitizer(self, sanitizer) -> None:
+        """AirBTB is dict-based; check its line-capacity bound directly."""
+        self._san = sanitizer
 
     # ------------------------------------------------------------------
     def lookup(self, pc: int, kind_code: int, now: int) -> int:
@@ -142,6 +147,14 @@ class ConfluenceBTBSystem(BTBSystem):
         if len(self._lines) >= self.line_capacity:
             self._lines.popitem(last=False)
         self._lines[line] = entry_map
+        if self._san is not None:
+            self._san.checks += 1
+            if len(self._lines) > self.line_capacity:
+                self._san.fail(
+                    "confluence.airbtb",
+                    f"{len(self._lines)} resident lines exceed capacity "
+                    f"{self.line_capacity}",
+                )
 
     # ------------------------------------------------------------------
     def prefetches_issued(self) -> int:

@@ -2,8 +2,10 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from typing import Dict, Optional
+
+from ..errors import InvariantViolation
 
 
 @dataclass
@@ -92,6 +94,61 @@ class SimResult:
         """Extra dynamic instructions as a fraction of the original."""
         base = self.instructions - self.extra_dynamic_instructions
         return self.extra_dynamic_instructions / base if base else 0.0
+
+    def validate(self) -> "SimResult":
+        """Check the counter accounting identities; returns self.
+
+        Run by the simulator under ``SimConfig.sanitize`` and usable
+        standalone on deserialized results (e.g. suspicious cache
+        entries).  Raises :class:`~repro.errors.InvariantViolation` on
+        the first broken identity.
+
+        ``prefetches_used <= prefetches_issued`` is deliberately *not*
+        asserted: both are measurement-window deltas, and a prefetch
+        issued during warmup may legitimately be consumed inside the
+        window.
+        """
+        def fail(message: str) -> None:
+            raise InvariantViolation("results", message, entry=self.label)
+
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if isinstance(value, (int, float)) and value < 0:
+                fail(f"counter {f.name} is negative ({value})")
+        if self.instructions and not self.cycles:
+            fail(f"{self.instructions} instructions retired in zero cycles")
+        if self.btb_misses + self.btb_covered_misses > self.btb_accesses:
+            fail(
+                f"misses ({self.btb_misses}) + covered "
+                f"({self.btb_covered_misses}) exceed accesses "
+                f"({self.btb_accesses})"
+            )
+        if self.btb_accesses_by_kind:
+            acc_sum = sum(self.btb_accesses_by_kind.values())
+            if acc_sum != self.btb_accesses:
+                fail(
+                    f"per-kind accesses sum to {acc_sum}, "
+                    f"total is {self.btb_accesses}"
+                )
+        if self.btb_misses_by_kind:
+            miss_sum = sum(self.btb_misses_by_kind.values())
+            if miss_sum != self.btb_misses:
+                fail(
+                    f"per-kind misses sum to {miss_sum}, "
+                    f"total is {self.btb_misses}"
+                )
+            for kind, misses in self.btb_misses_by_kind.items():
+                accesses = self.btb_accesses_by_kind.get(kind, 0)
+                if misses > accesses:
+                    fail(
+                        f"{kind} misses ({misses}) exceed accesses ({accesses})"
+                    )
+        if self.extra_dynamic_instructions > self.instructions:
+            fail(
+                f"injected instructions ({self.extra_dynamic_instructions}) "
+                f"exceed total retired ({self.instructions})"
+            )
+        return self
 
     def summary(self) -> str:
         return (

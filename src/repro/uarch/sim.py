@@ -35,6 +35,7 @@ from ..prefetchers.base import (
     LOOKUP_MISS,
 )
 from ..trace.events import Trace
+from ..validate.invariants import Sanitizer
 from ..workloads.cfg import (
     DIRECT_KIND_CODES,
     KIND_CALL,
@@ -79,6 +80,16 @@ class FrontendSimulator:
         self.tage = TageLite(self.config.frontend)
         self.ras = ReturnAddressStack(self.config.frontend.ras_entries)
         self.ibtb = IndirectBTB(self.config.frontend.ibtb)
+        # Runtime invariant checks (repro.validate): off by default, so
+        # plain runs carry nothing beyond a None test per fetch unit.
+        self.sanitizer: Optional[Sanitizer] = None
+        if self.config.sanitize:
+            self.sanitizer = Sanitizer()
+            self.ras.attach_sanitizer(self.sanitizer)
+            self.ibtb.attach_sanitizer(self.sanitizer)
+            attach_san = getattr(self.btb_system, "attach_sanitizer", None)
+            if attach_san is not None:
+                attach_san(self.sanitizer)
         fw = self.config.core.fetch_width_bytes
         self._fetch_cycles: List[int] = [
             max(1, (size + fw - 1) // fw) for size in workload.block_size
@@ -147,6 +158,9 @@ class FrontendSimulator:
         rec_step = rec.record if rec is not None else None
         rec_miss = rec.on_miss if rec is not None else None
 
+        san = self.sanitizer
+        prev_bpu = prev_fetch = prev_retire = 0.0
+
         # Counters.
         res = SimResult(label=label or trace.label)
         acc_by_kind = {name: 0 for name in _KIND_NAMES.values()}
@@ -198,6 +212,10 @@ class FrontendSimulator:
             # --- BPU: wait for an FTQ slot, process one unit/cycle -----
             slot_free = ftq_ring[i % ftq_size]
             bpu = bpu + 1.0 if bpu + 1.0 >= slot_free else slot_free
+            if san is not None:
+                # Stamp the clock first so any structure check this
+                # unit triggers reports the right cycle.
+                san.cycle = bpu
 
             kind = kind_code[blk]
             penalty = 0.0
@@ -322,6 +340,33 @@ class FrontendSimulator:
                 retire = floor
             retire += n_instr / width
 
+            if san is not None:
+                # Per-unit accounting identities: the three clocks only
+                # move forward, fetch never precedes prediction, and the
+                # BTB outcome counters stay mutually consistent.
+                san.checks += 1
+                if bpu < prev_bpu or fetch < prev_fetch or retire < prev_retire:
+                    san.fail(
+                        "sim",
+                        f"clock ran backwards at unit {i}: "
+                        f"bpu {prev_bpu:.1f}->{bpu:.1f}, "
+                        f"fetch {prev_fetch:.1f}->{fetch:.1f}, "
+                        f"retire {prev_retire:.1f}->{retire:.1f}",
+                    )
+                if fetch < bpu:
+                    san.fail(
+                        "sim",
+                        f"unit {i} fetched at {fetch:.1f} before its "
+                        f"prediction at {bpu:.1f}",
+                    )
+                if btb_misses + btb_covered > btb_accesses:
+                    san.fail(
+                        "sim",
+                        f"misses ({btb_misses}) + covered ({btb_covered}) "
+                        f"exceed BTB accesses ({btb_accesses}) at unit {i}",
+                    )
+                prev_bpu, prev_fetch, prev_retire = bpu, fetch, retire
+
         if retire <= 0:
             raise SimulationError("simulation produced no cycles")
 
@@ -343,6 +388,13 @@ class FrontendSimulator:
         res.prefetches_used = self.btb_system.prefetches_used() - pf_used_snap
         res.prefetch_ops_executed = prefetch_ops
         res.extra_dynamic_instructions = extra_instr_total
+        if san is not None:
+            # Final deep sweep: every structure the run touched, then
+            # the result-level accounting identities.
+            san.check_system(sysm)
+            san.check_ras(self.ras)
+            san.check_ibtb(self.ibtb)
+            res.validate()
         return res
 
 

@@ -1,0 +1,310 @@
+"""Differential oracles: co-simulate optimized structures vs. references.
+
+A :class:`DifferentialChecker` records every operation applied to a
+shadowed structure pair into a bounded ring buffer and compares the two
+models' observable behaviour — hit/miss results, popped return
+addresses, predicted targets, eviction victims, and (for the BTBs)
+full per-set recency order.  On the first disagreement it freezes a
+:class:`Divergence` carrying the operation index, both answers, and the
+trailing event window, so the failure replays without rerunning the
+whole trace.
+
+The ``Shadow*`` classes drive an optimized structure and its oracle in
+lockstep through one shared API; :func:`cosimulate` replays a whole
+trace through shadow BTB/RAS/iBTB structures — the functional core of
+the timing simulator without the clocks — which is what the fuzz
+harness (``repro.validate.fuzz``) runs on randomized mini-workloads.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..config import SimConfig
+from ..errors import DivergenceError
+from ..frontend.btb import BTB
+from ..frontend.ibtb import IndirectBTB
+from ..frontend.prefetch_buffer import PrefetchBuffer
+from ..frontend.ras import ReturnAddressStack
+from ..isa.branches import BranchKind
+from .oracles import (
+    ReferenceBTB,
+    ReferenceIBTB,
+    ReferencePrefetchBuffer,
+    ReferenceRAS,
+)
+
+# Default number of trailing events kept for divergence replay.
+DEFAULT_WINDOW = 64
+
+
+@dataclass(frozen=True)
+class Divergence:
+    """First observed disagreement between a structure and its oracle."""
+
+    structure: str
+    op_index: int            # ordinal of the diverging operation
+    op: tuple                # the operation itself, e.g. ("insert", pc, target)
+    expected: object         # the oracle's answer
+    actual: object           # the optimized structure's answer
+    window: Tuple[tuple, ...]  # trailing ops ending at the diverging one
+
+    def describe(self) -> str:
+        lines = [
+            f"divergence in {self.structure} at op #{self.op_index}: {self.op}",
+            f"  oracle:    {self.expected!r}",
+            f"  optimized: {self.actual!r}",
+            f"  replay window ({len(self.window)} ops):",
+        ]
+        lines.extend(f"    {op}" for op in self.window)
+        return "\n".join(lines)
+
+
+class DifferentialChecker:
+    """Event recorder + comparator shared by a set of shadow structures."""
+
+    def __init__(self, window: int = DEFAULT_WINDOW, raise_on_divergence: bool = False):
+        self._window: "deque[tuple]" = deque(maxlen=window)
+        self._raise = raise_on_divergence
+        self.ops = 0
+        self.divergence: Optional[Divergence] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.divergence is None
+
+    def record(self, structure: str, op: tuple) -> int:
+        self.ops += 1
+        self._window.append((structure,) + op)
+        return self.ops
+
+    def compare(self, structure: str, op: tuple, expected, actual) -> None:
+        """Compare one observable; freeze the first mismatch."""
+        if expected == actual or self.divergence is not None:
+            return
+        self.divergence = Divergence(
+            structure=structure,
+            op_index=self.ops,
+            op=op,
+            expected=expected,
+            actual=actual,
+            window=tuple(self._window),
+        )
+        if self._raise:
+            raise DivergenceError(self.divergence.describe())
+
+
+# ----------------------------------------------------------------------
+class ShadowBTB:
+    """A :class:`BTB` and a :class:`ReferenceBTB` driven in lockstep."""
+
+    def __init__(self, btb: BTB, checker: DifferentialChecker, name: str = "btb"):
+        self.btb = btb
+        self.ref = ReferenceBTB(btb.config.sets, btb.config.ways)
+        self.checker = checker
+        self.name = name
+
+    def lookup(self, pc: int) -> bool:
+        op = ("lookup", pc)
+        self.checker.record(self.name, op)
+        hit = self.btb.lookup(pc) is not None
+        ref_hit = self.ref.lookup(pc)
+        self.checker.compare(self.name, op, ("hit", ref_hit), ("hit", hit))
+        return hit
+
+    def insert(self, pc: int, target: int, kind: BranchKind) -> None:
+        op = ("insert", pc, target)
+        self.checker.record(self.name, op)
+        victim = self.btb.insert(pc, target, kind)
+        victim_pc = victim.pc if victim is not None else None
+        ref_victim = self.ref.insert(pc, target)
+        self.checker.compare(
+            self.name, op, ("victim", ref_victim), ("victim", victim_pc)
+        )
+        self._compare_set(pc, op)
+
+    def _compare_set(self, pc: int, op: tuple) -> None:
+        idx = pc & self.btb._set_mask
+        optimized = list(self.btb._sets[idx])  # OrderedDict: LRU-first
+        self.checker.compare(
+            self.name, op, ("set", idx, self.ref.contents(idx)), ("set", idx, optimized)
+        )
+
+
+class ShadowRAS:
+    """A circular RAS and a list-based reference driven in lockstep."""
+
+    def __init__(self, ras: ReturnAddressStack, checker: DifferentialChecker):
+        self.ras = ras
+        self.ref = ReferenceRAS(ras.capacity)
+        self.checker = checker
+
+    def push(self, return_addr: int) -> None:
+        op = ("push", return_addr)
+        self.checker.record("ras", op)
+        self.ras.push(return_addr)
+        self.ref.push(return_addr)
+        self.checker.compare(
+            "ras", op, ("depth", self.ref.depth), ("depth", self.ras.depth)
+        )
+
+    def pop(self) -> Optional[int]:
+        op = ("pop",)
+        self.checker.record("ras", op)
+        predicted = self.ras.pop()
+        expected = self.ref.pop()
+        self.checker.compare("ras", op, ("value", expected), ("value", predicted))
+        return predicted
+
+
+class ShadowIBTB:
+    """An :class:`IndirectBTB` and its reference driven in lockstep."""
+
+    def __init__(self, ibtb: IndirectBTB, checker: DifferentialChecker):
+        self.ibtb = ibtb
+        self.ref = ReferenceIBTB(ibtb.config.sets, ibtb.config.ways)
+        self.checker = checker
+
+    def predict_and_record(self, pc: int, actual: int) -> bool:
+        op = ("predict", pc, actual)
+        self.checker.record("ibtb", op)
+        predicted = self.ibtb.predict(pc)
+        expected = self.ref.predict(pc)
+        self.checker.compare("ibtb", op, ("target", expected), ("target", predicted))
+        correct = self.ibtb.record_outcome(pc, predicted, actual)
+        self.ref.record(pc, actual)
+        idx = pc & self.ibtb._set_mask
+        self.checker.compare(
+            "ibtb",
+            op,
+            ("set", idx, self.ref.contents(idx)),
+            ("set", idx, list(self.ibtb._sets[idx])),
+        )
+        return correct
+
+
+class ShadowPrefetchBuffer:
+    """A :class:`PrefetchBuffer` and its reference driven in lockstep."""
+
+    def __init__(self, buf: PrefetchBuffer, checker: DifferentialChecker):
+        self.buf = buf
+        self.ref = ReferencePrefetchBuffer(buf.capacity)
+        self.checker = checker
+
+    def insert(self, pc: int, target: int, kind: BranchKind, ready_cycle: int) -> None:
+        op = ("insert", pc, target, ready_cycle)
+        self.checker.record("prefetch_buffer", op)
+        self.buf.insert(pc, target, kind, ready_cycle)
+        self.ref.insert(pc, target, ready_cycle)
+        self.checker.compare(
+            "prefetch_buffer",
+            op,
+            ("contents", self.ref.contents()),
+            ("contents", list(self.buf._entries)),
+        )
+
+    def take(self, pc: int, now: int) -> Optional[int]:
+        op = ("take", pc, now)
+        self.checker.record("prefetch_buffer", op)
+        taken = self.buf.take(pc, now)
+        target = taken[0] if taken is not None else None
+        expected = self.ref.take(pc, now)
+        self.checker.compare(
+            "prefetch_buffer", op, ("target", expected), ("target", target)
+        )
+        return target
+
+
+# ----------------------------------------------------------------------
+def cosimulate(
+    workload,
+    trace,
+    config: Optional[SimConfig] = None,
+    checker: Optional[DifferentialChecker] = None,
+) -> DifferentialChecker:
+    """Replay *trace* through shadowed BTB/RAS/iBTB structures.
+
+    This is the functional core of the timing simulator — the same
+    lookup/fill/push/pop decision structure, minus the clocks — run
+    simultaneously against the optimized structures and the reference
+    oracles.  Returns the checker; ``checker.ok`` is False and
+    ``checker.divergence`` holds the replay window if the models ever
+    disagreed.
+    """
+    from ..workloads.cfg import (
+        KIND_CALL,
+        KIND_CALL_IND,
+        KIND_COND,
+        KIND_JUMP_IND,
+        KIND_NONE,
+        KIND_RETURN,
+        KIND_UNCOND,
+    )
+
+    cfg = config if config is not None else SimConfig()
+    if checker is None:
+        checker = DifferentialChecker()
+    btb = ShadowBTB(BTB(cfg.frontend.btb), checker)
+    ras = ShadowRAS(ReturnAddressStack(cfg.frontend.ras_entries), checker)
+    ibtb = ShadowIBTB(IndirectBTB(cfg.frontend.ibtb), checker)
+
+    kind_code = workload.kind_code
+    branch_pc = workload.branch_pc
+    block_start = workload.block_start
+    block_size = workload.block_size
+    blocks = trace.blocks
+    takens = trace.takens
+    n_units = len(blocks)
+
+    for i in range(n_units):
+        if not checker.ok:
+            break
+        blk = blocks[i]
+        kind = kind_code[blk]
+        if kind == KIND_NONE:
+            continue
+        pc = branch_pc[blk]
+        next_start = block_start[blocks[i + 1]] if i + 1 < n_units else 0
+        if kind == KIND_COND:
+            if takens[i] and not btb.lookup(pc):
+                btb.insert(pc, next_start, BranchKind.COND_DIRECT)
+        elif kind == KIND_UNCOND or kind == KIND_CALL:
+            if kind == KIND_CALL:
+                ras.push(block_start[blk] + block_size[blk])
+            if not btb.lookup(pc):
+                bk = BranchKind.UNCOND_DIRECT if kind == KIND_UNCOND else BranchKind.CALL_DIRECT
+                btb.insert(pc, next_start, bk)
+        elif kind == KIND_RETURN:
+            ras.pop()
+        elif kind == KIND_CALL_IND or kind == KIND_JUMP_IND:
+            if kind == KIND_CALL_IND:
+                ras.push(block_start[blk] + block_size[blk])
+            ibtb.predict_and_record(pc, next_start)
+    return checker
+
+
+def exercise_prefetch_buffer(
+    ops: List[tuple],
+    capacity: int,
+    checker: Optional[DifferentialChecker] = None,
+) -> DifferentialChecker:
+    """Drive a shadowed prefetch buffer through an explicit op stream.
+
+    *ops* items are ``("insert", pc, target, ready)`` or
+    ``("take", pc, now)`` — the shape the fuzz harness generates.
+    """
+    if checker is None:
+        checker = DifferentialChecker()
+    shadow = ShadowPrefetchBuffer(PrefetchBuffer(capacity), checker)
+    for op in ops:
+        if not checker.ok:
+            break
+        if op[0] == "insert":
+            _, pc, target, ready = op
+            shadow.insert(pc, target, BranchKind.UNCOND_DIRECT, ready)
+        else:
+            _, pc, now = op
+            shadow.take(pc, now)
+    return checker

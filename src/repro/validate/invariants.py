@@ -1,0 +1,209 @@
+"""Runtime invariant sanitizers for the frontend models (DESIGN.md §8).
+
+A :class:`Sanitizer` is a shared clock plus a bundle of structural
+checks.  The timing simulator builds one when ``SimConfig.sanitize`` is
+on and attaches it to every frontend structure it owns; each structure
+then calls back into the sanitizer at its mutation points (BTB insert,
+RAS push/pop, prefetch-buffer insert/take), so a corruption is caught
+at the cycle it happens rather than cycles later when a figure looks
+wrong.
+
+The checks only *read* structure internals — they never call counted
+methods like ``lookup``/``peek`` — so a sanitized run is guaranteed to
+produce bit-identical results to a plain run (pinned by
+``tests/test_determinism.py``).
+
+Failures raise :class:`~repro.errors.InvariantViolation`, which carries
+the structure name, the BPU cycle, and the offending entry.
+"""
+
+from __future__ import annotations
+
+from ..errors import InvariantViolation
+
+
+class Sanitizer:
+    """Shared cycle clock + structural checks, woven through a sim.
+
+    One instance per :class:`~repro.uarch.sim.FrontendSimulator`; the
+    simulator advances :attr:`cycle` every fetch unit so violations can
+    report *when* the structure broke.  ``checks`` counts executed
+    check calls (used by tests to prove the sanitizer actually ran).
+    """
+
+    __slots__ = ("cycle", "checks")
+
+    def __init__(self) -> None:
+        self.cycle: float = 0.0
+        self.checks: int = 0
+
+    # ------------------------------------------------------------------
+    def fail(self, structure: str, message: str, entry=None) -> None:
+        raise InvariantViolation(structure, message, cycle=self.cycle, entry=entry)
+
+    # ------------------------------------------------------------------
+    # BTB (set-associative, OrderedDict per set).
+    def check_btb_set(self, btb, set_index: int, name: str = "btb") -> None:
+        """One set of a :class:`~repro.frontend.btb.BTB` after a mutation."""
+        self.checks += 1
+        entries = btb._sets[set_index]
+        if len(entries) > btb._ways:
+            self.fail(
+                name,
+                f"set {set_index} holds {len(entries)} entries, "
+                f"associativity is {btb._ways}",
+            )
+        seen_pcs = set()
+        for key, entry in entries.items():
+            if key & btb._set_mask != set_index:
+                self.fail(
+                    name,
+                    f"tag {key:#x} indexes to set {key & btb._set_mask}, "
+                    f"found in set {set_index}",
+                    entry=entry,
+                )
+            if entry.pc != key:
+                self.fail(
+                    name,
+                    f"entry keyed {key:#x} carries pc {entry.pc:#x}",
+                    entry=entry,
+                )
+            if entry.pc in seen_pcs:
+                self.fail(
+                    name,
+                    f"duplicate live tag {entry.pc:#x} in set {set_index}",
+                    entry=entry,
+                )
+            seen_pcs.add(entry.pc)
+
+    def check_btb(self, btb, name: str = "btb") -> None:
+        """Full sweep: every set plus the counter identities."""
+        for set_index in range(len(btb._sets)):
+            self.check_btb_set(btb, set_index, name=name)
+        if btb.hits > btb.lookups:
+            self.fail(name, f"hits ({btb.hits}) exceed lookups ({btb.lookups})")
+        if btb.misses < 0 or btb.hits + btb.misses != btb.lookups:
+            self.fail(
+                name,
+                f"hits ({btb.hits}) + misses ({btb.misses}) != "
+                f"lookups ({btb.lookups})",
+            )
+        occupancy = sum(len(s) for s in btb._sets)
+        if occupancy > btb.config.entries:
+            self.fail(
+                name,
+                f"occupancy ({occupancy}) exceeds capacity ({btb.config.entries})",
+            )
+
+    # ------------------------------------------------------------------
+    # Indirect BTB (sets map pc -> target int).
+    def check_ibtb_set(self, ibtb, set_index: int) -> None:
+        self.checks += 1
+        entries = ibtb._sets[set_index]
+        if len(entries) > ibtb._ways:
+            self.fail(
+                "ibtb",
+                f"set {set_index} holds {len(entries)} entries, "
+                f"associativity is {ibtb._ways}",
+            )
+        for key in entries:
+            if key & ibtb._set_mask != set_index:
+                self.fail(
+                    "ibtb",
+                    f"tag {key:#x} indexes to set {key & ibtb._set_mask}, "
+                    f"found in set {set_index}",
+                )
+
+    def check_ibtb(self, ibtb) -> None:
+        for set_index in range(len(ibtb._sets)):
+            self.check_ibtb_set(ibtb, set_index)
+        if ibtb.hits > ibtb.lookups:
+            self.fail("ibtb", f"hits ({ibtb.hits}) exceed lookups ({ibtb.lookups})")
+        if ibtb.correct > ibtb.hits:
+            self.fail(
+                "ibtb",
+                f"correct predictions ({ibtb.correct}) exceed hits ({ibtb.hits})",
+            )
+
+    # ------------------------------------------------------------------
+    # Return address stack.
+    def check_ras(self, ras) -> None:
+        self.checks += 1
+        if not 0 <= ras._depth <= ras.capacity:
+            self.fail(
+                "ras",
+                f"depth {ras._depth} outside [0, {ras.capacity}]",
+            )
+        if not 0 <= ras._top < ras.capacity:
+            self.fail("ras", f"top index {ras._top} outside [0, {ras.capacity})")
+        if ras.underflows > ras.pops:
+            self.fail(
+                "ras",
+                f"underflows ({ras.underflows}) exceed pops ({ras.pops})",
+            )
+        if ras.correct > ras.pops:
+            self.fail(
+                "ras",
+                f"correct predictions ({ras.correct}) exceed pops ({ras.pops})",
+            )
+
+    # ------------------------------------------------------------------
+    # Prefetch buffer (LRU OrderedDict; re-insert refreshes recency).
+    def check_prefetch_buffer(self, buf) -> None:
+        self.checks += 1
+        if buf.capacity and len(buf._entries) > buf.capacity:
+            self.fail(
+                "prefetch_buffer",
+                f"{len(buf._entries)} entries exceed capacity {buf.capacity}",
+            )
+        # Recency bookkeeping only exists once a sanitizer is attached;
+        # a deep sweep over a never-attached buffer skips the order check.
+        seq = buf._seq if getattr(buf, "_san", None) is not None else None
+        if seq is not None:
+            if set(seq) != set(buf._entries):
+                self.fail(
+                    "prefetch_buffer",
+                    "recency bookkeeping lost track of the live entries",
+                )
+            last = -1
+            for pc in buf._entries:
+                if seq[pc] <= last:
+                    self.fail(
+                        "prefetch_buffer",
+                        f"LRU order broken at {pc:#x}: insertion order no "
+                        "longer matches recency order",
+                        entry=(pc, buf._entries[pc]),
+                    )
+                last = seq[pc]
+        if buf.promotions > buf.inserts:
+            self.fail(
+                "prefetch_buffer",
+                f"promotions ({buf.promotions}) exceed inserts ({buf.inserts})",
+            )
+
+    # ------------------------------------------------------------------
+    def check_system(self, system) -> None:
+        """Deep sweep over whatever structures a BTB system owns.
+
+        Duck-typed on the conventional attribute names so one walker
+        covers baseline, Shotgun's partitions, Boomerang, and the
+        compressed-BTB extension without each system listing itself.
+        """
+        for attr in ("btb", "ubtb", "cbtb"):
+            structure = getattr(system, attr, None)
+            if structure is None:
+                continue
+            if hasattr(structure, "compressed"):  # CompressedBTB partitions
+                self.check_btb(structure.compressed, name=f"{attr}.compressed")
+                self.check_btb(structure.full, name=f"{attr}.full")
+                if structure.hits > structure.lookups:
+                    self.fail(
+                        attr,
+                        f"hits ({structure.hits}) exceed lookups "
+                        f"({structure.lookups})",
+                    )
+            elif hasattr(structure, "_sets"):
+                self.check_btb(structure, name=attr)
+        buf = getattr(system, "buffer", None)
+        if buf is not None:
+            self.check_prefetch_buffer(buf)

@@ -1,0 +1,183 @@
+"""Obviously-correct reference models for the frontend structures.
+
+Each oracle mirrors the *semantics* of an optimized structure in
+``repro.frontend`` while avoiding every trick the optimized code relies
+on: no ``OrderedDict`` recency rotation, no circular indices, no
+in-place tuple packing.  LRU is an explicit timestamp scan; the RAS is
+a plain Python list.  They are deliberately slow — their only job is to
+be impossible to get wrong, so the differential checker can treat any
+disagreement as a bug in the optimized side.
+
+The BTB oracles also return their eviction victims, so replacement
+decisions (not just hit/miss results) are comparable event by event —
+the failure mode "Branch Target Buffer Reverse Engineering on Arm"
+shows real BTBs get wrong in subtle ways.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+
+class ReferenceBTB:
+    """Set-associative LRU BTB: dict per set, explicit timestamp LRU."""
+
+    def __init__(self, sets: int, ways: int):
+        if sets <= 0 or ways <= 0:
+            raise ValueError("sets and ways must be positive")
+        self.sets = sets
+        self.ways = ways
+        # set index -> {pc: (target, last_use_stamp)}
+        self._sets: List[dict] = [dict() for _ in range(sets)]
+        self._clock = 0
+
+    def _set_index(self, pc: int) -> int:
+        return pc % self.sets  # sets is a power of two: identical to & mask
+
+    def lookup(self, pc: int) -> bool:
+        """Touch *pc*; True on hit (refreshes recency)."""
+        self._clock += 1
+        entries = self._sets[self._set_index(pc)]
+        if pc not in entries:
+            return False
+        target, _ = entries[pc]
+        entries[pc] = (target, self._clock)
+        return True
+
+    def insert(self, pc: int, target: int) -> Optional[int]:
+        """Install or refresh (pc -> target); returns the evicted pc."""
+        self._clock += 1
+        entries = self._sets[self._set_index(pc)]
+        victim = None
+        if pc not in entries and len(entries) >= self.ways:
+            victim = min(entries, key=lambda k: entries[k][1])
+            del entries[victim]
+        entries[pc] = (target, self._clock)
+        return victim
+
+    def target_of(self, pc: int) -> Optional[int]:
+        """Stored target without touching recency (mirror of peek)."""
+        entry = self._sets[self._set_index(pc)].get(pc)
+        return entry[0] if entry is not None else None
+
+    def contents(self, set_index: int) -> List[int]:
+        """PCs of one set in recency order, least recent first."""
+        entries = self._sets[set_index]
+        return sorted(entries, key=lambda k: entries[k][1])
+
+
+class ReferenceRAS:
+    """Return address stack as a plain list.
+
+    Overflow drops the *oldest* entry (the circular stack overwrites
+    it); underflow returns ``None``.  Matches
+    :class:`~repro.frontend.ras.ReturnAddressStack` exactly.
+    """
+
+    def __init__(self, entries: int = 32):
+        if entries <= 0:
+            raise ValueError("RAS needs at least one entry")
+        self.capacity = entries
+        self._stack: List[int] = []
+
+    def push(self, return_addr: int) -> None:
+        if len(self._stack) >= self.capacity:
+            self._stack.pop(0)
+        self._stack.append(return_addr)
+
+    def pop(self) -> Optional[int]:
+        if not self._stack:
+            return None
+        return self._stack.pop()
+
+    @property
+    def depth(self) -> int:
+        return len(self._stack)
+
+
+class ReferenceIBTB:
+    """Set-associative last-target indirect predictor, timestamp LRU."""
+
+    def __init__(self, sets: int, ways: int):
+        if sets <= 0 or ways <= 0:
+            raise ValueError("sets and ways must be positive")
+        self.sets = sets
+        self.ways = ways
+        self._sets: List[dict] = [dict() for _ in range(sets)]
+        self._clock = 0
+
+    def _set_index(self, pc: int) -> int:
+        return pc % self.sets
+
+    def predict(self, pc: int) -> Optional[int]:
+        self._clock += 1
+        entries = self._sets[self._set_index(pc)]
+        if pc not in entries:
+            return None
+        target, _ = entries[pc]
+        entries[pc] = (target, self._clock)
+        return target
+
+    def record(self, pc: int, actual: int) -> Optional[int]:
+        """Update with the resolved target; returns the evicted pc."""
+        self._clock += 1
+        entries = self._sets[self._set_index(pc)]
+        victim = None
+        if pc not in entries and len(entries) >= self.ways:
+            victim = min(entries, key=lambda k: entries[k][1])
+            del entries[victim]
+        entries[pc] = (actual, self._clock)
+        return victim
+
+    def contents(self, set_index: int) -> List[int]:
+        entries = self._sets[set_index]
+        return sorted(entries, key=lambda k: entries[k][1])
+
+
+class ReferencePrefetchBuffer:
+    """LRU prefetch buffer as an explicit list of (pc, target, ready).
+
+    Mirrors :class:`~repro.frontend.prefetch_buffer.PrefetchBuffer`:
+    re-inserting a live pc refreshes its recency and keeps the earlier
+    ready cycle; a full buffer evicts the least recent entry; ``take``
+    consumes only entries whose fill has completed.
+    """
+
+    def __init__(self, entries: int = 128):
+        if entries < 0:
+            raise ValueError("prefetch buffer size must be >= 0")
+        self.capacity = entries
+        self._entries: List[Tuple[int, int, int]] = []  # (pc, target, ready)
+
+    def insert(self, pc: int, target: int, ready_cycle: int) -> Optional[int]:
+        """Returns the evicted pc when the insert displaced one."""
+        if self.capacity == 0:
+            return None
+        victim = None
+        for i, (live_pc, _t, live_ready) in enumerate(self._entries):
+            if live_pc == pc:
+                ready_cycle = min(ready_cycle, live_ready)
+                del self._entries[i]
+                break
+        else:
+            if len(self._entries) >= self.capacity:
+                victim = self._entries.pop(0)[0]
+        self._entries.append((pc, target, ready_cycle))
+        return victim
+
+    def take(self, pc: int, now: int) -> Optional[int]:
+        """Consume and return the target for *pc* if present and ready."""
+        for i, (live_pc, target, ready) in enumerate(self._entries):
+            if live_pc == pc:
+                if ready > now:
+                    return None
+                del self._entries[i]
+                return target
+        return None
+
+    def contents(self) -> List[int]:
+        """Live pcs in recency order, least recent first."""
+        return [pc for pc, _t, _r in self._entries]
+
+    def __len__(self) -> int:
+        return len(self._entries)

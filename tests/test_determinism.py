@@ -8,6 +8,7 @@ produce identical metrics, counter for counter.
 
 import pytest
 
+from repro.config import SimConfig
 from repro.experiments.runner import ExperimentRunner, RunnerSettings
 from repro.profiling.serialize import result_to_dict
 
@@ -44,6 +45,23 @@ class TestDeterminism:
         runner._plans.clear()
         second = {s: result_to_dict(runner.run("wordpress", s)) for s in SYSTEMS}
         assert first == second
+
+    def test_sanitized_runs_match_plain_goldens(self):
+        # The sanitizers (repro.validate) only *observe*: a sanitize=True
+        # run must reproduce the plain golden counter for counter, while
+        # also passing every invariant check along the way.
+        settings = RunnerSettings(
+            trace_instructions=30_000, apps=("wordpress",), sample_rate=1
+        )
+        plain = ExperimentRunner(settings)
+        sanitized = ExperimentRunner(settings)
+        cfg = SimConfig(sanitize=True)
+        for system in SYSTEMS:
+            golden = result_to_dict(plain.run("wordpress", system))
+            checked = result_to_dict(
+                sanitized.run("wordpress", system, config=cfg)
+            )
+            assert checked == golden
 
     @pytest.mark.slow
     def test_serial_vs_parallel_identical(self):

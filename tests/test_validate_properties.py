@@ -1,0 +1,180 @@
+"""Property-based differential tests (DESIGN.md §8).
+
+The optimized frontend structures must agree with the obviously-correct
+reference oracles in ``repro.validate.oracles`` on *every* observable:
+hit/miss sequences, eviction victims, popped return addresses, and
+per-set recency order.  Streams are randomized but fully seeded, so a
+failure here is a deterministic reproducer.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+from repro.config import BTBConfig, SimConfig
+from repro.frontend.btb import BTB
+from repro.frontend.ibtb import IndirectBTB
+from repro.frontend.ras import ReturnAddressStack
+from repro.isa.branches import BranchKind
+from repro.validate import (
+    DifferentialChecker,
+    ReferenceBTB,
+    ShadowBTB,
+    ShadowIBTB,
+    ShadowRAS,
+    cosimulate,
+    exercise_prefetch_buffer,
+)
+from repro.validate.fuzz import fuzz_buffer_ops, run_fuzz, shrink_window
+from repro.workloads.rng import make_rng
+
+FAST_SEEDS = range(20)
+
+
+class TestStructureProperties:
+    @pytest.mark.parametrize("seed", FAST_SEEDS)
+    def test_btb_matches_oracle(self, seed):
+        rng = make_rng("prop-btb", seed)
+        checker = DifferentialChecker()
+        ways = rng.choice((1, 2, 4))
+        sets = rng.choice((4, 8))
+        shadow = ShadowBTB(BTB(BTBConfig(entries=sets * ways, ways=ways)), checker)
+        for _ in range(600):
+            pc = 0x1000 + rng.randrange(64) * 4
+            if rng.random() < 0.6:
+                shadow.lookup(pc)
+            else:
+                shadow.insert(pc, pc + rng.randrange(512), BranchKind.UNCOND_DIRECT)
+        assert checker.ok, checker.divergence.describe()
+        assert checker.ops == 600
+
+    @pytest.mark.parametrize("seed", FAST_SEEDS)
+    def test_ibtb_matches_oracle(self, seed):
+        rng = make_rng("prop-ibtb", seed)
+        checker = DifferentialChecker()
+        ways = rng.choice((1, 2, 4))
+        sets = rng.choice((4, 8))
+        shadow = ShadowIBTB(
+            IndirectBTB(BTBConfig(entries=sets * ways, ways=ways)), checker
+        )
+        for _ in range(600):
+            pc = 0x2000 + rng.randrange(48) * 4
+            shadow.predict_and_record(pc, 0x8000 + rng.randrange(8) * 64)
+        assert checker.ok, checker.divergence.describe()
+
+    @pytest.mark.parametrize("seed", FAST_SEEDS)
+    def test_ras_matches_oracle(self, seed):
+        rng = make_rng("prop-ras", seed)
+        checker = DifferentialChecker()
+        shadow = ShadowRAS(ReturnAddressStack(rng.choice((2, 4, 8))), checker)
+        for _ in range(600):
+            # Pop-heavy so both underflow and overflow paths execute.
+            if rng.random() < 0.55:
+                shadow.push(0x4000 + rng.randrange(1024) * 4)
+            else:
+                shadow.pop()
+        assert checker.ok, checker.divergence.describe()
+
+    @pytest.mark.parametrize("seed", FAST_SEEDS)
+    def test_prefetch_buffer_matches_oracle(self, seed):
+        rng = make_rng("prop-buf", seed)
+        capacity = rng.choice((0, 2, 4, 8))
+        checker = exercise_prefetch_buffer(fuzz_buffer_ops(rng), capacity)
+        assert checker.ok, checker.divergence.describe()
+
+    def test_hit_miss_and_victim_sequences_identical(self):
+        """The explicit satellite property: sequences, not just final state."""
+        for seed in range(10):
+            rng = make_rng("prop-seq", seed)
+            btb = BTB(BTBConfig(entries=16, ways=2))
+            ref = ReferenceBTB(8, 2)
+            optimized, oracle = [], []
+            for _ in range(500):
+                pc = rng.randrange(48) * 4
+                if rng.random() < 0.5:
+                    optimized.append(btb.lookup(pc) is not None)
+                    oracle.append(ref.lookup(pc))
+                else:
+                    victim = btb.insert(pc, pc + 4, BranchKind.CALL_DIRECT)
+                    optimized.append(victim.pc if victim is not None else None)
+                    oracle.append(ref.insert(pc, pc + 4))
+            assert optimized == oracle
+
+
+class TestDivergenceMachinery:
+    def test_injected_corruption_is_caught_with_replay_window(self):
+        """Sneak a mutation past the shadow; the checker must report it."""
+        checker = DifferentialChecker(window=8)
+        shadow = ShadowBTB(BTB(BTBConfig(entries=8, ways=2)), checker)
+        for pc in range(0, 12 * 4, 4):
+            shadow.insert(pc, pc + 4, BranchKind.UNCOND_DIRECT)
+        assert checker.ok
+        # Out-of-band eviction the oracle never saw.
+        victim_pc = next(iter(shadow.btb._sets[0]))
+        shadow.btb.invalidate(victim_pc)
+        shadow.lookup(victim_pc)
+        assert not checker.ok
+        div = checker.divergence
+        assert div.structure == "btb"
+        assert 0 < len(div.window) <= 8
+        assert div.window[-1][1:] == div.op
+        assert "oracle" in div.describe()
+
+    def test_first_divergence_is_frozen(self):
+        checker = DifferentialChecker()
+        shadow = ShadowRAS(ReturnAddressStack(4), checker)
+        shadow.push(0x100)
+        shadow.push(0x200)
+        shadow.ras._stack[0] = 0xBAD  # corrupt the optimized side
+        shadow.ras._stack[1] = 0xBAD
+        shadow.pop()
+        first = checker.divergence
+        assert first is not None
+        shadow.pop()  # a second divergence must not overwrite the first
+        assert checker.divergence is first
+
+
+class TestTraceCosimulation:
+    def test_tiny_workload_cosimulates_clean(self, tiny_workload, tiny_trace):
+        checker = cosimulate(tiny_workload, tiny_trace)
+        assert checker.ok, checker.divergence.describe()
+        assert checker.ops > 1000
+
+    def test_small_geometry_cosimulates_clean(self, tiny_workload, tiny_trace):
+        # Tiny BTBs force constant eviction: the hard case for LRU parity.
+        cfg = SimConfig().with_btb(entries=64, ways=2)
+        checker = cosimulate(tiny_workload, tiny_trace, cfg)
+        assert checker.ok, checker.divergence.describe()
+
+
+class TestFuzzCorpus:
+    def test_default_corpus_clean(self):
+        report = run_fuzz(cases=20)
+        assert report.ok, "\n\n".join(f.describe() for f in report.failures)
+        assert report.cases == 20
+        assert report.ops_checked > 10_000
+
+    @pytest.mark.slow
+    def test_extended_corpus_clean(self):
+        report = run_fuzz(cases=200)
+        assert report.ok, "\n\n".join(f.describe() for f in report.failures)
+
+
+class TestShrinker:
+    def test_shrink_window_reaches_one_minimal_window(self, tiny_trace):
+        target, occurrences = Counter(tiny_trace.blocks).most_common(1)[0]
+        assert occurrences >= 3
+
+        def predicate(tr):
+            return tr.blocks.count(target) >= 3
+
+        assert predicate(tiny_trace)
+        lo, hi = shrink_window(tiny_trace, predicate)
+        assert predicate(tiny_trace.slice(lo, hi))
+        # 1-minimal: dropping a single unit from either end cures it.
+        if hi - lo > 1:
+            assert not predicate(tiny_trace.slice(lo, hi - 1))
+            assert not predicate(tiny_trace.slice(lo + 1, hi))
+        assert hi - lo < len(tiny_trace)

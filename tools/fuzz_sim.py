@@ -1,0 +1,89 @@
+#!/usr/bin/env python
+"""Property-based fuzzing CLI for the frontend models (DESIGN.md §8).
+
+Usage::
+
+    python tools/fuzz_sim.py                      # 20-case quick pass
+    python tools/fuzz_sim.py --cases 200          # the nightly corpus
+    python tools/fuzz_sim.py --seed 1000          # a different corpus slice
+    python tools/fuzz_sim.py --replay 17          # re-run one failing seed
+    python tools/fuzz_sim.py --no-shrink          # skip minimization
+
+Each case co-simulates randomized mini-workloads against the reference
+oracles and runs the timing simulator with sanitizers on (see
+``repro.validate.fuzz``).  Failing seeds are shrunk to a minimal trace
+window and printed as a reproducer; the exit code is non-zero when any
+case fails, so CI can gate on it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+)
+
+from repro.validate.fuzz import (  # noqa: E402
+    DEFAULT_CASES,
+    DEFAULT_INSTRUCTIONS,
+    run_case,
+    run_fuzz,
+)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python tools/fuzz_sim.py",
+        description="Fuzz the BTB/iBTB/RAS/prefetch-buffer models against "
+        "reference oracles and runtime sanitizers.",
+    )
+    parser.add_argument(
+        "--cases", type=int, default=DEFAULT_CASES,
+        help=f"number of fuzz cases (default {DEFAULT_CASES})",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="base seed (default 0)"
+    )
+    parser.add_argument(
+        "--instructions", type=int, default=DEFAULT_INSTRUCTIONS,
+        help=f"trace length per case (default {DEFAULT_INSTRUCTIONS})",
+    )
+    parser.add_argument(
+        "--replay", type=int, default=None, metavar="SEED",
+        help="re-run a single seed instead of a corpus",
+    )
+    parser.add_argument(
+        "--no-shrink", action="store_true",
+        help="report failures without minimizing the trace window",
+    )
+    args = parser.parse_args(argv)
+    shrink = not args.no_shrink
+
+    if args.replay is not None:
+        failure, ops = run_case(
+            args.replay, max_instructions=args.instructions, shrink=shrink
+        )
+        if failure is None:
+            print(f"seed {args.replay}: OK ({ops} differential ops checked)")
+            return 0
+        print(failure.describe())
+        return 1
+
+    report = run_fuzz(
+        cases=args.cases,
+        base_seed=args.seed,
+        max_instructions=args.instructions,
+        shrink=shrink,
+    )
+    print(report.summary())
+    for failure in report.failures:
+        print()
+        print(failure.describe())
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
