@@ -39,6 +39,26 @@ def sanitize_from_env() -> bool:
     raise ConfigError(f"REPRO_SANITIZE must be a boolean flag, got {raw!r}")
 
 
+def telemetry_path_from_env() -> Optional[str]:
+    """Telemetry JSONL log path from ``REPRO_TELEMETRY``, or ``None``.
+
+    Like :func:`sanitize_from_env`, this is evaluated when the consumer
+    is built (an :class:`~repro.experiments.runner.ExperimentRunner` or
+    a parallel worker), so setting the variable — or passing
+    ``--telemetry PATH`` to the CLI, which sets it — enables telemetry
+    for every subsequently created runner, including the ones parallel
+    workers build in their own processes.
+    """
+    raw = os.environ.get("REPRO_TELEMETRY", "").strip()
+    if not raw:
+        return None
+    if os.path.isdir(raw):
+        raise ConfigError(
+            f"REPRO_TELEMETRY must name a file, got directory {raw!r}"
+        )
+    return raw
+
+
 def is_power_of_two(value: int) -> bool:
     """Return True when *value* is a positive power of two."""
     return value > 0 and (value & (value - 1)) == 0

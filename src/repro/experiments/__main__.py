@@ -8,10 +8,15 @@ Usage::
     python -m repro.experiments --no-cache fig03            # force re-simulation
     python -m repro.experiments --cache-dir /tmp/twig fig03
     REPRO_APPS=cassandra,wordpress python -m repro.experiments fig03
+    python -m repro.experiments --telemetry run.jsonl fig16 # telemetry log
+    python -m repro.experiments telemetry-report run.jsonl  # summarize it
 
 ``--jobs``/``--cache-dir`` default to the ``REPRO_JOBS`` /
 ``REPRO_CACHE_DIR`` environment knobs; results persist under
-``.repro_cache/`` unless ``--no-cache`` is given.
+``.repro_cache/`` unless ``--no-cache`` is given.  ``--telemetry PATH``
+(equivalent to ``REPRO_TELEMETRY=PATH``) appends structured JSONL
+events — phase spans, cache traffic, worker activity — which
+``telemetry-report`` turns into a wall-time/cache/worker breakdown.
 """
 
 from __future__ import annotations
@@ -20,7 +25,7 @@ import argparse
 import os
 import sys
 
-from ..config import sanitize_from_env
+from ..config import sanitize_from_env, telemetry_path_from_env
 from ..errors import ReproError
 from .cache import DEFAULT_CACHE_DIR, ResultCache
 from .parallel import resolve_jobs
@@ -60,12 +65,25 @@ def main(argv=None) -> int:
         help="enable runtime invariant checks in every simulation "
         "(equivalent to REPRO_SANITIZE=1; results are cached separately)",
     )
+    parser.add_argument(
+        "--telemetry",
+        default=None,
+        metavar="PATH",
+        help="append structured JSONL telemetry events to PATH "
+        "(equivalent to REPRO_TELEMETRY=PATH; workers inherit it)",
+    )
     args = parser.parse_args(argv)
 
     if args.sanitize:
         # Via the environment so parallel workers inherit it and every
         # default-constructed SimConfig in this process picks it up.
         os.environ["REPRO_SANITIZE"] = "1"
+    if args.telemetry:
+        # Same pattern: the env is what parallel workers inherit.
+        os.environ["REPRO_TELEMETRY"] = args.telemetry
+
+    if args.experiments and args.experiments[0] == "telemetry-report":
+        return _telemetry_report(args)
 
     if args.list or not args.experiments:
         for exp_id, exp in sorted(EXPERIMENTS.items()):
@@ -121,6 +139,37 @@ def main(argv=None) -> int:
             path = save_result(exp_id, result)
             print(f"  saved: {path}")
         print()
+
+    if runner.telemetry is not None:
+        cache_stats = runner.cache.stats if runner.cache is not None else None
+        runner.telemetry.emit_summary(
+            cache_stats=cache_stats, runner_stats=runner.stats
+        )
+        print(f"telemetry: {runner.telemetry.path}")
+    return 0
+
+
+def _telemetry_report(args) -> int:
+    """``telemetry-report [PATH]``: summarize a telemetry JSONL log."""
+    from ..telemetry.report import render_report
+
+    rest = args.experiments[1:]
+    if len(rest) > 1:
+        print("telemetry-report takes at most one PATH argument", file=sys.stderr)
+        return 2
+    path = rest[0] if rest else (args.telemetry or telemetry_path_from_env())
+    if not path:
+        print(
+            "telemetry-report needs a log path: pass it as an argument, "
+            "via --telemetry, or via REPRO_TELEMETRY",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        print(render_report(path))
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     return 0
 
 

@@ -30,7 +30,15 @@ Robustness guarantees:
   edit) is detected on load.
 * **Quarantine + recompute** — corrupted entries are moved to
   ``quarantine/`` and reported as a miss, so the caller transparently
-  recomputes instead of crashing or returning garbage.
+  recomputes instead of crashing or returning garbage.  Quarantine
+  destinations are made unique with a numeric suffix (``<key>.json.1``,
+  ``.2``, ...) so a repeated corruption of the same key never
+  overwrites earlier post-mortem evidence.
+
+With a :class:`~repro.telemetry.events.TelemetrySink` attached (the
+``sink`` attribute, set by the runner when telemetry is enabled), every
+load/store/quarantine also emits a structured event; with no sink the
+cost is one ``None`` check per operation.
 """
 
 from __future__ import annotations
@@ -74,16 +82,22 @@ class CacheStats:
     misses: int = 0
     stores: int = 0
     quarantined: int = 0
+    # Corrupt entries the fallback path had to *delete* (quarantine move
+    # failed); counted separately because no post-mortem file exists.
+    quarantine_deleted: int = 0
 
 
 class ResultCache:
     """Content-addressed JSON store with checksums and quarantine."""
 
-    def __init__(self, directory: str = DEFAULT_CACHE_DIR):
+    def __init__(self, directory: str = DEFAULT_CACHE_DIR, sink=None):
         if not directory:
             raise CacheError("cache directory must be a non-empty path")
         self.directory = directory
         self.stats = CacheStats()
+        # Optional TelemetrySink; attached by the runner when telemetry
+        # is enabled.
+        self.sink = sink
 
     # ------------------------------------------------------------------
     def _path(self, key: str) -> str:
@@ -106,16 +120,28 @@ class ResultCache:
                 entry = json.load(fh)
         except (FileNotFoundError, IsADirectoryError):
             self.stats.misses += 1
+            if self.sink is not None:
+                self.sink.registry.inc("cache.misses")
+                self.sink.emit("cache_load", key=key, outcome="miss")
             return None
         except (ValueError, OSError, UnicodeDecodeError):
             self._quarantine(path)
             self.stats.misses += 1
+            if self.sink is not None:
+                self.sink.registry.inc("cache.misses")
+                self.sink.emit("cache_load", key=key, outcome="corrupt")
             return None
         if not self._entry_is_valid(entry, key):
             self._quarantine(path)
             self.stats.misses += 1
+            if self.sink is not None:
+                self.sink.registry.inc("cache.misses")
+                self.sink.emit("cache_load", key=key, outcome="corrupt")
             return None
         self.stats.hits += 1
+        if self.sink is not None:
+            self.sink.registry.inc("cache.hits")
+            self.sink.emit("cache_load", key=key, outcome="hit")
         return entry["payload"]
 
     @staticmethod
@@ -158,6 +184,9 @@ class ResultCache:
         except OSError as exc:
             raise CacheError(f"could not write cache entry {path}: {exc}") from exc
         self.stats.stores += 1
+        if self.sink is not None:
+            self.sink.registry.inc("cache.stores")
+            self.sink.emit("cache_store", key=key, kind=fields.get("kind"))
         return path
 
     # ------------------------------------------------------------------
@@ -165,20 +194,43 @@ class ResultCache:
         """Move the entry for *fields* aside (e.g. after a decode failure)."""
         self._quarantine(self._path(cache_key(fields)))
 
+    def _quarantine_dest(self, path: str) -> str:
+        """A destination that never clobbers earlier quarantined copies.
+
+        Repeated corruptions of the same key get ``.1``, ``.2``, ...
+        suffixes so every generation of post-mortem evidence survives.
+        """
+        base = os.path.basename(path)
+        dest = os.path.join(self._quarantine_dir(), base)
+        n = 0
+        while os.path.exists(dest):
+            n += 1
+            dest = os.path.join(self._quarantine_dir(), f"{base}.{n}")
+        return dest
+
     def _quarantine(self, path: str) -> None:
         if not os.path.isfile(path):
             return
-        dest = os.path.join(self._quarantine_dir(), os.path.basename(path))
         try:
             os.makedirs(self._quarantine_dir(), exist_ok=True)
+            dest = self._quarantine_dest(path)
             os.replace(path, dest)
         except OSError:
             # Last resort: a corrupted entry must never be served again.
+            # The evidence is gone, so this does not count as quarantined.
             try:
                 os.unlink(path)
             except OSError:
                 return
+            self.stats.quarantine_deleted += 1
+            if self.sink is not None:
+                self.sink.registry.inc("cache.quarantine_deleted")
+                self.sink.emit("cache_quarantine", path=path, deleted=True)
+            return
         self.stats.quarantined += 1
+        if self.sink is not None:
+            self.sink.registry.inc("cache.quarantined")
+            self.sink.emit("cache_quarantine", path=path, dest=dest, deleted=False)
 
     # ------------------------------------------------------------------
     def entry_paths(self) -> Tuple[str, ...]:

@@ -86,11 +86,24 @@ def _init_worker(settings, cache_dir: Optional[str]) -> None:
     from .runner import ExperimentRunner
 
     cache = ResultCache(cache_dir) if cache_dir else None
+    # The worker's runner picks up telemetry from the inherited
+    # REPRO_TELEMETRY environment: its phase spans append to the same
+    # JSONL log as the parent's (whole-line appends interleave safely).
     _WORKER_RUNNER = ExperimentRunner(settings, cache=cache, jobs=1)
+    if _WORKER_RUNNER.telemetry is not None:
+        _WORKER_RUNNER.telemetry.emit("worker_start")
 
 
-def _run_request(request: RunRequest) -> SimResult:
-    return _WORKER_RUNNER.run(
+def _run_request(request: RunRequest):
+    """Execute one request; returns ``(result, worker_pid, metrics_delta)``.
+
+    The delta is this request's slice of the worker registry (telemetry
+    on) or ``None`` (telemetry off); the parent merges it so pool-wide
+    counters aggregate even though workers are separate processes.
+    """
+    tel = _WORKER_RUNNER.telemetry
+    before = tel.registry.snapshot() if tel is not None else None
+    result = _WORKER_RUNNER.run(
         request.app,
         request.system,
         input_idx=request.input_idx,
@@ -98,6 +111,8 @@ def _run_request(request: RunRequest) -> SimResult:
         profile_input=request.profile_input,
         cache_tag=request.cache_tag,
     )
+    delta = tel.registry.diff(before) if tel is not None else None
+    return result, os.getpid(), delta
 
 
 def execute_runs(
@@ -105,6 +120,7 @@ def execute_runs(
     requests: Sequence[RunRequest],
     jobs: int,
     cache_dir: Optional[str] = None,
+    telemetry=None,
 ) -> List[Optional[SimResult]]:
     """Execute *requests* across *jobs* worker processes.
 
@@ -112,6 +128,11 @@ def execute_runs(
     its request failed after the retry round (or the pool could not be
     started at all) — callers must fall back to serial execution for
     those.
+
+    With a parent-side *telemetry* sink, each successful request's
+    worker metrics delta is merged into the parent registry (per-worker
+    request counts, phase timers) and retried requests are counted
+    under ``parallel.retries``.
     """
     requests = list(requests)
     if not requests:
@@ -122,6 +143,8 @@ def execute_runs(
     for _round in range(MAX_RETRY_ROUNDS + 1):
         if not pending:
             break
+        if _round > 0 and telemetry is not None:
+            telemetry.registry.inc("parallel.retries", len(pending))
         try:
             with ProcessPoolExecutor(
                 max_workers=jobs,
@@ -135,9 +158,13 @@ def execute_runs(
                 for fut in as_completed(futures):
                     i, req = futures[fut]
                     try:
-                        results[i] = fut.result()
+                        result, worker_pid, delta = fut.result()
                     except Exception:
                         failed.append((i, req))
+                        continue
+                    results[i] = result
+                    if telemetry is not None:
+                        telemetry.record_worker(worker_pid, delta)
         except Exception:
             # The pool itself could not start (restricted environment,
             # resource exhaustion); leave the rest for the serial path.

@@ -22,11 +22,14 @@ Environment knobs (read once, at first use; invalid values raise
   kill switch (default ``.repro_cache/``, used by the process-wide
   runner and the CLI; directly constructed runners default to no disk
   cache).
+* ``REPRO_TELEMETRY`` — JSONL telemetry log path (default: telemetry
+  off; see :mod:`repro.telemetry`).
 """
 
 from __future__ import annotations
 
 import os
+from contextlib import nullcontext
 from dataclasses import dataclass, replace
 from typing import Dict, Iterable, List, Optional, Tuple
 
@@ -47,6 +50,7 @@ from ..profiling.serialize import (
     result_from_dict,
     result_to_dict,
 )
+from ..telemetry.events import telemetry_from_env
 from ..trace.events import Trace
 from ..trace.walker import generate_trace
 from ..uarch.results import SimResult
@@ -145,11 +149,18 @@ class ExperimentRunner:
         settings: Optional[RunnerSettings] = None,
         cache: Optional[ResultCache] = None,
         jobs: Optional[int] = None,
+        telemetry=None,
     ):
         self.settings = settings if settings is not None else RunnerSettings.from_env()
         self.cache = cache
         self.jobs = resolve_jobs(jobs)
         self.stats = RunnerStats()
+        # Telemetry defaults from REPRO_TELEMETRY (like sanitize): the
+        # env path is what parallel workers inherit, so a --telemetry
+        # run gets worker spans in the same log.  None -> fully off.
+        self.telemetry = telemetry if telemetry is not None else telemetry_from_env()
+        if self.telemetry is not None and self.cache is not None:
+            self.cache.sink = self.telemetry
         self._workloads: Dict[str, Workload] = {}
         self._traces: Dict[Tuple[str, int], Trace] = {}
         self._profiles: Dict[Tuple[str, int], MissProfile] = {}
@@ -161,9 +172,16 @@ class ExperimentRunner:
     def apps(self) -> Tuple[str, ...]:
         return self.settings.apps
 
+    def _span(self, phase: str, **fields):
+        """Telemetry span for one pipeline stage; no-op when disabled."""
+        if self.telemetry is None:
+            return nullcontext()
+        return self.telemetry.span(phase, **fields)
+
     def workload(self, app: str) -> Workload:
         if app not in self._workloads:
-            self._workloads[app] = build_workload(get_app(app), seed=0)
+            with self._span("workload_build", app=app):
+                self._workloads[app] = build_workload(get_app(app), seed=0)
         return self._workloads[app]
 
     def trace(self, app: str, input_idx: Optional[int] = None) -> Trace:
@@ -172,9 +190,10 @@ class ExperimentRunner:
         if key not in self._traces:
             wl = self.workload(app)
             inp = wl.spec.make_input(idx)
-            self._traces[key] = generate_trace(
-                wl, inp, max_instructions=self.settings.trace_instructions
-            )
+            with self._span("trace_gen", app=app, input=idx):
+                self._traces[key] = generate_trace(
+                    wl, inp, max_instructions=self.settings.trace_instructions
+                )
         return self._traces[key]
 
     def warmup_units(self, trace: Trace) -> int:
@@ -192,11 +211,12 @@ class ExperimentRunner:
         if key not in self._traces:
             wl = self.workload(app)
             inp = wl.spec.make_input(self.settings.test_input)
-            self._traces[key] = generate_trace(
-                wl,
-                inp,
-                max_instructions=self.settings.trace_instructions * multiplier,
-            )
+            with self._span("trace_gen", app=app, long=multiplier):
+                self._traces[key] = generate_trace(
+                    wl,
+                    inp,
+                    max_instructions=self.settings.trace_instructions * multiplier,
+                )
         return self._traces[key]
 
     # ------------------------------------------------------------------
@@ -273,9 +293,10 @@ class ExperimentRunner:
             if profile is None:
                 wl = self.workload(app)
                 tr = self.trace(app, idx)
-                profile = collect_profile(
-                    wl, tr, SimConfig(), sample_rate=self.settings.sample_rate
-                )
+                with self._span("profile_collect", app=app, input=idx):
+                    profile = collect_profile(
+                        wl, tr, SimConfig(), sample_rate=self.settings.sample_rate
+                    )
                 self.stats.profiles_collected += 1
                 if self.cache is not None:
                     self.cache.store(fields, profile_to_dict(profile))
@@ -293,7 +314,10 @@ class ExperimentRunner:
         sig = _twig_signature(cfg)
         key = (app, idx, sig)
         if key not in self._plans:
-            self._plans[key] = build_plan(self.workload(app), self.profile(app, idx), cfg)
+            wl = self.workload(app)
+            prof = self.profile(app, idx)
+            with self._span("plan_build", app=app, input=idx):
+                self._plans[key] = build_plan(wl, prof, cfg)
         return self._plans[key]
 
     # ------------------------------------------------------------------
@@ -363,14 +387,21 @@ class ExperimentRunner:
                 seen.add(key)
                 pending.append(q)
 
-        if jobs > 1 and len(pending) > 1:
+        tel = self.telemetry
+        used_pool = jobs > 1 and len(pending) > 1
+        if used_pool:
             cache_dir = self.cache.directory if self.cache is not None else None
-            outcomes = execute_runs(self.settings, pending, jobs, cache_dir=cache_dir)
+            outcomes = execute_runs(
+                self.settings, pending, jobs, cache_dir=cache_dir, telemetry=tel
+            )
             for q, res in zip(pending, outcomes):
                 if res is not None:
                     self._results[_key(q)] = res
                     self.stats.parallel_runs += 1
             pending = [q for q, res in zip(pending, outcomes) if res is None]
+            if tel is not None and pending:
+                # Requests the pool failed twice; about to re-run serially.
+                tel.registry.inc("parallel.serial_fallbacks", len(pending))
 
         for q in pending:  # serial path, and fallback for failed workers
             self.run(
@@ -424,9 +455,15 @@ class ExperimentRunner:
                 plan = self.plan(app, profile_input, cfg)
                 btb_system.install_ops(plan.sim_ops())
 
-        sim = FrontendSimulator(wl, config=run_cfg, btb_system=btb_system)
+        # The span covers simulator construction + the timed run, but
+        # not the plan/profile dependencies resolved above — those bill
+        # to their own phases.
         label = f"{app}/{system}#{input_idx}"
-        return sim.run(tr, label=label, warmup_units=warm)
+        with self._span("simulate", app=app, system=system, input=input_idx):
+            sim = FrontendSimulator(
+                wl, config=run_cfg, btb_system=btb_system, telemetry=self.telemetry
+            )
+            return sim.run(tr, label=label, warmup_units=warm)
 
     # ------------------------------------------------------------------
     def speedup(self, app: str, system: str, **kwargs) -> float:

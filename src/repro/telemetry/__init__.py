@@ -1,0 +1,31 @@
+"""Operational telemetry for the experiment pipeline (DESIGN.md §9).
+
+Three pieces, mirroring the sanitizer's zero-cost-when-off design:
+
+* :mod:`~repro.telemetry.metrics` — a process-local registry of
+  counters, gauges, and wall-clock timers with snapshot/diff/merge, so
+  parallel workers ship per-request deltas back for aggregation;
+* :mod:`~repro.telemetry.events` — :class:`TelemetrySink`, a JSONL
+  event log (phase spans, cache traffic, pool lifecycle, summaries)
+  enabled via ``--telemetry PATH`` / ``REPRO_TELEMETRY``;
+* :mod:`~repro.telemetry.report` — the summarizer behind
+  ``python -m repro.experiments telemetry-report``.
+
+Disabled (the default), the instrumented code paths cost one ``None``
+check; enabled, they never change simulation outcomes.
+"""
+
+from .events import PHASES, TelemetrySink, telemetry_from_env
+from .metrics import MetricsRegistry
+from .report import format_report, read_events, render_report, summarize
+
+__all__ = [
+    "PHASES",
+    "MetricsRegistry",
+    "TelemetrySink",
+    "telemetry_from_env",
+    "format_report",
+    "read_events",
+    "render_report",
+    "summarize",
+]

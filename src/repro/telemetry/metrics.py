@@ -1,0 +1,107 @@
+"""Lightweight process-local metrics registry.
+
+A :class:`MetricsRegistry` holds three kinds of metrics:
+
+* **counters** — monotonically accumulated values (``inc``);
+* **gauges** — last-write-wins point samples (``set_gauge``);
+* **timers** — accumulated wall-clock time plus an invocation count
+  (``add_time`` / the :meth:`MetricsRegistry.timer` context manager).
+
+Registries are designed to aggregate across a process pool: a worker
+takes a :meth:`snapshot` before a request, computes the :meth:`diff`
+after it, and ships the delta back with the result; the parent
+:meth:`merge`\\ s each delta into its own registry.  Counters and timers
+add under merge; gauges take the incoming value (last writer wins).
+
+Everything is plain dicts and floats — snapshots are JSON-serializable
+and picklable, so they cross the process boundary alongside results.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Dict, Optional
+
+
+class MetricsRegistry:
+    """Counters, gauges, and wall-clock timers with snapshot/merge."""
+
+    __slots__ = ("counters", "gauges", "timers")
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, float] = {}
+        self.gauges: Dict[str, float] = {}
+        # name -> [total_seconds, count]
+        self.timers: Dict[str, list] = {}
+
+    # ------------------------------------------------------------------
+    def inc(self, name: str, value: float = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + value
+
+    def set_gauge(self, name: str, value: float) -> None:
+        self.gauges[name] = value
+
+    def add_time(self, name: str, seconds: float) -> None:
+        slot = self.timers.get(name)
+        if slot is None:
+            self.timers[name] = [seconds, 1]
+        else:
+            slot[0] += seconds
+            slot[1] += 1
+
+    @contextmanager
+    def timer(self, name: str):
+        t0 = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.add_time(name, time.perf_counter() - t0)
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict:
+        """A JSON-serializable copy of the current metric values."""
+        return {
+            "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
+            "timers": {k: {"total_s": v[0], "count": v[1]} for k, v in self.timers.items()},
+        }
+
+    def diff(self, before: Optional[Dict]) -> Dict:
+        """The delta accumulated since *before* (a prior snapshot).
+
+        Gauges are reported at their current value (they are point
+        samples, not accumulations).
+        """
+        now = self.snapshot()
+        if not before:
+            return now
+        counters = {}
+        for k, v in now["counters"].items():
+            d = v - before["counters"].get(k, 0)
+            if d:
+                counters[k] = d
+        timers = {}
+        for k, v in now["timers"].items():
+            prev = before["timers"].get(k, {"total_s": 0.0, "count": 0})
+            total = v["total_s"] - prev["total_s"]
+            count = v["count"] - prev["count"]
+            if count or total:
+                timers[k] = {"total_s": total, "count": count}
+        return {"counters": counters, "gauges": now["gauges"], "timers": timers}
+
+    def merge(self, snapshot: Optional[Dict]) -> None:
+        """Fold a snapshot (or delta) from another registry into this one."""
+        if not snapshot:
+            return
+        for k, v in snapshot.get("counters", {}).items():
+            self.inc(k, v)
+        for k, v in snapshot.get("gauges", {}).items():
+            self.set_gauge(k, v)
+        for k, v in snapshot.get("timers", {}).items():
+            slot = self.timers.get(k)
+            if slot is None:
+                self.timers[k] = [v["total_s"], v["count"]]
+            else:
+                slot[0] += v["total_s"]
+                slot[1] += v["count"]

@@ -118,6 +118,13 @@ def generate_trace(
     # variant mix supplies run-to-run diversity.
     n_variants = max(1, workload.spec.path_variants)
     sweep_skip = workload.spec.sweep_skip_prob
+    # AppSpec validation enforces this, but the walk must never hang
+    # even on a hand-built spec: the skip loop below terminates only
+    # while a draw can fail.
+    if sweep_mode and not 0.0 <= sweep_skip < 1.0:
+        raise TraceError(
+            f"sweep_skip_prob must be in [0.0, 1.0), got {sweep_skip}"
+        )
     variant = 0
     functions = workload.functions
 

@@ -66,8 +66,12 @@ class FrontendSimulator:
         config: Optional[SimConfig] = None,
         btb_system: Optional[BTBSystem] = None,
         lbr_recorder=None,
+        telemetry=None,
     ):
         self.workload = workload
+        # Optional TelemetrySink; consulted once per run() (a single
+        # None check — never inside the fetch-unit loop).
+        self.telemetry = telemetry
         self.config = config if config is not None else SimConfig()
         self.btb_system = (
             btb_system if btb_system is not None else BaselineBTBSystem(self.config)
@@ -237,7 +241,11 @@ class FrontendSimulator:
                                 miss_by_kind["cond_direct"] += 1
                                 if penalty < resteer_penalty:
                                     penalty = resteer_penalty
-                                fill(pc, block_start[tr_blocks[i + 1]] if i + 1 < n_units else 0, kind, bpu)
+                                # The final unit has no successor: there
+                                # is no real target to fill, so skip
+                                # rather than fabricate target 0.
+                                if i + 1 < n_units:
+                                    fill(pc, block_start[tr_blocks[i + 1]], kind, bpu)
                                 if rec_miss is not None:
                                     rec_miss(pc, blk, bpu)
                             elif r == LOOKUP_COVERED:
@@ -254,7 +262,8 @@ class FrontendSimulator:
                             btb_misses += 1
                             miss_by_kind[name] += 1
                             penalty = resteer_penalty
-                            fill(pc, block_start[tr_blocks[i + 1]] if i + 1 < n_units else 0, kind, bpu)
+                            if i + 1 < n_units:
+                                fill(pc, block_start[tr_blocks[i + 1]], kind, bpu)
                             if rec_miss is not None:
                                 rec_miss(pc, blk, bpu)
                         elif r == LOOKUP_COVERED:
@@ -273,9 +282,10 @@ class FrontendSimulator:
                         ind_misp += 1
                         penalty = flush_penalty
 
-                if taken and wants_taken:
-                    tgt = block_start[tr_blocks[i + 1]] if i + 1 < n_units else 0
-                    on_taken(pc, tgt, kind, bpu)
+                if taken and wants_taken and i + 1 < n_units:
+                    # Final-unit guard as for fill(): training hooks
+                    # never see a fabricated target of 0.
+                    on_taken(pc, block_start[tr_blocks[i + 1]], kind, bpu)
 
             if penalty:
                 # A resteer/flush: the run-ahead the BPU had built is
@@ -395,6 +405,8 @@ class FrontendSimulator:
             san.check_ras(self.ras)
             san.check_ibtb(self.ibtb)
             res.validate()
+        if self.telemetry is not None:
+            self.telemetry.on_sim_run(res, n_units)
         return res
 
 

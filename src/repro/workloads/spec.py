@@ -141,6 +141,12 @@ class AppSpec:
             raise WorkloadError(
                 f"dispatch_pattern must be 'zipf' or 'sweep', got {self.dispatch_pattern!r}"
             )
+        # Strictly below 1.0: the sweep walker draws until a skip test
+        # fails, so a probability of 1.0 would never terminate.
+        if not 0.0 <= self.sweep_skip_prob < 1.0:
+            raise WorkloadError(
+                f"sweep_skip_prob must be in [0.0, 1.0), got {self.sweep_skip_prob}"
+            )
 
     def scaled(self, scale: float) -> "AppSpec":
         """Return a spec whose footprint is multiplied by *scale*."""

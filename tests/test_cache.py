@@ -191,3 +191,51 @@ class TestWarmCache:
         warm.run("wordpress", "baseline")
         assert warm.stats.simulations == 1  # old-version entries never hit
         assert cache.purge(keep_version=None) >= n_entries
+
+
+class TestQuarantineNaming:
+    FIELDS = {"kind": "unit", "x": 1}
+
+    def _corrupt(self, cache):
+        cache.store(self.FIELDS, {"answer": 42})
+        path = cache._path(cache_key(self.FIELDS))
+        with open(path, "wb") as fh:
+            fh.write(b"\x00 corrupt \xff")
+        return path
+
+    def test_repeat_corruption_keeps_every_generation(self, tmp_path):
+        """A second corruption of the same key must not overwrite the
+        first key's quarantined evidence."""
+        cache = ResultCache(str(tmp_path))
+        for _ in range(3):
+            self._corrupt(cache)
+            assert cache.load(self.FIELDS) is None
+        qdir = tmp_path / QUARANTINE_SUBDIR
+        base = cache_key(self.FIELDS) + ".json"
+        names = sorted(p.name for p in qdir.iterdir())
+        assert names == [base, f"{base}.1", f"{base}.2"]
+        assert cache.stats.quarantined == 3
+        assert cache.stats.quarantine_deleted == 0
+
+    def test_failed_move_deletes_and_counts_separately(self, tmp_path, monkeypatch):
+        """When quarantine can't move the file it must delete it (never
+        serve corruption twice) and count that as a *deletion*, not as
+        quarantined evidence."""
+        cache = ResultCache(str(tmp_path))
+        path = self._corrupt(cache)
+        qdir = str(tmp_path / QUARANTINE_SUBDIR)
+        real_replace = os.replace
+
+        def broken_replace(src, dst):
+            if dst.startswith(qdir):
+                raise OSError("simulated cross-device failure")
+            return real_replace(src, dst)
+
+        monkeypatch.setattr(os, "replace", broken_replace)
+        assert cache.load(self.FIELDS) is None
+        assert not os.path.exists(path), "corrupt entry must not survive"
+        assert cache.stats.quarantine_deleted == 1
+        assert cache.stats.quarantined == 0
+        # And it really is gone: the next load is a plain miss.
+        assert cache.load(self.FIELDS) is None
+        assert cache.stats.misses == 2

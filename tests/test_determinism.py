@@ -63,6 +63,26 @@ class TestDeterminism:
             )
             assert checked == golden
 
+    def test_telemetry_runs_match_plain_goldens(self, tmp_path):
+        # Telemetry only *observes* (spans, counters, JSONL events): a
+        # telemetry-on run must reproduce the plain golden counter for
+        # counter — the zero-overhead contract of DESIGN.md §9.
+        from repro.telemetry import TelemetrySink, read_events
+
+        settings = RunnerSettings(
+            trace_instructions=30_000, apps=("wordpress",), sample_rate=1
+        )
+        plain = ExperimentRunner(settings)
+        sink = TelemetrySink(str(tmp_path / "tel.jsonl"))
+        instrumented = ExperimentRunner(settings, telemetry=sink)
+        for system in SYSTEMS:
+            golden = result_to_dict(plain.run("wordpress", system))
+            observed = result_to_dict(instrumented.run("wordpress", system))
+            assert observed == golden
+        sink.close()
+        # The instrumented runner really was instrumented.
+        assert any(e["event"] == "span" for e in read_events(sink.path))
+
     @pytest.mark.slow
     def test_serial_vs_parallel_identical(self):
         serial = ExperimentRunner(SETTINGS)

@@ -134,6 +134,18 @@ class TestSweepMode:
         # All handlers get visited within one lap's worth of draws.
         assert set(seen[: len(entries) + 1]) >= set(list(entries.values())[:-1])
 
+    def test_degenerate_skip_prob_raises_instead_of_hanging(self):
+        # AppSpec validation normally rejects sweep_skip_prob >= 1.0,
+        # but the walker must refuse a hand-built spec too — its skip
+        # loop only terminates while a draw can fail.
+        spec = make_tiny_spec(
+            name="sweepy", dispatch_pattern="sweep", sweep_skip_prob=0.0
+        )
+        wl = build_workload(spec, seed=1)
+        object.__setattr__(wl.spec, "sweep_skip_prob", 1.0)
+        with pytest.raises(TraceError, match="sweep_skip_prob"):
+            generate_trace(wl, spec.make_input(0), max_instructions=10_000)
+
     def test_structured_paths_recur(self, tiny_workload):
         """The same input executes the same unique block set."""
         inp = tiny_workload.spec.make_input(0)

@@ -29,6 +29,17 @@ class TestAppSpec:
         with pytest.raises(WorkloadError):
             make_tiny_spec(dispatch_pattern="roundrobin")
 
+    @pytest.mark.parametrize("bad", [1.0, 1.5, -0.1])
+    def test_rejects_out_of_range_sweep_skip_prob(self, bad):
+        # Strictly below 1.0: the sweep walker retries while the skip
+        # test passes, so probability 1.0 would loop forever.
+        with pytest.raises(WorkloadError, match="sweep_skip_prob"):
+            make_tiny_spec(sweep_skip_prob=bad)
+
+    def test_sweep_skip_prob_boundaries_accepted(self):
+        assert make_tiny_spec(sweep_skip_prob=0.0).sweep_skip_prob == 0.0
+        assert make_tiny_spec(sweep_skip_prob=0.999).sweep_skip_prob == 0.999
+
     def test_scaled_preserves_knobs(self):
         spec = make_tiny_spec(popularity_exponent=0.33, loop_fraction=0.07)
         scaled = spec.scaled(0.5)

@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Summarize a telemetry JSONL log (``--telemetry``/``REPRO_TELEMETRY``).
+
+Usage::
+
+    python tools/telemetry_report.py run.jsonl
+    REPRO_TELEMETRY=run.jsonl python tools/telemetry_report.py
+
+Prints the per-phase wall-time breakdown, disk-cache hit rate, and
+per-worker utilization for the run(s) that appended to the log.  Same
+output as ``python -m repro.experiments telemetry-report``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+)
+
+from repro.config import telemetry_path_from_env  # noqa: E402
+from repro.errors import ReproError  # noqa: E402
+from repro.telemetry import render_report  # noqa: E402
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python tools/telemetry_report.py",
+        description="Summarize a telemetry JSONL log.",
+    )
+    parser.add_argument(
+        "path",
+        nargs="?",
+        default=None,
+        help="telemetry log path (default: $REPRO_TELEMETRY)",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        path = args.path or telemetry_path_from_env()
+        if not path:
+            print(
+                "no telemetry log: pass a path or set REPRO_TELEMETRY",
+                file=sys.stderr,
+            )
+            return 2
+        print(render_report(path))
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
