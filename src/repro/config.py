@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass, field, replace
-from typing import Optional
+from typing import Optional, Tuple
 
 from .errors import ConfigError
 
@@ -31,12 +31,7 @@ def sanitize_from_env() -> bool:
     on for every subsequently built default config — including the ones
     parallel workers build in their own processes.
     """
-    raw = os.environ.get("REPRO_SANITIZE", "").strip().lower()
-    if raw in ("", "0", "false", "no", "off"):
-        return False
-    if raw in ("1", "true", "yes", "on"):
-        return True
-    raise ConfigError(f"REPRO_SANITIZE must be a boolean flag, got {raw!r}")
+    return bool_from_env("REPRO_SANITIZE")
 
 
 def telemetry_path_from_env() -> Optional[str]:
@@ -57,6 +52,99 @@ def telemetry_path_from_env() -> Optional[str]:
             f"REPRO_TELEMETRY must name a file, got directory {raw!r}"
         )
     return raw
+
+
+def bool_from_env(name: str) -> bool:
+    """Read a boolean flag knob (``1/true/yes/on`` vs ``0/false/no/off``)."""
+    raw = os.environ.get(name, "").strip().lower()
+    if raw in ("", "0", "false", "no", "off"):
+        return False
+    if raw in ("1", "true", "yes", "on"):
+        return True
+    raise ConfigError(f"{name} must be a boolean flag, got {raw!r}")
+
+
+def int_from_env(name: str, default: int) -> int:
+    """Read a positive integer knob; reject garbage loudly."""
+    raw = os.environ.get(name)
+    if raw is None or not raw.strip():
+        return default
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ConfigError(f"{name} must be a positive integer, got {raw!r}") from None
+    if value <= 0:
+        raise ConfigError(f"{name} must be positive, got {value}")
+    return value
+
+
+def jobs_from_env() -> Optional[int]:
+    """Parallel worker count from ``REPRO_JOBS``, or ``None`` when unset.
+
+    The caller (:func:`repro.experiments.parallel.resolve_jobs`)
+    applies the default and the lower bound so explicit arguments and
+    the env knob share one validation path.
+    """
+    raw = os.environ.get("REPRO_JOBS", "").strip()
+    if not raw:
+        return None
+    try:
+        return int(raw)
+    except ValueError:
+        raise ConfigError(
+            f"REPRO_JOBS must be a positive integer, got {raw!r}"
+        ) from None
+
+
+def apps_from_env() -> Optional[Tuple[str, ...]]:
+    """App subset from ``REPRO_APPS`` (comma-separated), or ``None``.
+
+    Returns the raw names; validation against the known app catalog
+    stays with the consumer (:class:`~repro.experiments.runner.RunnerSettings`)
+    to keep this module free of workload imports.
+    """
+    raw = os.environ.get("REPRO_APPS", "")
+    if not raw:
+        return None
+    apps = tuple(a.strip() for a in raw.split(",") if a.strip())
+    if not apps:
+        raise ConfigError("REPRO_APPS must name at least one app")
+    return apps
+
+
+def results_dir_from_env() -> str:
+    """Figure-result output directory from ``REPRO_RESULTS_DIR``."""
+    return os.environ.get("REPRO_RESULTS_DIR", "").strip() or "benchmarks/results"
+
+
+def no_cache_from_env() -> bool:
+    """Disk-cache kill switch from ``REPRO_NO_CACHE``.
+
+    Historical contract (PR 1): any non-empty value except ``0``
+    disables the cache — looser than :func:`bool_from_env` on purpose.
+    """
+    return os.environ.get("REPRO_NO_CACHE", "").strip() not in ("", "0")
+
+
+def cache_dir_from_env() -> Optional[str]:
+    """Disk-cache directory from ``REPRO_CACHE_DIR``, or ``None``.
+
+    ``None`` means "use the consumer's default" (``.repro_cache/`` for
+    :func:`repro.experiments.cache.cache_from_env`); the default lives
+    with :class:`~repro.experiments.cache.ResultCache`, not here.
+    """
+    return os.environ.get("REPRO_CACHE_DIR", "").strip() or None
+
+
+def check_plans_from_env() -> bool:
+    """Default for the runner's plan verification (``REPRO_CHECK_PLANS``).
+
+    When on, :meth:`~repro.experiments.runner.ExperimentRunner.plan`
+    statically verifies every plan it builds (``repro.staticcheck``)
+    and raises on error-severity findings.  Set by the CLI's
+    ``--check-plans`` so parallel workers inherit it.
+    """
+    return bool_from_env("REPRO_CHECK_PLANS")
 
 
 def is_power_of_two(value: int) -> bool:

@@ -73,7 +73,8 @@ def select_injection_sites(
         # one prefetch from it covers that one miss.)
         timely_windows: Dict[int, Set[int]] = defaultdict(set)
         for wi, sample in enumerate(samples):
-            for blk in set(_timely_blocks(sample.window, cfg.prefetch_distance)):
+            # Order-insensitive sink: only set membership is accumulated.
+            for blk in set(_timely_blocks(sample.window, cfg.prefetch_distance)):  # staticcheck: disable=L103
                 timely_windows[blk].add(wi)
 
         if not timely_windows:
@@ -131,7 +132,8 @@ def conditional_probability_table(
     samples = profile.samples_for(miss_pc)
     covered: Counter = Counter()
     for sample in samples:
-        for blk in set(_timely_blocks(sample.window, prefetch_distance)):
+        # Order-insensitive sink: Counter increments commute.
+        for blk in set(_timely_blocks(sample.window, prefetch_distance)):  # staticcheck: disable=L103
             covered[blk] += 1
     rows = []
     for blk, n_cov in covered.items():

@@ -39,11 +39,19 @@ class InvariantViolation(ReproError):
 
     def __init__(self, structure: str, message: str, cycle=None, entry=None):
         self.structure = structure
+        self.message = message
         self.cycle = cycle
         self.entry = entry
         where = f"{structure}" if cycle is None else f"{structure} @ cycle {cycle:.0f}"
         detail = "" if entry is None else f" [{entry!r}]"
         super().__init__(f"invariant violated in {where}: {message}{detail}")
+
+    def __reduce__(self):
+        # Default Exception pickling replays __init__ with self.args —
+        # the formatted string — which does not match this signature.
+        # Rebuild from the structured fields so violations survive the
+        # process-pool boundary (repro.experiments.parallel) intact.
+        return (type(self), (self.structure, self.message, self.cycle, self.entry))
 
 
 class DivergenceError(ReproError):

@@ -25,7 +25,7 @@ import argparse
 import os
 import sys
 
-from ..config import sanitize_from_env, telemetry_path_from_env
+from ..config import cache_dir_from_env, sanitize_from_env, telemetry_path_from_env
 from ..errors import ReproError
 from .cache import DEFAULT_CACHE_DIR, ResultCache
 from .parallel import resolve_jobs
@@ -72,6 +72,12 @@ def main(argv=None) -> int:
         help="append structured JSONL telemetry events to PATH "
         "(equivalent to REPRO_TELEMETRY=PATH; workers inherit it)",
     )
+    parser.add_argument(
+        "--check-plans",
+        action="store_true",
+        help="statically verify every Twig plan before simulating it "
+        "(repro.staticcheck; equivalent to REPRO_CHECK_PLANS=1)",
+    )
     args = parser.parse_args(argv)
 
     if args.sanitize:
@@ -81,6 +87,8 @@ def main(argv=None) -> int:
     if args.telemetry:
         # Same pattern: the env is what parallel workers inherit.
         os.environ["REPRO_TELEMETRY"] = args.telemetry
+    if args.check_plans:
+        os.environ["REPRO_CHECK_PLANS"] = "1"
 
     if args.experiments and args.experiments[0] == "telemetry-report":
         return _telemetry_report(args)
@@ -105,11 +113,7 @@ def main(argv=None) -> int:
         if args.no_cache:
             cache = None
         else:
-            cache_dir = (
-                args.cache_dir
-                or os.environ.get("REPRO_CACHE_DIR")
-                or DEFAULT_CACHE_DIR
-            )
+            cache_dir = args.cache_dir or cache_dir_from_env() or DEFAULT_CACHE_DIR
             cache = ResultCache(cache_dir)
         runner = ExperimentRunner(settings, cache=cache, jobs=jobs)
     except ReproError as exc:

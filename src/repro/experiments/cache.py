@@ -50,6 +50,7 @@ import tempfile
 from dataclasses import dataclass
 from typing import Dict, Iterator, Optional, Tuple
 
+from ..config import cache_dir_from_env, no_cache_from_env
 from ..errors import CacheError
 
 ENTRY_FORMAT = 1
@@ -306,6 +307,6 @@ def cache_from_env() -> Optional[ResultCache]:
     Returns ``None`` (caching disabled) when ``REPRO_NO_CACHE`` is set
     to anything but ``0``/empty.
     """
-    if os.environ.get("REPRO_NO_CACHE", "").strip() not in ("", "0"):
+    if no_cache_from_env():
         return None
-    return ResultCache(os.environ.get("REPRO_CACHE_DIR") or DEFAULT_CACHE_DIR)
+    return ResultCache(cache_dir_from_env() or DEFAULT_CACHE_DIR)

@@ -13,6 +13,10 @@ fresh pool (transient failures: a killed worker, a broken pool, an
 OOM'd child); a request that fails twice resolves to ``None`` and the
 caller — :meth:`ExperimentRunner.warm` — falls back to computing it
 serially in-process, where the real exception surfaces to the user.
+Two exceptions are never retried or swallowed:
+:class:`~repro.errors.InvariantViolation` (a sanitizer caught a
+correctness bug — rerunning would bury it) and
+:class:`KeyboardInterrupt` both propagate immediately.
 """
 
 from __future__ import annotations
@@ -22,8 +26,8 @@ from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
-from ..config import SimConfig
-from ..errors import ReproError
+from ..config import SimConfig, jobs_from_env
+from ..errors import InvariantViolation, ReproError
 from ..uarch.results import SimResult
 
 # One retry round: transient failures get a second chance, systematic
@@ -34,15 +38,9 @@ MAX_RETRY_ROUNDS = 1
 def resolve_jobs(jobs: Optional[int] = None) -> int:
     """Validate an explicit worker count, or read ``REPRO_JOBS``."""
     if jobs is None:
-        raw = os.environ.get("REPRO_JOBS", "").strip()
-        if not raw:
+        jobs = jobs_from_env()
+        if jobs is None:
             return 1
-        try:
-            jobs = int(raw)
-        except ValueError:
-            raise ReproError(
-                f"REPRO_JOBS must be a positive integer, got {raw!r}"
-            ) from None
     if jobs < 1:
         raise ReproError(f"job count must be >= 1, got {jobs}")
     return jobs
@@ -159,15 +157,23 @@ def execute_runs(
                     i, req = futures[fut]
                     try:
                         result, worker_pid, delta = fut.result()
+                    except InvariantViolation:
+                        # A sanitizer tripped in a worker: retrying (or
+                        # silently recomputing without sanitizers in the
+                        # serial fallback) would bury a correctness bug.
+                        raise
+                    except KeyboardInterrupt:
+                        raise
                     except Exception:
                         failed.append((i, req))
                         continue
                     results[i] = result
                     if telemetry is not None:
                         telemetry.record_worker(worker_pid, delta)
-        except Exception:
+        except (OSError, RuntimeError):
             # The pool itself could not start (restricted environment,
-            # resource exhaustion); leave the rest for the serial path.
+            # resource exhaustion, broken executor); leave the rest for
+            # the serial path.
             break
         pending = sorted(failed)
     return results

@@ -10,6 +10,8 @@ import json
 import os
 from typing import Dict, Mapping, Optional, Sequence
 
+from ..config import results_dir_from_env
+
 
 def format_per_app(
     title: str,
@@ -59,7 +61,7 @@ def save_result(experiment_id: str, result: Dict, directory: str = "") -> str:
     The directory defaults to ``$REPRO_RESULTS_DIR`` or
     ``benchmarks/results`` relative to the working directory.
     """
-    directory = directory or os.environ.get("REPRO_RESULTS_DIR", "benchmarks/results")
+    directory = directory or results_dir_from_env()
     os.makedirs(directory, exist_ok=True)
     path = os.path.join(directory, f"{experiment_id}.json")
     with open(path, "w") as fh:

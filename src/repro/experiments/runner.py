@@ -24,20 +24,24 @@ Environment knobs (read once, at first use; invalid values raise
   cache).
 * ``REPRO_TELEMETRY`` — JSONL telemetry log path (default: telemetry
   off; see :mod:`repro.telemetry`).
+* ``REPRO_CHECK_PLANS`` — statically verify every built plan with
+  :mod:`repro.staticcheck` and refuse error-severity findings
+  (default: off; see the ``--check-plans`` CLI flag).
+
+All knobs are read through the typed accessors in :mod:`repro.config`.
 """
 
 from __future__ import annotations
 
-import os
 from contextlib import nullcontext
 from dataclasses import dataclass, replace
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from .. import __version__
-from ..config import SimConfig
+from ..config import SimConfig, apps_from_env, check_plans_from_env, int_from_env
 from ..core.plan import PrefetchPlan
 from ..core.twig import build_plan
-from ..errors import ReproError
+from ..errors import PlanError, ReproError
 from ..prefetchers.base import BaselineBTBSystem
 from ..prefetchers.confluence import ConfluenceBTBSystem
 from ..prefetchers.shotgun import ShotgunBTBSystem
@@ -71,20 +75,6 @@ SYSTEMS = (
 )
 
 
-def _env_int(name: str, default: int) -> int:
-    """Read a positive integer knob; reject garbage loudly."""
-    raw = os.environ.get(name)
-    if raw is None or not raw.strip():
-        return default
-    try:
-        value = int(raw)
-    except ValueError:
-        raise ReproError(f"{name} must be a positive integer, got {raw!r}") from None
-    if value <= 0:
-        raise ReproError(f"{name} must be positive, got {value}")
-    return value
-
-
 @dataclass(frozen=True)
 class RunnerSettings:
     trace_instructions: int
@@ -105,11 +95,8 @@ class RunnerSettings:
 
     @classmethod
     def from_env(cls) -> "RunnerSettings":
-        apps_env = os.environ.get("REPRO_APPS", "")
-        if apps_env:
-            apps = tuple(a.strip() for a in apps_env.split(",") if a.strip())
-            if not apps:
-                raise ReproError("REPRO_APPS must name at least one app")
+        apps = apps_from_env()
+        if apps is not None:
             known = app_names()
             unknown = sorted(set(apps) - set(known))
             if unknown:
@@ -120,9 +107,9 @@ class RunnerSettings:
         else:
             apps = app_names()
         return cls(
-            trace_instructions=_env_int("REPRO_TRACE_INSTRUCTIONS", 1_000_000),
+            trace_instructions=int_from_env("REPRO_TRACE_INSTRUCTIONS", 1_000_000),
             apps=apps,
-            sample_rate=_env_int("REPRO_SAMPLE_RATE", 1),
+            sample_rate=int_from_env("REPRO_SAMPLE_RATE", 1),
         )
 
 
@@ -150,10 +137,15 @@ class ExperimentRunner:
         cache: Optional[ResultCache] = None,
         jobs: Optional[int] = None,
         telemetry=None,
+        check_plans: Optional[bool] = None,
     ):
         self.settings = settings if settings is not None else RunnerSettings.from_env()
         self.cache = cache
         self.jobs = resolve_jobs(jobs)
+        # Static plan verification (repro.staticcheck).  Defaults from
+        # REPRO_CHECK_PLANS so the CLI's --check-plans reaches parallel
+        # workers through their inherited environment.
+        self.check_plans = check_plans_from_env() if check_plans is None else check_plans
         self.stats = RunnerStats()
         # Telemetry defaults from REPRO_TELEMETRY (like sanitize): the
         # env path is what parallel workers inherit, so a --telemetry
@@ -162,6 +154,7 @@ class ExperimentRunner:
         if self.telemetry is not None and self.cache is not None:
             self.cache.sink = self.telemetry
         self._workloads: Dict[str, Workload] = {}
+        self._block_graphs: Dict[tuple, object] = {}
         self._traces: Dict[Tuple[str, int], Trace] = {}
         self._profiles: Dict[Tuple[str, int], MissProfile] = {}
         self._plans: Dict[Tuple[str, int, tuple], PrefetchPlan] = {}
@@ -317,8 +310,35 @@ class ExperimentRunner:
             wl = self.workload(app)
             prof = self.profile(app, idx)
             with self._span("plan_build", app=app, input=idx):
-                self._plans[key] = build_plan(wl, prof, cfg)
+                plan = build_plan(wl, prof, cfg)
+            if self.check_plans:
+                self._verify_plan(app, plan, wl, cfg)
+            self._plans[key] = plan
         return self._plans[key]
+
+    def _verify_plan(self, app: str, plan, wl: Workload, cfg: SimConfig) -> None:
+        """Statically verify a freshly built plan (``--check-plans``).
+
+        Error-severity findings abort with :class:`PlanError` before
+        the malformed plan can reach a simulation (or the disk cache of
+        downstream results).
+        """
+        from ..staticcheck import BlockGraph, verify_plan
+        from ..staticcheck.findings import Severity, render_text
+
+        gkey = (app, cfg.core.fetch_width_bytes)
+        graph = self._block_graphs.get(gkey)
+        if graph is None:
+            graph = BlockGraph(wl, fetch_width_bytes=cfg.core.fetch_width_bytes)
+            self._block_graphs[gkey] = graph
+        with self._span("plan_check", app=app):
+            findings = verify_plan(plan, wl, cfg, graph=graph)
+        errors = [f for f in findings if f.severity is Severity.ERROR]
+        if errors:
+            raise PlanError(
+                f"static verification rejected the plan for {app!r}:\n"
+                + render_text(errors)
+            )
 
     # ------------------------------------------------------------------
     def run(

@@ -153,7 +153,7 @@ class BTB:
         self.evictions = 0
 
 
-class FullyAssociativeBTB:
+class FullyAssociativeBTB:  # staticcheck: disable=L107 (analysis-only model, never simulated under sanitizers)
     """Fully-associative LRU BTB of a given capacity.
 
     Used by the 3C classifier: a miss here with the PC previously seen
@@ -184,7 +184,7 @@ class FullyAssociativeBTB:
         return pc in self._ever_seen
 
 
-class IdealBTB:
+class IdealBTB:  # staticcheck: disable=L107 (limit-study stand-in with no evictable state)
     """A BTB that never misses: limit-study stand-in (§2.1).
 
     Keeps lookup counters so speedup accounting stays uniform.

@@ -50,7 +50,7 @@ class _FoldedHistory:
         self.comp = comp & self._out_mask
 
 
-class TageLite:
+class TageLite:  # staticcheck: disable=L107 (direction predictor; outside the BTB sanitize scope)
     """Tagged-geometric direction predictor."""
 
     CTR_MAX = 3   # 3-bit signed counter range [-4, 3]

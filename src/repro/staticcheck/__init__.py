@@ -1,0 +1,47 @@
+"""Static plan/artifact verifier + repo-invariant lint engine.
+
+Two layers, one report format (DESIGN.md §10):
+
+* **Artifact verifier** (:mod:`.plan_checks`, :mod:`.cfg_checks`) —
+  checks a built :class:`~repro.core.plan.PrefetchPlan` (and the
+  :class:`~repro.workloads.cfg.Workload` it was built against) with no
+  simulation: offset encodability, coalescing-table structure, bitmask
+  windows, injection-site reachability, static timeliness bounds, and
+  plan-level accounting.  Rule ids ``P1xx`` / ``C1xx``.
+
+* **Lint engine** (:mod:`.engine`, :mod:`.rules`) — an AST walk over
+  the ``repro`` sources enforcing repo invariants that the runtime
+  sanitizers cannot see: nondeterminism sources, environment reads
+  outside ``config.py``, exception handlers that could swallow
+  :class:`~repro.errors.InvariantViolation`, mutable default
+  arguments, and sanitize-coverage of frontend structures.  Rule ids
+  ``L1xx``, with per-line ``# staticcheck: disable=RULE`` suppressions.
+
+Both layers emit :class:`~repro.staticcheck.findings.Finding` records
+and share the text/JSON reporters; ``python -m repro.staticcheck`` and
+``tools/staticcheck.py`` are the CLI entry points, and the experiment
+runner can verify every plan it builds (``--check-plans`` /
+``REPRO_CHECK_PLANS``).
+"""
+
+from __future__ import annotations
+
+from .cfg_checks import BlockGraph, verify_workload
+from .engine import LintEngine, lint_paths, lint_source_tree
+from .findings import Finding, Severity, exit_code, render_json, render_text
+from .plan_checks import PLAN_RULES, verify_plan
+
+__all__ = [
+    "BlockGraph",
+    "Finding",
+    "LintEngine",
+    "PLAN_RULES",
+    "Severity",
+    "exit_code",
+    "lint_paths",
+    "lint_source_tree",
+    "render_json",
+    "render_text",
+    "verify_plan",
+    "verify_workload",
+]

@@ -1,0 +1,166 @@
+"""CLI for the static analyzer.
+
+Usage::
+
+    python -m repro.staticcheck                      # lint src/repro
+    python -m repro.staticcheck path/to/file.py      # lint specific files
+    python -m repro.staticcheck --check-plans        # verify built plans
+    python -m repro.staticcheck --check-plans --no-lint --format json
+    python -m repro.staticcheck --list-rules
+    REPRO_APPS=wordpress python -m repro.staticcheck --check-plans
+
+``--check-plans`` drives the real pipeline (workload → trace → profile
+→ plan) for each selected app — honoring ``REPRO_APPS`` /
+``REPRO_TRACE_INSTRUCTIONS`` / ``REPRO_SAMPLE_RATE`` — then runs the
+layer-1 verifier over the workload CFG and the built plan.  Exit codes:
+0 clean, 1 gating findings (errors; warnings too with ``--strict``),
+2 usage or pipeline error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List
+
+from ..errors import ReproError
+from .cfg_checks import CFG_RULES
+from .engine import lint_paths, lint_source_tree
+from .findings import Finding, exit_code, render_json, render_text
+from .plan_checks import PLAN_RULES
+from .rules import LINT_RULES, default_rules
+
+
+def _list_rules() -> str:
+    lines = ["rule    name                    layer"]
+    for rule, name in sorted(PLAN_RULES.items()):
+        lines.append(f"{rule:7s} {name:23s} plan verifier")
+    for rule, name in sorted(CFG_RULES.items()):
+        lines.append(f"{rule:7s} {name:23s} cfg verifier")
+    for rule, name in sorted(LINT_RULES.items()):
+        lines.append(f"{rule:7s} {name:23s} source lint")
+    return "\n".join(lines)
+
+
+def _check_plans(apps_arg: str) -> List[Finding]:
+    """Build and statically verify plans via the experiment pipeline."""
+    from ..config import SimConfig, apps_from_env
+    from ..experiments.runner import ExperimentRunner, RunnerSettings
+    from ..workloads.apps import app_names
+    from .cfg_checks import BlockGraph, verify_workload
+    from .plan_checks import verify_plan
+
+    if apps_arg:
+        apps = tuple(a.strip() for a in apps_arg.split(",") if a.strip())
+    else:
+        apps = apps_from_env() or app_names()
+    unknown = sorted(set(apps) - set(app_names()))
+    if unknown:
+        raise ReproError(
+            f"unknown app(s) {unknown}; choose from {sorted(app_names())}"
+        )
+
+    settings = RunnerSettings.from_env()
+    settings = RunnerSettings(
+        trace_instructions=settings.trace_instructions,
+        apps=apps,
+        sample_rate=settings.sample_rate,
+    )
+    # check_plans=False: this command *is* the verification; the
+    # runner's own hook would raise on the first error instead of
+    # reporting all findings.
+    runner = ExperimentRunner(settings, check_plans=False)
+    cfg = SimConfig()
+    findings: List[Finding] = []
+    for app in apps:
+        wl = runner.workload(app)
+        findings.extend(verify_workload(wl))
+        plan = runner.plan(app, config=cfg)
+        graph = BlockGraph(wl, fetch_width_bytes=cfg.core.fetch_width_bytes)
+        findings.extend(verify_plan(plan, wl, cfg, graph=graph))
+    return findings
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.staticcheck",
+        description="Static plan verifier + repro source lint.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: the repro package)",
+    )
+    parser.add_argument(
+        "--check-plans",
+        action="store_true",
+        help="build each app's Twig plan and verify it against its CFG",
+    )
+    parser.add_argument(
+        "--apps",
+        default="",
+        metavar="A,B",
+        help="apps for --check-plans (default: $REPRO_APPS or all nine)",
+    )
+    parser.add_argument(
+        "--no-lint",
+        action="store_true",
+        help="skip the source lint layer (useful with --check-plans)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text", help="report format"
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="warnings also gate the exit code",
+    )
+    parser.add_argument(
+        "--verbose",
+        action="store_true",
+        help="list warnings/infos individually instead of summarizing",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalog and exit"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        print(_list_rules())
+        return 0
+    if args.apps and not args.check_plans:
+        print("--apps requires --check-plans", file=sys.stderr)
+        return 2
+    if args.paths and args.no_lint:
+        print("--no-lint contradicts explicit lint paths", file=sys.stderr)
+        return 2
+
+    findings: List[Finding] = []
+    try:
+        if not args.no_lint:
+            # default_rules() imports every rule module; do it before
+            # linting so a broken rule is a loud exit-2, not a miss.
+            default_rules()
+            if args.paths:
+                findings.extend(
+                    lint_paths([Path(p) for p in args.paths], root=Path.cwd())
+                )
+            else:
+                findings.extend(lint_source_tree())
+        if args.check_plans:
+            findings.extend(_check_plans(args.apps))
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.format == "json":
+        print(render_json(findings, extra={"strict": args.strict}))
+    else:
+        out = render_text(findings, summarize_below_error=not args.verbose)
+        print(out)
+    return exit_code(findings, strict=args.strict)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

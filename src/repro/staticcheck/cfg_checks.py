@@ -1,0 +1,344 @@
+"""CFG-level static analysis: block graph, reachability, lead bounds.
+
+:class:`BlockGraph` is the execution-successor relation of a generated
+:class:`~repro.workloads.cfg.Workload`, the structure both the plan
+verifier and the CFG sanity rules walk:
+
+* direct branches contribute their taken target (+ fallthrough for
+  conditionals and calls);
+* indirect branches contribute their observable target set, except the
+  dispatch root, which the trace walker drives over *every* handler
+  (not just the 64 targets surfaced in ``alt_targets``);
+* returns contribute context-insensitive return edges — every call
+  site's fallthrough block of every caller of the returning function.
+
+The graph over-approximates feasible execution paths, so
+"*unreachable*" is a sound error: if no path exists from an injection
+site to its branch, no execution can ever have put that site in the
+branch's LBR window.
+
+Reachability to the (typically ~10^3) branch blocks of a plan is
+computed in one pass: Tarjan SCC condensation, then a reachable-set
+bitmask DP over the condensation DAG — linear in edges even for the
+~300k-block verilator CFG.  Timeliness lower bounds use a bounded
+Dijkstra over per-block fetch-unit weights (each fetched unit costs at
+least one BPU cycle, so the unit-weighted shortest path is a sound
+lower bound on the cycle lead a prefetch can get along that path).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..workloads.cfg import (
+    DIRECT_KIND_CODES,
+    KIND_CALL,
+    KIND_CALL_IND,
+    KIND_COND,
+    KIND_CODE,
+    KIND_JUMP_IND,
+    KIND_NONE,
+    KIND_RETURN,
+    KIND_UNCOND,
+    Workload,
+)
+from .findings import Finding, Severity
+
+_UNREACHED = 1 << 60
+
+
+class BlockGraph:
+    """Execution-successor graph of a workload's basic blocks."""
+
+    def __init__(self, workload: Workload, fetch_width_bytes: int = 32):
+        wl = workload
+        n = wl.n_blocks
+        self.workload = wl
+        self.n_blocks = n
+        # Fetch units per block: the trace walker/simulator fetch one
+        # ``fetch_width_bytes`` unit per BPU cycle at best.
+        self.units: List[int] = [
+            max(1, -(-size // fetch_width_bytes)) for size in wl.block_size
+        ]
+        # Block -> owning function index.
+        func_of = [0] * n
+        for f in wl.functions:
+            for b in f.block_range:
+                func_of[b] = f.index
+        self.func_of = func_of
+
+        succ: List[Set[int]] = [set() for _ in range(n)]
+        # Function -> fallthrough blocks of its call sites (return edges).
+        call_returns: Dict[int, Set[int]] = {f.index: set() for f in wl.functions}
+        root_dispatch = wl.functions[wl.root_function].first_block
+        handler_entries = [wl.functions[h].first_block for h in wl.handler_indices]
+
+        for i in range(n):
+            kc = wl.kind_code[i]
+            ft = i + 1 if i + 1 < n else None
+            if kc == KIND_NONE:
+                if ft is not None:
+                    succ[i].add(ft)
+            elif kc == KIND_COND:
+                if wl.target_block[i] >= 0:
+                    succ[i].add(wl.target_block[i])
+                if ft is not None:
+                    succ[i].add(ft)
+            elif kc == KIND_UNCOND:
+                if wl.target_block[i] >= 0:
+                    succ[i].add(wl.target_block[i])
+            elif kc in (KIND_CALL, KIND_CALL_IND):
+                if i == root_dispatch and kc == KIND_CALL_IND:
+                    # The dispatch loop draws from *all* handlers.
+                    targets: Iterable[int] = handler_entries
+                else:
+                    targets = (
+                        (wl.target_block[i],)
+                        if kc == KIND_CALL
+                        else wl.alt_target_blocks[i]
+                    )
+                for t in targets:
+                    if t >= 0:
+                        succ[i].add(t)
+                        if ft is not None:
+                            call_returns[func_of[t]].add(ft)
+            elif kc == KIND_JUMP_IND:
+                for t in wl.alt_target_blocks[i]:
+                    if t >= 0:
+                        succ[i].add(t)
+        for i in range(n):
+            if wl.kind_code[i] == KIND_RETURN:
+                succ[i].update(call_returns[func_of[i]])
+        self.successors: List[Tuple[int, ...]] = [tuple(sorted(s)) for s in succ]
+
+    # ------------------------------------------------------------------
+    def reachable_targets(self, targets: Sequence[int]) -> "ReachIndex":
+        """Precompute which of *targets* every block can reach."""
+        return ReachIndex(self.successors, targets)
+
+    def min_leads(
+        self, site: int, targets: Set[int], cap: int
+    ) -> Dict[int, int]:
+        """Minimum fetch-unit lead from *site* to each reachable target.
+
+        The lead of a path is the units fetched from the site block
+        (inclusive) up to the target block (exclusive): a lower bound
+        on the cycles between issuing a prefetch at the site and the
+        branch's BTB lookup along that path.  Exploration stops at
+        *cap* units — any target not in the result has a lead of at
+        least *cap* on every path (or is unreachable).
+        """
+        units = self.units
+        succ = self.successors
+        dist: Dict[int, int] = {site: 0}
+        out: Dict[int, int] = {}
+        heap: List[Tuple[int, int]] = [(0, site)]
+        while heap:
+            d, u = heapq.heappop(heap)
+            if d > dist.get(u, _UNREACHED):
+                continue
+            if u in targets and u not in out:
+                out[u] = d
+                if len(out) == len(targets):
+                    return out
+            nd = d + units[u]
+            if nd >= cap:
+                continue
+            for v in succ[u]:
+                if nd < dist.get(v, _UNREACHED):
+                    dist[v] = nd
+                    heapq.heappush(heap, (nd, v))
+        return out
+
+
+class ReachIndex:
+    """Answers "does block *s* reach target *t*?" for a fixed target set.
+
+    Built once per verification: iterative Tarjan SCC over the block
+    graph, then a bitmask union over the condensation in reverse
+    topological order (Tarjan numbers components such that every
+    successor component has a smaller id than its predecessors).
+    """
+
+    def __init__(self, successors: Sequence[Tuple[int, ...]], targets: Sequence[int]):
+        n = len(successors)
+        self._tbit = {t: k for k, t in enumerate(dict.fromkeys(targets))}
+        index = [0] * n
+        low = [0] * n
+        on_stack = [False] * n
+        assigned = [False] * n
+        comp = [-1] * n
+        stack: List[int] = []
+        counter = 0
+        ncomp = 0
+        for root in range(n):
+            if assigned[root]:
+                continue
+            work: List[Tuple[int, int]] = [(root, 0)]
+            while work:
+                v, pi = work[-1]
+                if pi == 0:
+                    assigned[v] = True
+                    index[v] = low[v] = counter
+                    counter += 1
+                    stack.append(v)
+                    on_stack[v] = True
+                descended = False
+                ss = successors[v]
+                for j in range(pi, len(ss)):
+                    w = ss[j]
+                    if not assigned[w]:
+                        work[-1] = (v, j + 1)
+                        work.append((w, 0))
+                        descended = True
+                        break
+                    if on_stack[w] and index[w] < low[v]:
+                        low[v] = index[w]
+                if descended:
+                    continue
+                if low[v] == index[v]:
+                    while True:
+                        w = stack.pop()
+                        on_stack[w] = False
+                        comp[w] = ncomp
+                        if w == v:
+                            break
+                    ncomp += 1
+                work.pop()
+                if work:
+                    u, _ = work[-1]
+                    if low[v] < low[u]:
+                        low[u] = low[v]
+        cmask = [0] * ncomp
+        for t, k in self._tbit.items():
+            cmask[comp[t]] |= 1 << k
+        csucc: List[Set[int]] = [set() for _ in range(ncomp)]
+        for v in range(n):
+            cv = comp[v]
+            for w in successors[v]:
+                if comp[w] != cv:
+                    csucc[cv].add(comp[w])
+        # Successor components always carry smaller Tarjan ids, so one
+        # ascending pass propagates every reachable target bit.
+        for c in range(ncomp):
+            m = cmask[c]
+            for d in csucc[c]:
+                m |= cmask[d]
+            cmask[c] = m
+        self._comp = comp
+        self._cmask = cmask
+
+    def reaches(self, source: int, target: int) -> bool:
+        bit = self._tbit[target]
+        return bool((self._cmask[self._comp[source]] >> bit) & 1)
+
+
+# ----------------------------------------------------------------------
+# CFG artifact sanity rules (C1xx).
+
+def _finding(rule: str, name: str, sev: Severity, loc: str, msg: str) -> Finding:
+    return Finding(rule=rule, name=name, severity=sev, location=loc, message=msg)
+
+
+CFG_RULES = {
+    "C101": "blocks-sorted",
+    "C102": "direct-target-resolves",
+    "C103": "branch-pc-in-block",
+    "C104": "kind-code-consistent",
+    "C105": "dispatch-structure",
+}
+
+
+def verify_workload(workload: Workload) -> List[Finding]:
+    """Static sanity of a generated CFG/Workload (rules C1xx)."""
+    wl = workload
+    findings: List[Finding] = []
+    loc = f"workload[{wl.name}]"
+
+    prev_end = -1
+    prev_start = -1
+    for i in range(wl.n_blocks):
+        start, size = wl.block_start[i], wl.block_size[i]
+        if start <= prev_start or start < prev_end:
+            findings.append(
+                _finding(
+                    "C101",
+                    CFG_RULES["C101"],
+                    Severity.ERROR,
+                    f"{loc}.block[{i}]",
+                    f"block at {start:#x} overlaps or precedes the previous "
+                    f"block (prev end {prev_end:#x})",
+                )
+            )
+        prev_start, prev_end = start, start + size
+
+        pc = wl.branch_pc[i]
+        kc = wl.kind_code[i]
+        if pc >= 0 and not (start <= pc < start + size):
+            findings.append(
+                _finding(
+                    "C103",
+                    CFG_RULES["C103"],
+                    Severity.ERROR,
+                    f"{loc}.block[{i}]",
+                    f"terminator pc {pc:#x} lies outside its block "
+                    f"[{start:#x}, {start + size:#x})",
+                )
+            )
+        if kc in DIRECT_KIND_CODES and wl.target_block[i] < 0:
+            findings.append(
+                _finding(
+                    "C102",
+                    CFG_RULES["C102"],
+                    Severity.ERROR,
+                    f"{loc}.block[{i}]",
+                    f"direct branch at {pc:#x} targets {wl.branch_target[i]:#x}, "
+                    "which is not a block start",
+                )
+            )
+        kind = wl.branch_kind[i]
+        expect = KIND_CODE[kind] if kind is not None else KIND_NONE
+        if kc != expect:
+            findings.append(
+                _finding(
+                    "C104",
+                    CFG_RULES["C104"],
+                    Severity.ERROR,
+                    f"{loc}.block[{i}]",
+                    f"kind_code {kc} does not encode branch kind {kind!r}",
+                )
+            )
+
+    if not wl.handler_indices:
+        findings.append(
+            _finding(
+                "C105",
+                CFG_RULES["C105"],
+                Severity.ERROR,
+                loc,
+                "workload has no handler functions",
+            )
+        )
+    elif len(wl.handler_weights) != len(wl.handler_indices):
+        findings.append(
+            _finding(
+                "C105",
+                CFG_RULES["C105"],
+                Severity.ERROR,
+                loc,
+                f"{len(wl.handler_weights)} handler weights for "
+                f"{len(wl.handler_indices)} handlers",
+            )
+        )
+    elif any(w <= 0 for w in wl.handler_weights):
+        findings.append(
+            _finding(
+                "C105",
+                CFG_RULES["C105"],
+                Severity.ERROR,
+                loc,
+                "handler popularity weights must be positive",
+            )
+        )
+    return findings

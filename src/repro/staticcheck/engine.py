@@ -1,0 +1,133 @@
+"""AST lint engine: rule registry, suppressions, source-tree driver.
+
+Each rule (see :mod:`.rules`) receives a :class:`ParsedModule` — path,
+source lines, and parsed AST — and yields :class:`Finding` records.
+The engine then drops findings the source suppressed explicitly:
+
+* ``# staticcheck: disable=L104`` on a line suppresses that rule (by
+  id or name, comma-separated for several) for that line;
+* ``# staticcheck: disable-file=L104`` anywhere in the file suppresses
+  the rule for the whole module.
+
+Suppressions are deliberately per-rule — a bare ``disable`` with no
+rule list suppresses nothing — so silencing a checker always names the
+invariant being waived.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..errors import ReproError
+from .findings import Finding
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*staticcheck:\s*(disable(?:-file)?)\s*=\s*([A-Za-z0-9_,\- ]+)"
+)
+
+
+@dataclass
+class ParsedModule:
+    """One source file, parsed once and shared by every rule."""
+
+    path: Path
+    relpath: str  # repo-relative, used in finding locations
+    source: str
+    lines: List[str] = field(init=False)
+    tree: ast.AST = field(init=False)
+    # line -> rule ids/names suppressed on that line.
+    line_suppressions: Dict[int, Set[str]] = field(init=False)
+    file_suppressions: Set[str] = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.lines = self.source.splitlines()
+        self.tree = ast.parse(self.source, filename=str(self.path))
+        self.line_suppressions = {}
+        self.file_suppressions = set()
+        for lineno, text in enumerate(self.lines, start=1):
+            m = _SUPPRESS_RE.search(text)
+            if not m:
+                continue
+            rules = {r.strip() for r in m.group(2).split(",") if r.strip()}
+            if m.group(1) == "disable-file":
+                self.file_suppressions |= rules
+            else:
+                self.line_suppressions.setdefault(lineno, set()).update(rules)
+
+    def suppressed(self, finding: Finding) -> bool:
+        keys = {finding.rule, finding.name}
+        if keys & self.file_suppressions:
+            return True
+        if finding.line is None:
+            return False
+        return bool(keys & self.line_suppressions.get(finding.line, set()))
+
+
+class LintEngine:
+    """Runs a set of rules over parsed modules, honoring suppressions."""
+
+    def __init__(self, rules: Optional[Sequence] = None):
+        if rules is None:
+            from .rules import default_rules
+
+            rules = default_rules()
+        self.rules = list(rules)
+
+    def lint_module(self, module: ParsedModule) -> List[Finding]:
+        findings: List[Finding] = []
+        for rule in self.rules:
+            for f in rule.check(module):
+                if not module.suppressed(f):
+                    findings.append(f)
+        return findings
+
+    def lint(self, modules: Iterable[ParsedModule]) -> List[Finding]:
+        findings: List[Finding] = []
+        for module in modules:
+            findings.extend(self.lint_module(module))
+        return findings
+
+
+def _parse(path: Path, root: Path) -> ParsedModule:
+    try:
+        source = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise ReproError(f"staticcheck cannot read {path}: {exc}") from exc
+    try:
+        rel = str(path.relative_to(root))
+    except ValueError:
+        rel = str(path)
+    try:
+        return ParsedModule(path=path, relpath=rel, source=source)
+    except SyntaxError as exc:
+        raise ReproError(f"staticcheck cannot parse {path}: {exc}") from exc
+
+
+def lint_paths(
+    paths: Sequence[Path],
+    root: Optional[Path] = None,
+    engine: Optional[LintEngine] = None,
+) -> List[Finding]:
+    """Lint explicit files (directories are walked for ``*.py``)."""
+    engine = engine if engine is not None else LintEngine()
+    root = root if root is not None else Path.cwd()
+    files: List[Path] = []
+    for p in paths:
+        if p.is_dir():
+            files.extend(sorted(p.rglob("*.py")))
+        else:
+            files.append(p)
+    return engine.lint(_parse(p, root) for p in files)
+
+
+def lint_source_tree(
+    src_root: Optional[Path] = None, engine: Optional[LintEngine] = None
+) -> List[Finding]:
+    """Lint the ``repro`` package this module was imported from."""
+    if src_root is None:
+        src_root = Path(__file__).resolve().parent.parent  # src/repro
+    return lint_paths([src_root], root=src_root.parent, engine=engine)

@@ -1,0 +1,74 @@
+"""Lint rule registry (layer-2 rule catalog, ids ``L1xx``).
+
+========  ======================  ========  ===========================
+rule id   name                    severity  invariant
+========  ======================  ========  ===========================
+``L101``  no-ambient-rng          error     ``random``/``secrets``/
+                                            ``uuid`` only via
+                                            ``workloads/rng.py``
+``L102``  no-wallclock            error     wall-clock reads stay out
+                                            of result-producing code
+``L103``  no-set-order-iteration  error     no iteration over sets
+                                            except into
+                                            order-insensitive sinks
+``L104``  env-reads-in-config     error     ``os.environ`` reads only
+                                            in ``config.py``
+``L105``  no-broad-except         error     ``except Exception`` must
+                                            not swallow
+                                            ``InvariantViolation`` /
+                                            ``ReproError``
+``L106``  no-mutable-default      error     no mutable default
+                                            arguments
+``L107``  sanitize-coverage       warning   frontend structures expose
+                                            ``attach_sanitizer``
+========  ======================  ========  ===========================
+
+Rules register themselves via :func:`register`; :func:`default_rules`
+instantiates the full set for :class:`~repro.staticcheck.engine.LintEngine`.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Callable, Dict, Iterator, List, Type
+
+from ..engine import ParsedModule
+from ..findings import Finding, Severity
+
+LINT_RULES: Dict[str, str] = {}
+_REGISTRY: List[Type["Rule"]] = []
+
+
+class Rule:
+    """Base class: subclasses set ``rule``/``name``/``severity``."""
+
+    rule: str = ""
+    name: str = ""
+    severity: Severity = Severity.ERROR
+
+    def check(self, module: ParsedModule) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(self, module: ParsedModule, node: ast.AST, message: str) -> Finding:
+        return Finding(
+            rule=self.rule,
+            name=self.name,
+            severity=self.severity,
+            location=module.relpath,
+            message=message,
+            line=getattr(node, "lineno", None),
+        )
+
+
+def register(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding a rule to the default set."""
+    LINT_RULES[cls.rule] = cls.name
+    _REGISTRY.append(cls)
+    return cls
+
+
+def default_rules() -> List[Rule]:
+    # Import for side effect: each module registers its rules.
+    from . import determinism, environment, exceptions, hygiene, sanitize_coverage  # noqa: F401
+
+    return [cls() for cls in _REGISTRY]

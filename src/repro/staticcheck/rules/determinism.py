@@ -1,0 +1,157 @@
+"""Determinism rules: ambient RNG, wall clock, set-order iteration.
+
+The repro's central promise is bit-identical reruns (ROADMAP north
+star); these rules fence off the three ways Python code silently
+breaks it.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Set
+
+from ..engine import ParsedModule
+from ..findings import Finding, Severity
+from . import Rule, register
+
+# The one module allowed to touch the stdlib RNG: everything else must
+# go through its seeded derive_seed/make_rng helpers.
+_RNG_HOME = "workloads/rng.py"
+_AMBIENT_RNG_MODULES = {"random", "secrets", "uuid"}
+
+# Wall-clock reads. ``time.sleep`` is fine (doesn't produce a value).
+_WALLCLOCK_CALLS = {
+    ("time", "time"),
+    ("time", "time_ns"),
+    ("time", "monotonic"),
+    ("time", "monotonic_ns"),
+    ("time", "perf_counter"),
+    ("time", "perf_counter_ns"),
+    ("time", "process_time"),
+    ("datetime", "now"),
+    ("datetime", "utcnow"),
+    ("datetime", "today"),
+    ("date", "today"),
+}
+
+# Calls whose result does not depend on the iteration order of their
+# argument: a set iterated straight into one of these is harmless.
+_ORDER_INSENSITIVE_SINKS = {
+    "sum",
+    "len",
+    "min",
+    "max",
+    "any",
+    "all",
+    "set",
+    "frozenset",
+    "sorted",
+    "Counter",
+}
+
+
+def _is_set_expr(node: ast.AST) -> bool:
+    """Expression that evaluates to a set (unordered iteration)."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in ("set", "frozenset")
+    return False
+
+
+@register
+class AmbientRngRule(Rule):
+    """L101: stdlib RNG imports outside ``workloads/rng.py``."""
+
+    rule = "L101"
+    name = "no-ambient-rng"
+    severity = Severity.ERROR
+
+    def check(self, module: ParsedModule) -> Iterator[Finding]:
+        if module.relpath.replace("\\", "/").endswith(_RNG_HOME):
+            return
+        for node in ast.walk(module.tree):
+            names = ()
+            if isinstance(node, ast.Import):
+                names = tuple(a.name.split(".")[0] for a in node.names)
+            elif isinstance(node, ast.ImportFrom) and node.module:
+                names = (node.module.split(".")[0],)
+            for mod in names:
+                if mod in _AMBIENT_RNG_MODULES:
+                    yield self.finding(
+                        module,
+                        node,
+                        f"ambient RNG module {mod!r} imported outside "
+                        f"{_RNG_HOME}; derive seeded generators via "
+                        "repro.workloads.rng instead",
+                    )
+
+
+@register
+class WallclockRule(Rule):
+    """L102: wall-clock reads that can leak into results."""
+
+    rule = "L102"
+    name = "no-wallclock"
+    severity = Severity.ERROR
+
+    def check(self, module: ParsedModule) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not (isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute)):
+                continue
+            base = node.func.value
+            base_name = base.id if isinstance(base, ast.Name) else (
+                base.attr if isinstance(base, ast.Attribute) else None
+            )
+            if (base_name, node.func.attr) in _WALLCLOCK_CALLS:
+                yield self.finding(
+                    module,
+                    node,
+                    f"wall-clock read {base_name}.{node.func.attr}() is "
+                    "nondeterministic; results must not depend on it",
+                )
+
+
+@register
+class SetOrderIterationRule(Rule):
+    """L103: iterating a set where order can reach a result."""
+
+    rule = "L103"
+    name = "no-set-order-iteration"
+    severity = Severity.ERROR
+
+    def check(self, module: ParsedModule) -> Iterator[Finding]:
+        exempt: Set[int] = set()
+        for node in ast.walk(module.tree):
+            # A generator fed straight into an order-insensitive
+            # reducer cannot leak iteration order into its result.
+            if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+                if node.func.id in _ORDER_INSENSITIVE_SINKS:
+                    for arg in node.args:
+                        if isinstance(arg, (ast.GeneratorExp, ast.SetComp)):
+                            exempt.add(id(arg))
+            # A set comprehension's own result is unordered anyway.
+            if isinstance(node, ast.SetComp):
+                exempt.add(id(node))
+
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.For):
+                if _is_set_expr(node.iter):
+                    yield self.finding(
+                        module,
+                        node,
+                        "for-loop iterates a set: iteration order is hash-"
+                        "randomized; sort it or prove the sink is "
+                        "order-insensitive",
+                    )
+            elif isinstance(node, (ast.GeneratorExp, ast.ListComp, ast.SetComp, ast.DictComp)):
+                if id(node) in exempt:
+                    continue
+                for comp in node.generators:
+                    if _is_set_expr(comp.iter):
+                        yield self.finding(
+                            module,
+                            node,
+                            "comprehension iterates a set into an order-"
+                            "sensitive result; sort it first",
+                        )

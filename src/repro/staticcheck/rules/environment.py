@@ -1,0 +1,67 @@
+"""Environment hygiene: all env-var *reads* live in ``config.py``.
+
+Scattered ``os.environ.get`` calls are configuration that the cache
+key, the worker processes, and the docs cannot see.  Reads must go
+through the typed accessors in :mod:`repro.config`; *writes* (the CLI
+exporting knobs to pool workers) stay allowed anywhere.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..engine import ParsedModule
+from ..findings import Finding, Severity
+from . import Rule, register
+
+_ENV_HOME = "config.py"
+
+
+def _is_environ(node: ast.AST) -> bool:
+    """Matches ``os.environ`` or a bare ``environ`` name."""
+    if isinstance(node, ast.Attribute) and node.attr == "environ":
+        return True
+    return isinstance(node, ast.Name) and node.id == "environ"
+
+
+@register
+class EnvReadRule(Rule):
+    """L104: ``os.environ`` reads outside ``config.py``."""
+
+    rule = "L104"
+    name = "env-reads-in-config"
+    severity = Severity.ERROR
+
+    def check(self, module: ParsedModule) -> Iterator[Finding]:
+        if module.relpath.replace("\\", "/").endswith(_ENV_HOME):
+            return
+        for node in ast.walk(module.tree):
+            msg = None
+            if isinstance(node, ast.Call):
+                func = node.func
+                # os.environ.get(...) / environ.get(...)
+                if (
+                    isinstance(func, ast.Attribute)
+                    and func.attr == "get"
+                    and _is_environ(func.value)
+                ):
+                    msg = "os.environ.get"
+                # os.getenv(...)
+                elif isinstance(func, ast.Attribute) and func.attr == "getenv":
+                    msg = "os.getenv"
+                elif isinstance(func, ast.Name) and func.id == "getenv":
+                    msg = "getenv"
+            elif (
+                isinstance(node, ast.Subscript)
+                and _is_environ(node.value)
+                and isinstance(node.ctx, ast.Load)
+            ):
+                msg = "os.environ[...]"
+            if msg is not None:
+                yield self.finding(
+                    module,
+                    node,
+                    f"{msg} read outside config.py; add a typed accessor "
+                    "to repro.config and call that instead",
+                )

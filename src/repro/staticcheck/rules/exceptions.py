@@ -1,0 +1,73 @@
+"""Exception-handling rule: broad handlers must not eat invariants.
+
+PR 2's sanitizers only help if :class:`~repro.errors.InvariantViolation`
+actually reaches the top of the stack.  A bare ``except Exception:``
+(or ``except BaseException:`` / bare ``except:``) swallows it unless
+the handler re-raises, or an earlier, narrower handler on the same
+``try`` already catches the repro error types and re-raises them.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..engine import ParsedModule
+from ..findings import Finding, Severity
+from . import Rule, register
+
+_BROAD = {"Exception", "BaseException"}
+_REPRO_ERRORS = {"InvariantViolation", "ReproError"}
+
+
+def _exc_names(handler: ast.ExceptHandler):
+    t = handler.type
+    if t is None:
+        return {None}
+    nodes = t.elts if isinstance(t, ast.Tuple) else [t]
+    names = set()
+    for n in nodes:
+        if isinstance(n, ast.Name):
+            names.add(n.id)
+        elif isinstance(n, ast.Attribute):
+            names.add(n.attr)
+    return names
+
+
+def _reraises(handler: ast.ExceptHandler) -> bool:
+    """Handler body contains a ``raise`` at any nesting depth."""
+    return any(isinstance(n, ast.Raise) for n in ast.walk(handler))
+
+
+@register
+class BroadExceptRule(Rule):
+    """L105: broad except that can swallow InvariantViolation."""
+
+    rule = "L105"
+    name = "no-broad-except"
+    severity = Severity.ERROR
+
+    def check(self, module: ParsedModule) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Try):
+                continue
+            repro_safe = False  # an earlier handler rescues repro errors
+            for handler in node.handlers:
+                names = _exc_names(handler)
+                if names & _REPRO_ERRORS and _reraises(handler):
+                    repro_safe = True
+                    continue
+                if not (names & _BROAD or None in names):
+                    continue
+                if repro_safe or _reraises(handler):
+                    continue
+                caught = "bare except" if None in names else (
+                    "except " + "/".join(sorted(names & _BROAD))
+                )
+                yield self.finding(
+                    module,
+                    handler,
+                    f"{caught} swallows InvariantViolation/ReproError; "
+                    "narrow the type, re-raise, or add an earlier "
+                    "`except InvariantViolation: raise` handler",
+                )

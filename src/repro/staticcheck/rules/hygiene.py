@@ -1,0 +1,47 @@
+"""General hygiene rules: mutable default arguments."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..engine import ParsedModule
+from ..findings import Finding, Severity
+from . import Rule, register
+
+_MUTABLE_LITERALS = (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)
+_MUTABLE_CALLS = {"list", "dict", "set", "defaultdict", "Counter", "deque", "bytearray"}
+
+
+def _is_mutable_default(node: ast.AST) -> bool:
+    if isinstance(node, _MUTABLE_LITERALS):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in _MUTABLE_CALLS
+    return False
+
+
+@register
+class MutableDefaultRule(Rule):
+    """L106: mutable default argument shared across calls."""
+
+    rule = "L106"
+    name = "no-mutable-default"
+    severity = Severity.ERROR
+
+    def check(self, module: ParsedModule) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            args = node.args
+            for default in list(args.defaults) + [
+                d for d in args.kw_defaults if d is not None
+            ]:
+                if _is_mutable_default(default):
+                    yield self.finding(
+                        module,
+                        default,
+                        f"mutable default argument in {node.name}(); the "
+                        "object is shared across every call — default to "
+                        "None and construct inside",
+                    )

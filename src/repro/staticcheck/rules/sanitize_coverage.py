@@ -1,0 +1,66 @@
+"""Sanitize-coverage rule for frontend hardware structures.
+
+PR 2 wove runtime sanitizers through the frontend models via an
+``attach_sanitizer`` hook.  A new structure added to ``frontend/``
+without that hook silently opts out of every structural invariant —
+exactly the regression this rule makes visible.  Private helpers and
+plain-data ``@dataclass`` records are exempt; deliberate opt-outs
+(limit-study models, direction predictors outside the BTB sanitize
+scope) carry per-line suppressions naming the rule.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..engine import ParsedModule
+from ..findings import Finding, Severity
+from . import Rule, register
+
+
+def _is_dataclass(node: ast.ClassDef) -> bool:
+    for dec in node.decorator_list:
+        name = None
+        if isinstance(dec, ast.Name):
+            name = dec.id
+        elif isinstance(dec, ast.Attribute):
+            name = dec.attr
+        elif isinstance(dec, ast.Call):
+            f = dec.func
+            name = f.id if isinstance(f, ast.Name) else getattr(f, "attr", None)
+        if name == "dataclass":
+            return True
+    return False
+
+
+@register
+class SanitizeCoverageRule(Rule):
+    """L107: frontend structure without an attach_sanitizer hook."""
+
+    rule = "L107"
+    name = "sanitize-coverage"
+    severity = Severity.WARNING
+
+    def check(self, module: ParsedModule) -> Iterator[Finding]:
+        relpath = module.relpath.replace("\\", "/")
+        if "/frontend/" not in relpath and not relpath.startswith("frontend/"):
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            if node.name.startswith("_") or _is_dataclass(node):
+                continue
+            methods = {
+                n.name
+                for n in node.body
+                if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))
+            }
+            if "attach_sanitizer" not in methods:
+                yield self.finding(
+                    module,
+                    node,
+                    f"frontend structure {node.name} has no "
+                    "attach_sanitizer hook; runtime sanitizers cannot "
+                    "check it",
+                )

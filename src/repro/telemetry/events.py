@@ -70,7 +70,8 @@ class TelemetrySink:
     # ------------------------------------------------------------------
     def emit(self, event: str, **fields) -> None:
         """Append one event line; whole-line write + flush."""
-        record = {"v": SCHEMA_VERSION, "event": event, "ts": time.time(), "pid": self._pid}
+        # Wall-clock timestamps are observability metadata, never results.
+        record = {"v": SCHEMA_VERSION, "event": event, "ts": time.time(), "pid": self._pid}  # staticcheck: disable=L102
         record.update(fields)
         self._fh.write(json.dumps(record) + "\n")
         self._fh.flush()
@@ -78,11 +79,11 @@ class TelemetrySink:
     @contextmanager
     def span(self, phase: str, **fields):
         """Time one pipeline phase; records a timer and emits a span event."""
-        t0 = time.perf_counter()
+        t0 = time.perf_counter()  # staticcheck: disable=L102
         try:
             yield
         finally:
-            dt = time.perf_counter() - t0
+            dt = time.perf_counter() - t0  # staticcheck: disable=L102
             self.registry.add_time(f"phase.{phase}", dt)
             self.emit("span", phase=phase, duration_s=dt, **fields)
 

@@ -52,11 +52,13 @@ class MetricsRegistry:
 
     @contextmanager
     def timer(self, name: str):
-        t0 = time.perf_counter()
+        # Wall-clock is telemetry-only here: timers feed reports,
+        # never simulation results (the determinism goldens prove it).
+        t0 = time.perf_counter()  # staticcheck: disable=L102
         try:
             yield
         finally:
-            self.add_time(name, time.perf_counter() - t0)
+            self.add_time(name, time.perf_counter() - t0)  # staticcheck: disable=L102
 
     # ------------------------------------------------------------------
     def snapshot(self) -> Dict:

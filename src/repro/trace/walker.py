@@ -277,7 +277,8 @@ def generate_trace(
     stats.branches_by_kind = {k: v for k, v in branch_counts.items() if v}
     stats.unique_blocks = len(set(blocks))
     unique_branches = set()
-    for bi in set(blocks):
+    # Order-insensitive sink: only set membership is accumulated.
+    for bi in set(blocks):  # staticcheck: disable=L103
         if kinds[bi] is not None:
             unique_branches.add(bi)
     stats.unique_branches = len(unique_branches)

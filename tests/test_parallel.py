@@ -1,8 +1,12 @@
 """Process-pool fan-out: request coercion, retries, serial fallback."""
 
+import multiprocessing
+import pickle
+
 import pytest
 
-from repro.errors import ReproError
+from repro.errors import InvariantViolation, ReproError
+from repro.experiments import parallel
 from repro.experiments.cache import ResultCache
 from repro.experiments.parallel import RunRequest, execute_runs
 from repro.experiments.runner import ExperimentRunner, RunnerSettings
@@ -59,6 +63,42 @@ class TestExecuteRuns:
         reread = reader.run("wordpress", "baseline")
         assert reader.stats.simulations == 0
         assert result_to_dict(reread) == result_to_dict(results[0])
+
+
+def _noop_init(settings, cache_dir):
+    pass
+
+
+def _raise_violation(request):
+    raise InvariantViolation("btb", "seeded by test", cycle=12, entry=(1, 2))
+
+
+class TestInvariantPropagation:
+    """Satellite 2: broad handlers must not swallow sanitizer failures."""
+
+    def test_invariant_violation_pickles_roundtrip(self):
+        exc = InvariantViolation("ras", "depth mismatch", cycle=7.0, entry=0xBEEF)
+        clone = pickle.loads(pickle.dumps(exc))
+        assert isinstance(clone, InvariantViolation)
+        assert clone.structure == "ras"
+        assert clone.message == "depth mismatch"
+        assert clone.cycle == 7.0
+        assert clone.entry == 0xBEEF
+        assert str(clone) == str(exc)
+
+    @pytest.mark.slow
+    @pytest.mark.skipif(
+        multiprocessing.get_start_method() != "fork",
+        reason="monkeypatched worker fns only propagate to forked children",
+    )
+    def test_worker_invariant_violation_propagates(self, monkeypatch):
+        # A sanitizer failure in a worker must abort the whole fan-out
+        # (not be retried and then silently recomputed sanitizer-free
+        # in the serial fallback).
+        monkeypatch.setattr(parallel, "_init_worker", _noop_init)
+        monkeypatch.setattr(parallel, "_run_request", _raise_violation)
+        with pytest.raises(InvariantViolation, match="seeded by test"):
+            execute_runs(SETTINGS, [RunRequest("wordpress", "baseline")], jobs=2)
 
 
 class TestWarm:

@@ -110,3 +110,54 @@ class TestJobsKnob:
     def test_invalid_explicit_rejected(self):
         with pytest.raises(ReproError):
             resolve_jobs(0)
+
+
+class TestConfigAccessors:
+    """Satellite 1 (PR 4): every env read goes through repro.config."""
+
+    def test_results_dir(self, clean_env):
+        from repro.config import results_dir_from_env
+
+        assert results_dir_from_env() == "benchmarks/results"
+        clean_env.setenv("REPRO_RESULTS_DIR", "/tmp/out")
+        assert results_dir_from_env() == "/tmp/out"
+
+    def test_cache_dir_and_kill_switch(self, clean_env):
+        from repro.config import cache_dir_from_env, no_cache_from_env
+
+        assert cache_dir_from_env() is None
+        clean_env.setenv("REPRO_CACHE_DIR", "/tmp/cache")
+        assert cache_dir_from_env() == "/tmp/cache"
+        assert no_cache_from_env() is False
+        clean_env.setenv("REPRO_NO_CACHE", "0")
+        assert no_cache_from_env() is False
+        clean_env.setenv("REPRO_NO_CACHE", "1")
+        assert no_cache_from_env() is True
+
+    def test_apps_accessor_raw(self, clean_env):
+        from repro.config import apps_from_env
+
+        assert apps_from_env() is None
+        clean_env.setenv("REPRO_APPS", "wordpress, drupal")
+        assert apps_from_env() == ("wordpress", "drupal")
+        clean_env.setenv("REPRO_APPS", ", ,")
+        with pytest.raises(ReproError, match="REPRO_APPS"):
+            apps_from_env()
+
+    def test_int_accessor_messages_name_the_knob(self, clean_env):
+        from repro.config import int_from_env
+
+        clean_env.setenv("REPRO_TRACE_INSTRUCTIONS", "zero")
+        with pytest.raises(ReproError, match="REPRO_TRACE_INSTRUCTIONS"):
+            int_from_env("REPRO_TRACE_INSTRUCTIONS", 5)
+
+    def test_bool_accessor(self, clean_env):
+        from repro.config import bool_from_env
+
+        clean_env.setenv("REPRO_CHECK_PLANS", "yes")
+        assert bool_from_env("REPRO_CHECK_PLANS") is True
+        clean_env.setenv("REPRO_CHECK_PLANS", "off")
+        assert bool_from_env("REPRO_CHECK_PLANS") is False
+        clean_env.setenv("REPRO_CHECK_PLANS", "maybe")
+        with pytest.raises(ReproError, match="REPRO_CHECK_PLANS"):
+            bool_from_env("REPRO_CHECK_PLANS")

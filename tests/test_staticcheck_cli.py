@@ -1,0 +1,60 @@
+"""CLI tests for ``python -m repro.staticcheck`` / tools wrapper."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.staticcheck.__main__ import main
+
+
+class TestLintCli:
+    def test_repo_lint_exits_clean(self, capsys):
+        assert main([]) == 0
+        out = capsys.readouterr().out
+        assert "0 error(s)" in out
+
+    def test_explicit_dirty_path_fails(self, tmp_path, capsys):
+        bad = tmp_path / "dirty.py"
+        bad.write_text("import random\n")
+        assert main([str(bad)]) == 1
+        assert "L101" in capsys.readouterr().out
+
+    def test_json_format(self, tmp_path, capsys):
+        bad = tmp_path / "dirty.py"
+        bad.write_text("import os\nv = os.environ.get('X')\n")
+        assert main(["--format", "json", str(bad)]) == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["counts"]["error"] == 1
+        assert doc["findings"][0]["rule"] == "L104"
+
+    def test_strict_promotes_warnings(self, tmp_path, capsys):
+        warn = tmp_path / "repro" / "frontend" / "newbuf.py"
+        warn.parent.mkdir(parents=True)
+        warn.write_text("class NewBuffer:\n    pass\n")
+        assert main([str(warn)]) == 0
+        assert main(["--strict", str(warn)]) == 1
+
+    def test_list_rules(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule in ("P101", "P108", "C101", "L101", "L107"):
+            assert rule in out
+
+    def test_usage_errors(self, capsys):
+        assert main(["--apps", "wordpress"]) == 2
+        assert main(["--no-lint", "somefile.py"]) == 2
+
+    def test_unknown_app_is_clean_error(self, capsys):
+        assert main(["--check-plans", "--no-lint", "--apps", "nope"]) == 2
+        assert "unknown app" in capsys.readouterr().err
+
+
+@pytest.mark.slow
+class TestCheckPlansCli:
+    def test_check_plans_wordpress(self, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_TRACE_INSTRUCTIONS", "20000")
+        assert main(["--check-plans", "--no-lint", "--apps", "wordpress"]) == 0
+        out = capsys.readouterr().out
+        assert "0 error(s)" in out

@@ -1,0 +1,243 @@
+"""Layer-2 lint engine tests: each rule, suppressions, reporters."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.staticcheck import lint_paths, lint_source_tree
+from repro.staticcheck.engine import LintEngine, ParsedModule
+from repro.staticcheck.findings import (
+    Finding,
+    Severity,
+    exit_code,
+    render_json,
+    render_text,
+    sort_findings,
+)
+from repro.staticcheck.rules import LINT_RULES, default_rules
+
+
+def lint_snippet(tmp_path: Path, source: str, name: str = "mod.py"):
+    path = tmp_path / name
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(source)
+    return lint_paths([path], root=tmp_path)
+
+
+def rules_of(findings):
+    return {f.rule for f in findings}
+
+
+class TestDeterminismRules:
+    def test_l101_random_import(self, tmp_path):
+        findings = lint_snippet(tmp_path, "import random\n")
+        assert rules_of(findings) == {"L101"}
+
+    def test_l101_from_import_and_uuid(self, tmp_path):
+        findings = lint_snippet(tmp_path, "from random import choice\nimport uuid\n")
+        assert [f.rule for f in findings] == ["L101", "L101"]
+
+    def test_l101_allowed_in_rng_home(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path, "import random\n", name="workloads/rng.py"
+        )
+        assert findings == []
+
+    def test_l102_wallclock(self, tmp_path):
+        src = "import time\n\ndef f():\n    return time.time()\n"
+        findings = lint_snippet(tmp_path, src)
+        assert rules_of(findings) == {"L102"}
+        assert findings[0].line == 4
+
+    def test_l102_sleep_allowed(self, tmp_path):
+        findings = lint_snippet(tmp_path, "import time\ntime.sleep(1)\n")
+        assert findings == []
+
+    def test_l103_for_over_set(self, tmp_path):
+        src = "out = []\nfor x in set([3, 1, 2]):\n    out.append(x)\n"
+        findings = lint_snippet(tmp_path, src)
+        assert rules_of(findings) == {"L103"}
+
+    def test_l103_sorted_set_allowed(self, tmp_path):
+        src = "out = []\nfor x in sorted(set([3, 1, 2])):\n    out.append(x)\n"
+        assert lint_snippet(tmp_path, src) == []
+
+    def test_l103_order_insensitive_reducer_allowed(self, tmp_path):
+        src = "total = sum(x for x in set([1, 2]))\nn = len(set([1, 2]))\n"
+        assert lint_snippet(tmp_path, src) == []
+
+    def test_l103_set_comprehension_result_allowed(self, tmp_path):
+        # A set built from a set is still unordered: no order leaks.
+        src = "evens = {x for x in set([1, 2, 3]) if x % 2 == 0}\n"
+        assert lint_snippet(tmp_path, src) == []
+
+    def test_l103_list_comprehension_flagged(self, tmp_path):
+        src = "ordered = [x for x in set([1, 2, 3])]\n"
+        assert rules_of(lint_snippet(tmp_path, src)) == {"L103"}
+
+
+class TestEnvironmentRule:
+    def test_l104_environ_get(self, tmp_path):
+        src = "import os\nv = os.environ.get('X')\n"
+        assert rules_of(lint_snippet(tmp_path, src)) == {"L104"}
+
+    def test_l104_getenv_and_subscript(self, tmp_path):
+        src = "import os\na = os.getenv('X')\nb = os.environ['X']\n"
+        findings = lint_snippet(tmp_path, src)
+        assert [f.rule for f in findings] == ["L104", "L104"]
+
+    def test_l104_write_allowed(self, tmp_path):
+        src = "import os\nos.environ['X'] = '1'\n"
+        assert lint_snippet(tmp_path, src) == []
+
+    def test_l104_allowed_in_config(self, tmp_path):
+        src = "import os\nv = os.environ.get('X')\n"
+        assert lint_snippet(tmp_path, src, name="repro/config.py") == []
+
+
+class TestExceptionRule:
+    def test_l105_broad_except(self, tmp_path):
+        src = "try:\n    pass\nexcept Exception:\n    x = 1\n"
+        findings = lint_snippet(tmp_path, src)
+        assert rules_of(findings) == {"L105"}
+
+    def test_l105_bare_except(self, tmp_path):
+        src = "try:\n    pass\nexcept:\n    x = 1\n"
+        assert rules_of(lint_snippet(tmp_path, src)) == {"L105"}
+
+    def test_l105_reraise_allowed(self, tmp_path):
+        src = "try:\n    pass\nexcept Exception:\n    raise\n"
+        assert lint_snippet(tmp_path, src) == []
+
+    def test_l105_narrow_rescue_allows_broad_fallback(self, tmp_path):
+        src = (
+            "try:\n"
+            "    pass\n"
+            "except InvariantViolation:\n"
+            "    raise\n"
+            "except Exception:\n"
+            "    x = 1\n"
+        )
+        assert lint_snippet(tmp_path, src) == []
+
+    def test_l105_narrow_types_allowed(self, tmp_path):
+        src = "try:\n    pass\nexcept (OSError, RuntimeError):\n    x = 1\n"
+        assert lint_snippet(tmp_path, src) == []
+
+
+class TestHygieneRule:
+    def test_l106_mutable_defaults(self, tmp_path):
+        src = "def f(a=[], b={}, c=set()):\n    return a, b, c\n"
+        findings = lint_snippet(tmp_path, src)
+        assert [f.rule for f in findings] == ["L106", "L106", "L106"]
+
+    def test_l106_safe_defaults(self, tmp_path):
+        src = "def f(a=None, b=(), c=0, d='x'):\n    return a, b, c, d\n"
+        assert lint_snippet(tmp_path, src) == []
+
+
+class TestSanitizeCoverageRule:
+    def test_l107_frontend_class_without_hook(self, tmp_path):
+        src = "class NewBuffer:\n    def insert(self):\n        pass\n"
+        findings = lint_snippet(tmp_path, src, name="repro/frontend/newbuf.py")
+        assert rules_of(findings) == {"L107"}
+        assert findings[0].severity is Severity.WARNING
+
+    def test_l107_hook_present(self, tmp_path):
+        src = (
+            "class NewBuffer:\n"
+            "    def attach_sanitizer(self, s):\n"
+            "        pass\n"
+        )
+        assert lint_snippet(tmp_path, src, name="repro/frontend/newbuf.py") == []
+
+    def test_l107_private_and_dataclass_exempt(self, tmp_path):
+        src = (
+            "from dataclasses import dataclass\n"
+            "class _Helper:\n"
+            "    pass\n"
+            "@dataclass\n"
+            "class Entry:\n"
+            "    pc: int = 0\n"
+        )
+        assert lint_snippet(tmp_path, src, name="repro/frontend/newbuf.py") == []
+
+    def test_l107_outside_frontend_ignored(self, tmp_path):
+        src = "class NotHardware:\n    pass\n"
+        assert lint_snippet(tmp_path, src, name="repro/analysis/x.py") == []
+
+
+class TestSuppressions:
+    def test_line_suppression_by_id(self, tmp_path):
+        src = "import random  # staticcheck: disable=L101\n"
+        assert lint_snippet(tmp_path, src) == []
+
+    def test_line_suppression_by_name(self, tmp_path):
+        src = "import random  # staticcheck: disable=no-ambient-rng\n"
+        assert lint_snippet(tmp_path, src) == []
+
+    def test_line_suppression_is_per_rule(self, tmp_path):
+        # Suppressing one rule does not blanket the line.
+        src = "import random  # staticcheck: disable=L104\n"
+        assert rules_of(lint_snippet(tmp_path, src)) == {"L101"}
+
+    def test_line_suppression_multiple_rules(self, tmp_path):
+        src = "import random, uuid  # staticcheck: disable=L101,L104\n"
+        assert lint_snippet(tmp_path, src) == []
+
+    def test_file_suppression(self, tmp_path):
+        src = (
+            "# staticcheck: disable-file=L101\n"
+            "import random\n"
+            "from random import choice\n"
+        )
+        assert lint_snippet(tmp_path, src) == []
+
+    def test_wrong_line_does_not_suppress(self, tmp_path):
+        src = "# staticcheck: disable=L101\nimport random\n"
+        assert rules_of(lint_snippet(tmp_path, src)) == {"L101"}
+
+
+class TestReporters:
+    def _findings(self):
+        return [
+            Finding("L101", "no-ambient-rng", Severity.ERROR, "a.py", "boom", line=3),
+            Finding("P107", "timeliness", Severity.WARNING, "plan[x]", "late"),
+        ]
+
+    def test_sort_errors_first(self):
+        ordered = sort_findings(list(reversed(self._findings())))
+        assert [f.rule for f in ordered] == ["L101", "P107"]
+
+    def test_exit_code_gating(self):
+        findings = self._findings()
+        assert exit_code(findings) == 1
+        assert exit_code([findings[1]]) == 0
+        assert exit_code([findings[1]], strict=True) == 1
+        assert exit_code([]) == 0
+
+    def test_render_text_summarizes_warnings(self):
+        text = render_text(self._findings())
+        assert "a.py:3" in text
+        assert "x1" in text  # warning folded into a count line
+        assert "1 error(s), 1 warning(s)" in text
+
+    def test_render_json_schema(self):
+        doc = json.loads(render_json(self._findings(), extra={"strict": False}))
+        assert doc["counts"] == {"error": 1, "warning": 1, "info": 0}
+        assert doc["findings"][0]["rule"] == "L101"
+        assert doc["strict"] is False
+
+
+class TestRepoIsClean:
+    def test_rule_catalog_registered(self):
+        rules = default_rules()
+        assert {r.rule for r in rules} == set(LINT_RULES)
+        assert len(LINT_RULES) == 7
+
+    def test_source_tree_lints_clean(self):
+        findings = lint_source_tree()
+        assert findings == [], [f"{f.rule} {f.where()}" for f in findings[:5]]

@@ -24,6 +24,7 @@ sys.path.insert(
 )
 
 from repro import __version__  # noqa: E402
+from repro.config import cache_dir_from_env  # noqa: E402
 from repro.experiments.cache import DEFAULT_CACHE_DIR, ResultCache  # noqa: E402
 
 
@@ -101,9 +102,7 @@ def main(argv=None) -> int:
     group.add_argument("--all", action="store_true", help="remove every entry")
     args = parser.parse_args(argv)
 
-    directory = (
-        args.cache_dir or os.environ.get("REPRO_CACHE_DIR") or DEFAULT_CACHE_DIR
-    )
+    directory = args.cache_dir or cache_dir_from_env() or DEFAULT_CACHE_DIR
     cache = ResultCache(directory)
     if args.command == "list":
         return cmd_list(cache)

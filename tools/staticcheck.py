@@ -1,0 +1,26 @@
+#!/usr/bin/env python3
+"""Offline wrapper for ``python -m repro.staticcheck``.
+
+Runs with no installation step (inserts ``src/`` on sys.path, mirrors
+``tools/check_cache.py``) so CI and pre-commit hooks can gate on it:
+
+    python tools/staticcheck.py                    # lint the package
+    python tools/staticcheck.py --check-plans --apps wordpress
+    python tools/staticcheck.py --list-rules
+
+Exit codes: 0 clean, 1 findings, 2 usage/pipeline error.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+)
+
+from repro.staticcheck.__main__ import main  # noqa: E402
+
+if __name__ == "__main__":
+    raise SystemExit(main())
