@@ -147,6 +147,35 @@ def check_plans_from_env() -> bool:
     return bool_from_env("REPRO_CHECK_PLANS")
 
 
+def service_queue_depth_from_env() -> int:
+    """Plan-service request-queue bound from ``REPRO_SERVICE_QUEUE_DEPTH``.
+
+    Requests beyond this bound are shed (``ServiceOverload``) rather
+    than buffered, so the knob is the service's backpressure valve.
+    """
+    return int_from_env("REPRO_SERVICE_QUEUE_DEPTH", 64)
+
+
+def service_deadline_ms_from_env() -> int:
+    """Per-request deadline in milliseconds from ``REPRO_SERVICE_DEADLINE_MS``.
+
+    Covers queue wait plus processing; an expired request fails with
+    ``DeadlineExceeded`` and is skipped if still queued.
+    """
+    return int_from_env("REPRO_SERVICE_DEADLINE_MS", 2000)
+
+
+def service_reservoir_from_env() -> int:
+    """Per-shard reservoir capacity from ``REPRO_SERVICE_RESERVOIR``.
+
+    The plan service folds an unbounded LBR sample stream into at most
+    this many retained samples per (app, input) shard.  Sized at or
+    above the stream length, the fold is lossless and served plans
+    match the offline pipeline exactly (the parity tests pin this).
+    """
+    return int_from_env("REPRO_SERVICE_RESERVOIR", 8192)
+
+
 def is_power_of_two(value: int) -> bool:
     """Return True when *value* is a positive power of two."""
     return value > 0 and (value & (value - 1)) == 0

@@ -70,5 +70,25 @@ class PlanError(ReproError):
     """A Twig prefetch plan could not be built or applied."""
 
 
+class ServiceError(ReproError):
+    """The continuous-profiling plan service failed a request."""
+
+
+class ServiceOverload(ServiceError):
+    """The service shed a request because its queue was full."""
+
+
+class ServiceClosed(ServiceError):
+    """A request arrived after the service began draining."""
+
+
+class DeadlineExceeded(ServiceError):
+    """A request missed its deadline before a response was ready."""
+
+
+class TransientBuildError(ServiceError):
+    """A plan build failed transiently; the service may retry it."""
+
+
 class EncodingError(PlanError):
     """A prefetch operand could not be encoded in the available bits."""

@@ -10,6 +10,8 @@ Usage::
     REPRO_APPS=cassandra,wordpress python -m repro.experiments fig03
     python -m repro.experiments --telemetry run.jsonl fig16 # telemetry log
     python -m repro.experiments telemetry-report run.jsonl  # summarize it
+    python -m repro.experiments serve --apps wordpress      # plan service demo
+    python -m repro.experiments service-bench --overload    # stress the service
 
 ``--jobs``/``--cache-dir`` default to the ``REPRO_JOBS`` /
 ``REPRO_CACHE_DIR`` environment knobs; results persist under
@@ -35,6 +37,16 @@ from .runner import ExperimentRunner, RunnerSettings, set_runner
 
 
 def main(argv=None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    # Subcommands with their own flag vocabularies dispatch before the
+    # experiment parser sees (and rejects) those flags.
+    if argv and argv[0] in ("serve", "service-bench"):
+        from ..service.bench import serve_main, service_bench_main
+
+        sub = serve_main if argv[0] == "serve" else service_bench_main
+        return sub(argv[1:])
+
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
         description="Regenerate figures/tables from the Twig paper.",

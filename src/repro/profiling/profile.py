@@ -64,9 +64,34 @@ class MissProfile:
     def __len__(self) -> int:
         return self.total_samples
 
-    def merge(self, other: "MissProfile") -> "MissProfile":
-        """Combine two profiles (e.g., from multiple inputs)."""
-        merged = MissProfile(self.app_name, f"{self.input_label}+{other.input_label}")
+    def merge(
+        self, other: "MissProfile", allow_mixed_inputs: bool = False
+    ) -> "MissProfile":
+        """Combine two profiles of the *same* application shard.
+
+        Profiles from different apps never merge: their block indices
+        live in unrelated CFGs, so blending them silently would produce
+        a plausible-looking but meaningless profile.  Merging across
+        inputs of one app is legitimate (multi-input training) but must
+        be requested explicitly with ``allow_mixed_inputs=True``; the
+        merged label records both inputs.
+        """
+        if other.app_name != self.app_name:
+            raise ProfileError(
+                f"cannot merge profiles from different apps: "
+                f"{self.app_name!r} vs {other.app_name!r}"
+            )
+        if self.input_label == other.input_label:
+            label = self.input_label
+        elif allow_mixed_inputs:
+            label = f"{self.input_label}+{other.input_label}"
+        else:
+            raise ProfileError(
+                f"cannot merge profiles from different inputs "
+                f"({self.input_label!r} vs {other.input_label!r}) without "
+                "allow_mixed_inputs=True"
+            )
+        merged = MissProfile(self.app_name, label)
         for profile in (self, other):
             for pc, samples in profile._samples_by_pc.items():
                 merged._samples_by_pc[pc].extend(samples)

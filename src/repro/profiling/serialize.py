@@ -18,6 +18,33 @@ from ..uarch.results import SimResult
 from .profile import MissProfile
 
 FORMAT_VERSION = 1
+# Artifact schema version.  Writers stamp every artifact with
+# ``schema_version`` (and keep the historical ``format`` field so older
+# readers still work); readers accept either field and fail with a
+# clear, typed error — never a KeyError — on unknown or missing
+# versions.
+SCHEMA_VERSION = FORMAT_VERSION
+
+
+def _check_schema_version(data: dict, kind: str, err_cls) -> None:
+    """Validate the artifact version fields of a serialized *kind*.
+
+    Current-format files carry ``schema_version`` (new) or only
+    ``format`` (written before the field existed); both load.  Anything
+    else — a missing version or a version this build does not speak —
+    raises *err_cls* with an actionable message.
+    """
+    version = data.get("schema_version", data.get("format"))
+    if version is None:
+        raise err_cls(
+            f"serialized {kind} carries no schema_version/format field; "
+            "refusing to guess its layout"
+        )
+    if version != SCHEMA_VERSION:
+        raise err_cls(
+            f"unsupported {kind} schema version {version!r}; "
+            f"this build reads version {SCHEMA_VERSION}"
+        )
 
 
 # ----------------------------------------------------------------------
@@ -28,6 +55,7 @@ def profile_to_dict(profile: MissProfile) -> dict:
     """JSON-ready representation of *profile*."""
     return {
         "format": FORMAT_VERSION,
+        "schema_version": SCHEMA_VERSION,
         "kind": "miss_profile",
         "app_name": profile.app_name,
         "input_label": profile.input_label,
@@ -47,12 +75,14 @@ def profile_from_dict(data: dict) -> MissProfile:
     """Rebuild a profile from :func:`profile_to_dict` output."""
     if data.get("kind") != "miss_profile":
         raise ProfileError("not a serialized miss profile")
-    if data.get("format") != FORMAT_VERSION:
-        raise ProfileError(f"unsupported profile format {data.get('format')!r}")
+    _check_schema_version(data, "miss profile", ProfileError)
     profile = MissProfile(
         app_name=data.get("app_name", ""), input_label=data.get("input_label", "")
     )
-    for s in data["samples"]:
+    samples = data.get("samples")
+    if samples is None:
+        raise ProfileError("serialized miss profile has no 'samples' field")
+    for s in samples:
         window = tuple((int(b), float(lead)) for b, lead in s["window"])
         profile.add_sample(int(s["miss_pc"]), int(s["miss_block"]), window)
     profile.validate()
@@ -84,6 +114,7 @@ def plan_to_dict(plan: PrefetchPlan) -> dict:
     """JSON-ready representation of a prefetch plan."""
     return {
         "format": FORMAT_VERSION,
+        "schema_version": SCHEMA_VERSION,
         "kind": "prefetch_plan",
         "app_name": plan.app_name,
         "misses_targeted": plan.misses_targeted,
@@ -106,15 +137,17 @@ def plan_from_dict(data: dict) -> PrefetchPlan:
     """Rebuild a plan from :func:`plan_to_dict` output."""
     if data.get("kind") != "prefetch_plan":
         raise PlanError("not a serialized prefetch plan")
-    if data.get("format") != FORMAT_VERSION:
-        raise PlanError(f"unsupported plan format {data.get('format')!r}")
+    _check_schema_version(data, "prefetch plan", PlanError)
     plan = PrefetchPlan(
         app_name=data.get("app_name", ""),
         table=tuple(tuple(e) for e in data.get("table", [])),
         misses_targeted=int(data.get("misses_targeted", 0)),
         misses_with_site=int(data.get("misses_with_site", 0)),
     )
-    for op in data["ops"]:
+    ops = data.get("ops")
+    if ops is None:
+        raise PlanError("serialized prefetch plan has no 'ops' field")
+    for op in ops:
         plan.add_op(
             InjectionOp(
                 kind=op["kind"],
@@ -155,7 +188,11 @@ _RESULT_DICT_FIELDS = ("btb_accesses_by_kind", "btb_misses_by_kind")
 
 def result_to_dict(result: SimResult) -> dict:
     """JSON-ready representation of a simulation result."""
-    data = {"format": FORMAT_VERSION, "kind": "sim_result"}
+    data = {
+        "format": FORMAT_VERSION,
+        "schema_version": SCHEMA_VERSION,
+        "kind": "sim_result",
+    }
     for name in _RESULT_FIELDS:
         value = getattr(result, name)
         data[name] = dict(value) if name in _RESULT_DICT_FIELDS else value
@@ -166,8 +203,7 @@ def result_from_dict(data: dict) -> SimResult:
     """Rebuild a result from :func:`result_to_dict` output."""
     if not isinstance(data, dict) or data.get("kind") != "sim_result":
         raise CacheError("not a serialized sim result")
-    if data.get("format") != FORMAT_VERSION:
-        raise CacheError(f"unsupported sim result format {data.get('format')!r}")
+    _check_schema_version(data, "sim result", CacheError)
     kwargs = {}
     try:
         for name in _RESULT_FIELDS:

@@ -1,0 +1,47 @@
+"""repro.service — continuous-profiling plan server.
+
+The online half of the Twig pipeline: streaming LBR miss-sample
+ingestion (:mod:`.ingest` over :mod:`.sketch` + :mod:`.reservoir`),
+incremental verified plan builds (:mod:`.build`), and the asyncio
+serving layer with bounded queues, deadlines, shedding, and graceful
+drain (:mod:`.server`).  :mod:`.bench` drives a synthetic fleet
+against it and pins online==offline plan parity.
+"""
+
+from .build import (
+    IncrementalPlanBuilder,
+    PlanDiff,
+    PlanVersion,
+    diff_plans,
+    plan_sites,
+    plans_equivalent,
+)
+from .ingest import (
+    IngestAck,
+    IngestBuffer,
+    SampleBatch,
+    ShardKey,
+    ShardState,
+)
+from .reservoir import ReservoirSampler
+from .server import PlanService, ServiceConfig, default_workload_resolver
+from .sketch import CountMinSketch
+
+__all__ = [
+    "CountMinSketch",
+    "IncrementalPlanBuilder",
+    "IngestAck",
+    "IngestBuffer",
+    "PlanDiff",
+    "PlanService",
+    "PlanVersion",
+    "ReservoirSampler",
+    "SampleBatch",
+    "ServiceConfig",
+    "ShardKey",
+    "ShardState",
+    "default_workload_resolver",
+    "diff_plans",
+    "plan_sites",
+    "plans_equivalent",
+]

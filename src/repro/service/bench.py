@@ -1,0 +1,535 @@
+"""Synthetic fleet driver: replay sample streams against the service.
+
+The bench stands in for a fleet of profiled hosts.  For each app it
+generates a trace with the normal walker, collects the offline miss
+profile *while recording the exact arrival order of every sample*,
+then streams those samples into a running :class:`PlanService` in
+batches — one ingest client per shard, so per-shard order is
+preserved — and finally requests the served plan.
+
+Because the online path reuses :func:`repro.core.twig.build_plan`
+verbatim and the ingest fold is lossless at default settings, the
+served plan must be site-for-site identical to the offline
+``collect_profile`` → ``build_plan`` result on the same samples; the
+driver asserts exactly that (``check_parity``).  In overload mode it
+instead stresses the serving discipline: many best-effort clients, a
+tiny queue, and synthetic per-request latency provoke shedding and
+deadline expiry while the driver verifies the queue stayed bounded and
+the drain came back clean.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import sys
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..config import SimConfig, apps_from_env, int_from_env
+from ..core.twig import build_plan
+from ..errors import (
+    DeadlineExceeded,
+    ReproError,
+    ServiceClosed,
+    ServiceOverload,
+)
+from ..prefetchers.base import BaselineBTBSystem
+from ..profiling.lbr import LBRRecorder
+from ..profiling.profile import MissProfile, MissSample
+from ..telemetry.events import TelemetrySink
+from ..trace.events import Trace
+from ..trace.walker import generate_trace
+from ..uarch.sim import FrontendSimulator
+from ..workloads.apps import app_names
+from ..workloads.cfg import Workload
+from ..workloads.rng import make_rng
+from .build import plans_equivalent
+from .server import PlanService, ServiceConfig, default_workload_resolver
+
+
+class _StreamingProfile(MissProfile):
+    """A MissProfile that also records global sample arrival order."""
+
+    def __init__(self, app_name: str = "", input_label: str = ""):
+        super().__init__(app_name, input_label)
+        self.stream: List[MissSample] = []
+
+    def add_sample(self, miss_pc, miss_block, window) -> None:
+        super().add_sample(miss_pc, miss_block, window)
+        self.stream.append(
+            MissSample(miss_pc=miss_pc, miss_block=miss_block, window=window)
+        )
+
+
+def collect_sample_stream(
+    workload: Workload,
+    trace: Trace,
+    config: Optional[SimConfig] = None,
+    sample_rate: int = 1,
+) -> Tuple[MissProfile, Tuple[MissSample, ...]]:
+    """Offline profile plus the arrival-ordered sample stream behind it."""
+    cfg = config if config is not None else SimConfig()
+    profile = _StreamingProfile(
+        app_name=workload.name, input_label=trace.label
+    )
+    recorder = LBRRecorder(profile, sample_rate=sample_rate)
+    sim = FrontendSimulator(
+        workload,
+        config=cfg,
+        btb_system=BaselineBTBSystem(cfg),
+        lbr_recorder=recorder,
+    )
+    sim.run(trace, label=f"stream:{trace.label}")
+    profile.validate()
+    return profile, tuple(profile.stream)
+
+
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class FleetConfig:
+    """One bench scenario."""
+
+    apps: Tuple[str, ...] = ("wordpress", "drupal")
+    trace_instructions: int = 20_000
+    sample_rate: int = 1
+    batch_size: int = 64
+    # Serving discipline under test.
+    queue_depth: int = 64
+    deadline_ms: int = 5_000
+    reservoir: int = 1 << 20  # lossless by default -> parity holds
+    hot_threshold: int = 1
+    workers: int = 2
+    debounce_s: float = 0.0
+    synthetic_delay_s: float = 0.0
+    # Best-effort load generators (stats/plan spam), for overload runs.
+    load_clients: int = 0
+    requests_per_client: int = 8
+    load_deadline_ms: int = 250
+    seed: int = 0
+    check_parity: bool = True
+    check_plans: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.apps:
+            raise ReproError("fleet bench needs at least one app")
+        unknown = sorted(set(self.apps) - set(app_names()))
+        if unknown:
+            raise ReproError(
+                f"fleet bench names unknown app(s) {unknown}; "
+                f"choose from {sorted(app_names())}"
+            )
+        if self.batch_size <= 0:
+            raise ReproError(f"batch_size must be positive, got {self.batch_size}")
+
+
+@dataclass
+class AppBenchResult:
+    app: str
+    input_label: str
+    stream_samples: int
+    batches: int
+    ingest_retries: int
+    served_version: int
+    served_sites: int
+    parity: Optional[bool]  # None when parity checking was off
+
+
+@dataclass
+class BenchReport:
+    apps: Dict[str, AppBenchResult] = field(default_factory=dict)
+    stats: Dict = field(default_factory=dict)
+    load_ok: int = 0
+    load_shed: int = 0
+    load_expired: int = 0
+    load_closed: int = 0
+    drained_clean: bool = False
+    wall_s: float = 0.0
+
+    @property
+    def parity_ok(self) -> Optional[bool]:
+        checked = [r.parity for r in self.apps.values() if r.parity is not None]
+        if not checked:
+            return None
+        return all(checked)
+
+    @property
+    def sheds(self) -> int:
+        return int(self.stats.get("counters", {}).get("service.shed", 0))
+
+    @property
+    def deadline_expired(self) -> int:
+        return int(
+            self.stats.get("counters", {}).get("service.deadline_expired", 0)
+        )
+
+    @property
+    def max_queue_depth(self) -> int:
+        return int(self.stats.get("max_queue_depth", 0))
+
+
+# ----------------------------------------------------------------------
+async def _ingest_client(
+    service: PlanService,
+    app: str,
+    label: str,
+    stream,
+    batch_size: int,
+    seed: int,
+) -> Tuple[int, int]:
+    """Stream one shard's samples in order; retry shed/expired batches.
+
+    Retrying is exactly-once safe: a shed batch never entered the
+    queue, and an expired one is skipped by the worker (its future is
+    already cancelled), so a retry cannot double-fold samples.
+    """
+    rng = make_rng("service-bench-client", app, label, seed)
+    batches = 0
+    retries = 0
+    for start in range(0, len(stream), batch_size):
+        chunk = stream[start : start + batch_size]
+        while True:
+            try:
+                await service.ingest(app, label, chunk, seq=batches)
+                batches += 1
+                break
+            except (ServiceOverload, DeadlineExceeded):
+                retries += 1
+                await asyncio.sleep(0.002 * (0.5 + rng.random()))
+    return batches, retries
+
+
+async def _load_client(
+    service: PlanService, report: BenchReport, requests: int, deadline_ms: int
+) -> None:
+    """Best-effort stats spam; every outcome is tallied, none retried."""
+    for _ in range(requests):
+        try:
+            await service.stats(deadline_ms=deadline_ms)
+            report.load_ok += 1
+        except ServiceOverload:
+            report.load_shed += 1
+        except DeadlineExceeded:
+            report.load_expired += 1
+        except ServiceClosed:
+            report.load_closed += 1
+
+
+async def _drive(cfg: FleetConfig, telemetry: Optional[TelemetrySink]) -> BenchReport:
+    resolver = default_workload_resolver()
+    sim_cfg = SimConfig()
+
+    # Offline ground truth first: profile + arrival-ordered stream.
+    shards = {}
+    for app in cfg.apps:
+        workload = resolver(app)
+        inp = workload.spec.make_input(0)
+        trace = generate_trace(
+            workload, inp, max_instructions=cfg.trace_instructions
+        )
+        profile, stream = collect_sample_stream(
+            workload, trace, sim_cfg, sample_rate=cfg.sample_rate
+        )
+        shards[app] = (trace.label, profile, stream)
+
+    service = PlanService(
+        workload_for=resolver,
+        config=ServiceConfig(
+            queue_depth=cfg.queue_depth,
+            deadline_ms=cfg.deadline_ms,
+            reservoir_capacity=cfg.reservoir,
+            hot_threshold=cfg.hot_threshold,
+            workers=cfg.workers,
+            debounce_s=cfg.debounce_s,
+            synthetic_delay_s=cfg.synthetic_delay_s,
+            seed=cfg.seed,
+        ),
+        sim_config=sim_cfg,
+        check_plans=cfg.check_plans,
+        telemetry=telemetry,
+    )
+
+    report = BenchReport()
+    loop = asyncio.get_running_loop()
+    t0 = loop.time()
+    await service.start()
+
+    ingest_tasks = {
+        app: loop.create_task(
+            _ingest_client(service, app, label, stream, cfg.batch_size, cfg.seed)
+        )
+        for app, (label, _profile, stream) in shards.items()
+    }
+    load_tasks = [
+        loop.create_task(
+            _load_client(
+                service, report, cfg.requests_per_client, cfg.load_deadline_ms
+            )
+        )
+        for _ in range(cfg.load_clients)
+    ]
+
+    await asyncio.gather(*ingest_tasks.values())
+
+    # Every shard is fully ingested; ask for the plans a fleet host
+    # would fetch.  A generous deadline keeps overload runs honest:
+    # the final plan must still be servable after the storm.
+    for app, (label, profile, stream) in shards.items():
+        batches, retries = ingest_tasks[app].result()
+        version = await service.get_plan(app, label, deadline_ms=60_000)
+        parity: Optional[bool] = None
+        if cfg.check_parity:
+            offline = build_plan(resolver(app), profile, sim_cfg)
+            parity = plans_equivalent(version.plan, offline)
+        report.apps[app] = AppBenchResult(
+            app=app,
+            input_label=label,
+            stream_samples=len(stream),
+            batches=batches,
+            ingest_retries=retries,
+            served_version=version.version,
+            served_sites=version.plan.total_prefetch_entries(),
+            parity=parity,
+        )
+
+    await asyncio.gather(*load_tasks)
+    report.stats = await service.stop()
+    report.drained_clean = (
+        report.stats["queue_depth"] == 0
+        and not any(s["dirty"] for s in report.stats["shards"].values())
+    )
+    report.wall_s = loop.time() - t0
+    return report
+
+
+def run_fleet(
+    cfg: FleetConfig, telemetry: Optional[TelemetrySink] = None
+) -> BenchReport:
+    """Run one bench scenario to completion (creates its own loop)."""
+    return asyncio.run(_drive(cfg, telemetry))
+
+
+# ----------------------------------------------------------------------
+def format_bench_report(report: BenchReport) -> str:
+    lines: List[str] = []
+    out = lines.append
+    out("service bench report")
+    out("====================")
+    out("")
+    out("per-shard (streamed -> served)")
+    for app in sorted(report.apps):
+        r = report.apps[app]
+        parity = "n/a" if r.parity is None else ("OK" if r.parity else "MISMATCH")
+        out(
+            f"  {app:16s} samples={r.stream_samples:<6d} "
+            f"batches={r.batches:<4d} retries={r.ingest_retries:<4d} "
+            f"plan v{r.served_version} sites={r.served_sites:<5d} "
+            f"parity={parity}"
+        )
+    counters = report.stats.get("counters", {})
+    out("")
+    out(
+        f"service: {int(counters.get('service.requests', 0))} requests, "
+        f"{report.sheds} shed, {report.deadline_expired} deadline-expired, "
+        f"{int(counters.get('service.builds', 0))} builds "
+        f"(+{int(counters.get('service.build_retries', 0))} retries), "
+        f"churn={int(counters.get('service.plan_churn', 0))}"
+    )
+    out(
+        f"queue: depth bound {report.max_queue_depth}, "
+        f"drain {'clean' if report.drained_clean else 'DIRTY'}"
+    )
+    if report.load_ok or report.load_shed or report.load_expired or report.load_closed:
+        out(
+            f"load clients: {report.load_ok} ok, {report.load_shed} shed, "
+            f"{report.load_expired} expired, {report.load_closed} after-close"
+        )
+    out(f"wall: {report.wall_s:.2f}s")
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# CLI entry points (python -m repro.experiments serve / service-bench,
+# tools/service_bench.py)
+# ----------------------------------------------------------------------
+def _add_common_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--apps",
+        default=None,
+        help="comma-separated app subset (default: $REPRO_APPS or wordpress,drupal)",
+    )
+    parser.add_argument(
+        "--trace-instructions",
+        type=int,
+        default=None,
+        help="trace length per app (default: $REPRO_TRACE_INSTRUCTIONS or 20000)",
+    )
+    parser.add_argument("--batch-size", type=int, default=64)
+    parser.add_argument("--queue-depth", type=int, default=64)
+    parser.add_argument("--deadline-ms", type=int, default=5000)
+    parser.add_argument("--reservoir", type=int, default=1 << 20)
+    parser.add_argument("--hot-threshold", type=int, default=1)
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--no-check-plans",
+        action="store_true",
+        help="skip the staticcheck publish gate",
+    )
+    parser.add_argument(
+        "--telemetry",
+        default=None,
+        metavar="PATH",
+        help="append service telemetry JSONL events to PATH",
+    )
+
+
+def _resolve_apps(raw: Optional[str]) -> Tuple[str, ...]:
+    if raw:
+        return tuple(a.strip() for a in raw.split(",") if a.strip())
+    env = apps_from_env()
+    if env is not None:
+        return env
+    return ("wordpress", "drupal")
+
+
+def _make_sink(path: Optional[str]) -> Optional[TelemetrySink]:
+    return TelemetrySink(path) if path else None
+
+
+def service_bench_main(argv=None) -> int:
+    """``service-bench``: the configurable fleet stress driver."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments service-bench",
+        description="Replay synthetic LBR sample streams against the plan "
+        "service and report shedding/deadline/drain behaviour.",
+    )
+    _add_common_args(parser)
+    parser.add_argument(
+        "--clients",
+        type=int,
+        default=0,
+        help="best-effort load clients spamming stats requests",
+    )
+    parser.add_argument(
+        "--requests", type=int, default=8, help="requests per load client"
+    )
+    parser.add_argument("--load-deadline-ms", type=int, default=250)
+    parser.add_argument(
+        "--synthetic-delay-ms",
+        type=int,
+        default=0,
+        help="artificial per-request latency (non-ingest), to provoke backlog",
+    )
+    parser.add_argument(
+        "--overload",
+        action="store_true",
+        help="preset: tiny queue, 1 worker, synthetic latency, many clients",
+    )
+    parser.add_argument(
+        "--no-check-parity",
+        action="store_true",
+        help="skip the online==offline plan parity assertion",
+    )
+    parser.add_argument(
+        "--expect-sheds",
+        action="store_true",
+        help="exit nonzero unless the run shed at least one request",
+    )
+    args = parser.parse_args(argv)
+
+    queue_depth = args.queue_depth
+    workers = args.workers
+    clients = args.clients
+    delay_s = args.synthetic_delay_ms / 1000.0
+    if args.overload:
+        queue_depth = min(queue_depth, 4)
+        workers = 1
+        clients = max(clients, 6 * queue_depth)
+        delay_s = max(delay_s, 0.02)
+
+    try:
+        cfg = FleetConfig(
+            apps=_resolve_apps(args.apps),
+            trace_instructions=(
+                args.trace_instructions
+                if args.trace_instructions is not None
+                else int_from_env("REPRO_TRACE_INSTRUCTIONS", 20_000)
+            ),
+            batch_size=args.batch_size,
+            queue_depth=queue_depth,
+            deadline_ms=args.deadline_ms,
+            reservoir=args.reservoir,
+            hot_threshold=args.hot_threshold,
+            workers=workers,
+            synthetic_delay_s=delay_s,
+            load_clients=clients,
+            requests_per_client=args.requests,
+            load_deadline_ms=args.load_deadline_ms,
+            seed=args.seed,
+            check_parity=not args.no_check_parity,
+            check_plans=not args.no_check_plans,
+        )
+        sink = _make_sink(args.telemetry)
+        report = run_fleet(cfg, telemetry=sink)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if sink is not None:
+        sink.emit_summary()
+        sink.close()
+    print(format_bench_report(report))
+    if cfg.check_parity and report.parity_ok is False:
+        print("error: served plans diverged from the offline pipeline",
+              file=sys.stderr)
+        return 1
+    if not report.drained_clean:
+        print("error: service did not drain cleanly", file=sys.stderr)
+        return 1
+    if args.expect_sheds and report.sheds == 0:
+        print("error: --expect-sheds but no request was shed", file=sys.stderr)
+        return 1
+    return 0
+
+
+def serve_main(argv=None) -> int:
+    """``serve``: a one-shot demo session of the plan service.
+
+    Streams every requested app's samples through a running service
+    with gentle settings, prints the served plans, and drains.
+    """
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments serve",
+        description="Run a demo plan-service session: stream profiles in, "
+        "serve verified plans back, drain gracefully.",
+    )
+    _add_common_args(parser)
+    args = parser.parse_args(argv)
+    try:
+        cfg = FleetConfig(
+            apps=_resolve_apps(args.apps),
+            trace_instructions=(
+                args.trace_instructions
+                if args.trace_instructions is not None
+                else int_from_env("REPRO_TRACE_INSTRUCTIONS", 20_000)
+            ),
+            batch_size=args.batch_size,
+            queue_depth=args.queue_depth,
+            deadline_ms=args.deadline_ms,
+            reservoir=args.reservoir,
+            hot_threshold=args.hot_threshold,
+            workers=args.workers,
+            seed=args.seed,
+            check_parity=True,
+            check_plans=not args.no_check_plans,
+        )
+        sink = _make_sink(args.telemetry)
+        report = run_fleet(cfg, telemetry=sink)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if sink is not None:
+        sink.emit_summary()
+        sink.close()
+    print(format_bench_report(report))
+    return 0 if report.parity_ok is not False and report.drained_clean else 1

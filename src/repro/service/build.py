@@ -1,0 +1,189 @@
+"""Incremental plan builds with versioning and a publish gate.
+
+The :class:`IncrementalPlanBuilder` turns a dirty shard's folded
+profile into a fresh :class:`~repro.core.plan.PrefetchPlan` via the
+same :func:`repro.core.twig.build_plan` the offline pipeline uses —
+the online path adds *no* analysis of its own, which is what makes
+online/offline parity a theorem rather than a hope.
+
+Around each build it layers the serving concerns:
+
+* **publish gate** — every candidate plan runs through
+  :func:`repro.staticcheck.verify_plan`; error-severity findings keep
+  the plan unpublished (:class:`~repro.errors.PlanError`), so a
+  corrupted build can never reach a client;
+* **versioning** — published plans carry a monotonically increasing
+  per-shard version plus the shard generation they cover;
+* **plan diff** — a structured delta (sites added / dropped /
+  retargeted) between consecutive versions, the churn signal operators
+  watch when a fleet's behaviour drifts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+from ..config import SimConfig
+from ..core.plan import PrefetchPlan
+from ..core.twig import build_plan
+from ..errors import PlanError
+from ..workloads.cfg import Workload
+from .ingest import ShardKey, ShardState
+
+# One prefetch site: (injection block, branch PC); its payload is the
+# (target, kind_code) the injected op installs for that branch.
+Site = Tuple[int, int]
+Payload = Tuple[Tuple[int, int], ...]
+
+
+def plan_sites(plan: PrefetchPlan) -> Dict[Site, Payload]:
+    """Flatten a plan to {(inject block, branch pc): sorted payloads}."""
+    sites: Dict[Site, list] = {}
+    for block, ops in plan.ops_by_block.items():
+        for op in ops:
+            for branch_pc, target, kcode in op.entries:
+                sites.setdefault((block, branch_pc), []).append((target, kcode))
+    return {site: tuple(sorted(payload)) for site, payload in sites.items()}
+
+
+@dataclass(frozen=True)
+class PlanDiff:
+    """Structured delta between two consecutive plan versions."""
+
+    added: Tuple[Site, ...]
+    dropped: Tuple[Site, ...]
+    retargeted: Tuple[Site, ...]
+
+    @property
+    def churn(self) -> int:
+        return len(self.added) + len(self.dropped) + len(self.retargeted)
+
+    def describe(self) -> str:
+        return (
+            f"+{len(self.added)} sites, -{len(self.dropped)} sites, "
+            f"~{len(self.retargeted)} retargeted"
+        )
+
+
+def diff_plans(old: Optional[PrefetchPlan], new: PrefetchPlan) -> PlanDiff:
+    """Site-level delta from *old* to *new* (old=None diffs from empty)."""
+    old_sites = plan_sites(old) if old is not None else {}
+    new_sites = plan_sites(new)
+    added = tuple(sorted(s for s in new_sites if s not in old_sites))
+    dropped = tuple(sorted(s for s in old_sites if s not in new_sites))
+    retargeted = tuple(
+        sorted(
+            s
+            for s in new_sites
+            if s in old_sites and new_sites[s] != old_sites[s]
+        )
+    )
+    return PlanDiff(added=added, dropped=dropped, retargeted=retargeted)
+
+
+def plans_equivalent(a: PrefetchPlan, b: PrefetchPlan) -> bool:
+    """Site-for-site equality: same sites, payloads, and table."""
+    return plan_sites(a) == plan_sites(b) and a.table == b.table
+
+
+@dataclass(frozen=True)
+class PlanVersion:
+    """One published plan plus its provenance."""
+
+    key: ShardKey
+    version: int
+    generation: int  # shard generation the build covered
+    samples: int  # retained samples the plan was built from
+    plan: PrefetchPlan
+    diff: PlanDiff
+    checked: bool  # went through the staticcheck publish gate
+
+
+class IncrementalPlanBuilder:
+    """Shard profile -> verified, versioned plan."""
+
+    def __init__(
+        self,
+        workload_for: Callable[[str], Workload],
+        config: Optional[SimConfig] = None,
+        check_plans: bool = True,
+        telemetry=None,
+    ):
+        self._workload_for = workload_for
+        self.config = config if config is not None else SimConfig()
+        self.check_plans = check_plans
+        self.telemetry = telemetry
+        self._latest: Dict[ShardKey, PlanVersion] = {}
+        self._graphs: Dict[str, object] = {}
+        # Test/ops hook: invoked on the freshly built plan before the
+        # publish gate; lets harnesses inject corruption or latency.
+        self.post_build_hook: Optional[Callable[[PrefetchPlan], None]] = None
+
+    # ------------------------------------------------------------------
+    def latest(self, key: ShardKey) -> Optional[PlanVersion]:
+        return self._latest.get(key)
+
+    def versions(self) -> Dict[ShardKey, int]:
+        return {k: v.version for k, v in self._latest.items()}
+
+    def build(self, shard: ShardState) -> PlanVersion:
+        """Build, verify, and publish a plan for *shard*'s current state.
+
+        Raises :class:`~repro.errors.PlanError` when the publish gate
+        rejects the candidate; the previously published version (if
+        any) stays current in that case.
+        """
+        app, _label = shard.key
+        generation = shard.generation
+        profile = shard.fold()
+        workload = self._workload_for(app)
+        tel = self.telemetry
+        if tel is not None:
+            with tel.span("service_build", app=app, input=shard.key[1]):
+                plan = build_plan(workload, profile, self.config)
+        else:
+            plan = build_plan(workload, profile, self.config)
+        if self.post_build_hook is not None:
+            self.post_build_hook(plan)
+        if self.check_plans:
+            self._verify(app, plan, workload)
+
+        prev = self._latest.get(shard.key)
+        version = PlanVersion(
+            key=shard.key,
+            version=(prev.version + 1) if prev is not None else 1,
+            generation=generation,
+            samples=len(profile),
+            plan=plan,
+            diff=diff_plans(prev.plan if prev is not None else None, plan),
+            checked=self.check_plans,
+        )
+        self._latest[shard.key] = version
+        shard.built_generation = generation
+        return version
+
+    # ------------------------------------------------------------------
+    def _verify(self, app: str, plan: PrefetchPlan, workload: Workload) -> None:
+        """The staticcheck publish gate (mirrors the runner's)."""
+        from ..staticcheck import BlockGraph, verify_plan
+        from ..staticcheck.findings import Severity, render_text
+
+        graph = self._graphs.get(app)
+        if graph is None:
+            graph = BlockGraph(
+                workload, fetch_width_bytes=self.config.core.fetch_width_bytes
+            )
+            self._graphs[app] = graph
+        tel = self.telemetry
+        if tel is not None:
+            with tel.span("service_check", app=app):
+                findings = verify_plan(plan, workload, self.config, graph=graph)
+        else:
+            findings = verify_plan(plan, workload, self.config, graph=graph)
+        errors = [f for f in findings if f.severity is Severity.ERROR]
+        if errors:
+            raise PlanError(
+                f"publish gate rejected the plan for {app!r}:\n"
+                + render_text(errors)
+            )

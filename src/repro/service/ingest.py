@@ -1,0 +1,209 @@
+"""Streaming LBR-sample ingestion (the service's write path).
+
+Fleet profilers ship :class:`SampleBatch` objects — a few hundred BTB
+miss samples tagged with their (app, input) shard.  The
+:class:`IngestBuffer` folds each batch into per-shard state:
+
+* a :class:`~repro.service.sketch.CountMinSketch` counts miss-PC
+  occurrences so a hotness threshold can pre-filter cold branches in
+  O(1) space (``hot_threshold=1``, the default, admits everything and
+  keeps the fold lossless);
+* a :class:`~repro.service.reservoir.ReservoirSampler` bounds retained
+  samples per shard, so an unbounded stream folds into a bounded
+  :class:`~repro.profiling.profile.MissProfile`.
+
+``fold()`` materializes the reservoir as a ``MissProfile`` in retained
+order; when the reservoir never overflowed and the filter admitted
+everything, that profile is sample-for-sample identical to what the
+offline :func:`~repro.profiling.collector.collect_profile` produced on
+the same stream — the property the parity tests pin.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import ServiceError
+from ..profiling.profile import MissProfile, MissSample
+from .reservoir import ReservoirSampler
+from .sketch import CountMinSketch
+
+# A shard is one (app, input) profiling population.
+ShardKey = Tuple[str, str]
+
+
+@dataclass(frozen=True)
+class SampleBatch:
+    """One profiler shipment: miss samples for a single shard."""
+
+    app_name: str
+    input_label: str
+    samples: Tuple[MissSample, ...]
+    # Client-side sequence number; bookkeeping only.
+    seq: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.app_name:
+            raise ServiceError("sample batch needs a non-empty app_name")
+        if not self.input_label:
+            raise ServiceError("sample batch needs a non-empty input_label")
+        if not self.samples:
+            raise ServiceError("sample batch carries no samples")
+
+    @property
+    def key(self) -> ShardKey:
+        return (self.app_name, self.input_label)
+
+
+@dataclass
+class ShardCounters:
+    """Ingest accounting for one shard."""
+
+    batches: int = 0
+    received: int = 0
+    admitted: int = 0
+    filtered: int = 0  # shed by the hotness pre-filter
+    dropped: int = 0  # offered but not retained (reservoir overflow)
+
+
+class ShardState:
+    """Bounded stream state for one (app, input) shard."""
+
+    def __init__(
+        self,
+        key: ShardKey,
+        reservoir_capacity: int,
+        hot_threshold: int = 1,
+        sketch_width: int = 1024,
+        sketch_depth: int = 4,
+        seed: int = 0,
+    ):
+        if hot_threshold < 1:
+            raise ServiceError(
+                f"hot_threshold must be >= 1, got {hot_threshold}"
+            )
+        self.key = key
+        self.hot_threshold = hot_threshold
+        self.sketch = CountMinSketch(sketch_width, sketch_depth, seed=seed)
+        self.reservoir: ReservoirSampler[MissSample] = ReservoirSampler(
+            reservoir_capacity, key, seed
+        )
+        self.counters = ShardCounters()
+        # Bumps on every absorbed batch; the builder records which
+        # generation a published plan covers, so dirtiness is just a
+        # generation comparison.
+        self.generation = 0
+        self.built_generation = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def dirty(self) -> bool:
+        """Samples arrived since the last published plan build."""
+        return self.generation > self.built_generation
+
+    def absorb(self, batch: SampleBatch) -> ShardCounters:
+        """Fold one batch into the sketch + reservoir; returns counters."""
+        if batch.key != self.key:
+            raise ServiceError(
+                f"batch for shard {batch.key} routed to shard {self.key}"
+            )
+        c = self.counters
+        c.batches += 1
+        for sample in batch.samples:
+            c.received += 1
+            # Count first, then gate: with threshold 1 every sample is
+            # admitted on sight, so the default configuration is
+            # lossless.  Higher thresholds deliberately drop the first
+            # (threshold - 1) occurrences of each branch.
+            if self.sketch.update(sample.miss_pc) < self.hot_threshold:
+                c.filtered += 1
+                continue
+            if self.reservoir.offer(sample):
+                c.admitted += 1
+            else:
+                c.dropped += 1
+        self.generation += 1
+        return c
+
+    def fold(self) -> MissProfile:
+        """The retained samples as a :class:`MissProfile` (retained order)."""
+        app, label = self.key
+        profile = MissProfile(app_name=app, input_label=label)
+        for s in self.reservoir.items:
+            profile.add_sample(s.miss_pc, s.miss_block, s.window)
+        profile.validate()
+        return profile
+
+
+@dataclass(frozen=True)
+class IngestAck:
+    """What the service tells a profiler about its batch."""
+
+    key: ShardKey
+    generation: int
+    received: int
+    admitted: int
+    filtered: int
+    dropped: int
+
+
+class IngestBuffer:
+    """All shard states plus the routing/fold entry points."""
+
+    def __init__(
+        self,
+        reservoir_capacity: int,
+        hot_threshold: int = 1,
+        sketch_width: int = 1024,
+        sketch_depth: int = 4,
+        seed: int = 0,
+    ):
+        self.reservoir_capacity = reservoir_capacity
+        self.hot_threshold = hot_threshold
+        self.sketch_width = sketch_width
+        self.sketch_depth = sketch_depth
+        self.seed = seed
+        self._shards: Dict[ShardKey, ShardState] = {}
+
+    # ------------------------------------------------------------------
+    def shard(self, key: ShardKey) -> ShardState:
+        """The shard for *key*, creating it on first contact."""
+        state = self._shards.get(key)
+        if state is None:
+            state = ShardState(
+                key,
+                self.reservoir_capacity,
+                hot_threshold=self.hot_threshold,
+                sketch_width=self.sketch_width,
+                sketch_depth=self.sketch_depth,
+                seed=self.seed,
+            )
+            self._shards[key] = state
+        return state
+
+    def get(self, key: ShardKey) -> Optional[ShardState]:
+        return self._shards.get(key)
+
+    def ingest(self, batch: SampleBatch) -> IngestAck:
+        """Route one batch to its shard and fold it in."""
+        state = self.shard(batch.key)
+        before = state.counters
+        prev = (before.received, before.admitted, before.filtered, before.dropped)
+        after = state.absorb(batch)
+        return IngestAck(
+            key=state.key,
+            generation=state.generation,
+            received=after.received - prev[0],
+            admitted=after.admitted - prev[1],
+            filtered=after.filtered - prev[2],
+            dropped=after.dropped - prev[3],
+        )
+
+    def keys(self) -> List[ShardKey]:
+        """All known shards, in first-contact order."""
+        return list(self._shards)
+
+    def dirty_keys(self) -> List[ShardKey]:
+        """Shards with samples newer than their last plan build."""
+        return [k for k, s in self._shards.items() if s.dirty]

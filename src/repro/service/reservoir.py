@@ -1,0 +1,67 @@
+"""Deterministic seeded reservoir sampling.
+
+Algorithm R keeps a uniform sample of a stream in bounded memory: the
+first ``capacity`` items are kept verbatim (and in arrival order —
+this is what makes lossless online/offline parity possible when the
+reservoir is sized at or above the stream), and each later item
+replaces a uniformly-chosen slot with probability ``capacity / seen``.
+
+The replacement RNG is seeded through
+:func:`repro.workloads.rng.make_rng` from the shard identity, so two
+services fed the same stream hold byte-identical reservoirs — the
+sampling decision is part of the reproducible pipeline, not ambient
+randomness.
+"""
+
+from __future__ import annotations
+
+from typing import Generic, List, TypeVar
+
+from ..errors import ServiceError
+from ..workloads.rng import make_rng
+
+T = TypeVar("T")
+
+
+class ReservoirSampler(Generic[T]):
+    """Bounded uniform sample of an unbounded stream (Algorithm R)."""
+
+    __slots__ = ("capacity", "items", "seen", "evicted", "_rng")
+
+    def __init__(self, capacity: int, *seed_parts: object):
+        if capacity <= 0:
+            raise ServiceError(
+                f"reservoir capacity must be positive, got {capacity}"
+            )
+        self.capacity = capacity
+        self.items: List[T] = []
+        self.seen = 0
+        self.evicted = 0
+        self._rng = make_rng("service-reservoir", capacity, *seed_parts)
+
+    # ------------------------------------------------------------------
+    def offer(self, item: T) -> bool:
+        """Present one stream item; returns True when it was retained.
+
+        While the stream fits, items append in arrival order and the
+        RNG is never consumed — the under-capacity reservoir is exactly
+        the stream prefix, which the parity tests rely on.
+        """
+        self.seen += 1
+        if len(self.items) < self.capacity:
+            self.items.append(item)
+            return True
+        slot = self._rng.randrange(self.seen)
+        if slot < self.capacity:
+            self.items[slot] = item
+            self.evicted += 1
+            return True
+        return False
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    @property
+    def overflowed(self) -> bool:
+        """True once the stream outgrew the reservoir (sample is lossy)."""
+        return self.seen > self.capacity

@@ -1,0 +1,499 @@
+"""Async plan server: bounded queues, deadlines, shedding, drain.
+
+:class:`PlanService` is the in-process front end of the continuous
+profiling loop.  Profiler clients ``ingest()`` sample batches; fleet
+hosts ``get_plan()`` the latest verified plan for their shard.  The
+transport is an :class:`asyncio.Queue` rather than a socket — the
+subsystem under study is the serving *discipline*, which is identical
+either way:
+
+* **bounded queue / load shedding** — the request queue holds at most
+  ``queue_depth`` entries; an arrival that finds it full is shed
+  immediately (:class:`~repro.errors.ServiceOverload`), so memory and
+  tail latency stay bounded no matter the offered load;
+* **deadlines** — every request carries a budget covering queue wait
+  plus processing; a request that misses it fails with
+  :class:`~repro.errors.DeadlineExceeded`, and if it is still queued
+  when a worker reaches it, the worker skips the corpse;
+* **retry with jittered backoff** — transient build failures
+  (:class:`~repro.errors.TransientBuildError`) are retried up to
+  ``build_retries`` times with seeded exponential-backoff jitter;
+* **graceful drain** — ``stop()`` stops intake, lets workers finish
+  the queued backlog, then force-builds any still-dirty shards so the
+  last samples of a session are never stranded unpublished.
+
+Ingest processing is deliberately synchronous between dequeue and
+acknowledge (no ``await`` points), so batches for one shard fold in
+exactly queue order — the ordering half of online/offline parity.
+
+Everything observable flows through a
+:class:`~repro.telemetry.metrics.MetricsRegistry` (queue depth and
+high-water gauges, shed/deadline/build/churn counters, per-kind
+request timers) and, when a :class:`~repro.telemetry.events.TelemetrySink`
+is attached, JSONL spans for ingest/build/check plus a final drain
+event.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from ..config import (
+    ConfigError,
+    SimConfig,
+    service_deadline_ms_from_env,
+    service_queue_depth_from_env,
+    service_reservoir_from_env,
+)
+from ..errors import (
+    DeadlineExceeded,
+    ReproError,
+    ServiceClosed,
+    ServiceError,
+    ServiceOverload,
+    TransientBuildError,
+)
+from ..profiling.profile import MissSample
+from ..telemetry.metrics import MetricsRegistry
+from ..workloads.apps import get_app
+from ..workloads.cfg import Workload, build_workload
+from ..workloads.rng import make_rng
+from .build import IncrementalPlanBuilder, PlanVersion
+from .ingest import IngestBuffer, SampleBatch, ShardKey
+
+_SENTINEL = object()
+
+
+def default_workload_resolver(seed: int = 0) -> Callable[[str], Workload]:
+    """App name -> built workload, memoized (same seed as the runner)."""
+    cache: Dict[str, Workload] = {}
+
+    def resolve(app: str) -> Workload:
+        workload = cache.get(app)
+        if workload is None:
+            workload = build_workload(get_app(app), seed=seed)
+            cache[app] = workload
+        return workload
+
+    return resolve
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Serving-discipline knobs (env-backed where a knob exists)."""
+
+    queue_depth: int = field(default_factory=service_queue_depth_from_env)
+    deadline_ms: int = field(default_factory=service_deadline_ms_from_env)
+    reservoir_capacity: int = field(default_factory=service_reservoir_from_env)
+    # Hot-branch pre-filter threshold; 1 admits every sample (lossless).
+    hot_threshold: int = 1
+    workers: int = 2
+    # Trailing debounce before a background rebuild of a dirty shard;
+    # every new batch re-arms the timer.  0 rebuilds eagerly.
+    debounce_s: float = 0.05
+    build_retries: int = 2
+    backoff_base_s: float = 0.01
+    # Bench-only: artificial processing latency for non-ingest requests,
+    # used to provoke queue pressure deterministically.
+    synthetic_delay_s: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.queue_depth <= 0:
+            raise ConfigError(f"queue_depth must be positive, got {self.queue_depth}")
+        if self.deadline_ms <= 0:
+            raise ConfigError(f"deadline_ms must be positive, got {self.deadline_ms}")
+        if self.reservoir_capacity <= 0:
+            raise ConfigError(
+                f"reservoir_capacity must be positive, got {self.reservoir_capacity}"
+            )
+        if self.hot_threshold < 1:
+            raise ConfigError(f"hot_threshold must be >= 1, got {self.hot_threshold}")
+        if self.workers <= 0:
+            raise ConfigError(f"workers must be positive, got {self.workers}")
+        if self.debounce_s < 0:
+            raise ConfigError(f"debounce_s must be >= 0, got {self.debounce_s}")
+        if self.build_retries < 0:
+            raise ConfigError(f"build_retries must be >= 0, got {self.build_retries}")
+        if self.backoff_base_s < 0:
+            raise ConfigError(f"backoff_base_s must be >= 0, got {self.backoff_base_s}")
+        if self.synthetic_delay_s < 0:
+            raise ConfigError(
+                f"synthetic_delay_s must be >= 0, got {self.synthetic_delay_s}"
+            )
+
+
+@dataclass
+class _Request:
+    kind: str
+    payload: object
+    future: asyncio.Future
+    enqueued_at: float
+
+
+class PlanService:
+    """The asyncio plan server (in-process transport)."""
+
+    def __init__(
+        self,
+        workload_for: Optional[Callable[[str], Workload]] = None,
+        config: Optional[ServiceConfig] = None,
+        sim_config: Optional[SimConfig] = None,
+        check_plans: bool = True,
+        telemetry=None,
+    ):
+        self.config = config if config is not None else ServiceConfig()
+        self.telemetry = telemetry
+        # With a sink attached its registry is the service's registry,
+        # so drain summaries and external reports see one namespace.
+        self.metrics: MetricsRegistry = (
+            telemetry.registry if telemetry is not None else MetricsRegistry()
+        )
+        self.buffer = IngestBuffer(
+            reservoir_capacity=self.config.reservoir_capacity,
+            hot_threshold=self.config.hot_threshold,
+            seed=self.config.seed,
+        )
+        self.builder = IncrementalPlanBuilder(
+            workload_for if workload_for is not None else default_workload_resolver(),
+            config=sim_config,
+            check_plans=check_plans,
+            telemetry=telemetry,
+        )
+        self._backoff_rng = make_rng("service-backoff", self.config.seed)
+        self._queue: Optional[asyncio.Queue] = None
+        self._workers: List[asyncio.Task] = []
+        self._debounce: Dict[ShardKey, asyncio.Task] = {}
+        self._build_locks: Dict[ShardKey, asyncio.Lock] = {}
+        self._last_build_error: Dict[ShardKey, str] = {}
+        self._started = False
+        self._closed = False
+        self.max_queue_depth = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> "PlanService":
+        if self._started:
+            raise ServiceError("service already started")
+        self._queue = asyncio.Queue(maxsize=self.config.queue_depth)
+        self._workers = [
+            asyncio.get_running_loop().create_task(self._worker())
+            for _ in range(self.config.workers)
+        ]
+        self._started = True
+        self._closed = False
+        return self
+
+    async def stop(self) -> Dict:
+        """Graceful drain: finish the backlog, publish dirty shards.
+
+        Returns the final stats snapshot.  Worker crashes (non-repro
+        bugs) surface here rather than hanging the drain.
+        """
+        if not self._started:
+            raise ServiceError("service not started")
+        self._closed = True
+        # Sentinels queue *behind* the remaining backlog, so each
+        # worker drains FIFO until it meets one.
+        for _ in self._workers:
+            await self._queue.put(_SENTINEL)
+        await asyncio.gather(*self._workers)
+        self._workers = []
+        # Kill pending debounce timers; their shards get a final
+        # synchronous build below, so nothing is lost.
+        for task in list(self._debounce.values()):
+            task.cancel()
+        for task in list(self._debounce.values()):
+            try:
+                await task
+            except asyncio.CancelledError:
+                pass
+        self._debounce.clear()
+        for key in self.buffer.dirty_keys():
+            shard = self.buffer.get(key)
+            try:
+                version = self.builder.build(shard)
+            except ReproError as exc:
+                self.metrics.inc("service.drain_build_failures")
+                self._last_build_error[key] = str(exc)
+            else:
+                self._note_published(version)
+                self.metrics.inc("service.drain_builds")
+        self._started = False
+        self.metrics.set_gauge("service.queue_depth", 0)
+        snapshot = self.stats_snapshot()
+        if self.telemetry is not None:
+            self.telemetry.emit("service_drain", stats=snapshot)
+        return snapshot
+
+    async def __aenter__(self) -> "PlanService":
+        return await self.start()
+
+    async def __aexit__(self, exc_type, exc, tb) -> None:
+        if self._started:
+            await self.stop()
+
+    # ------------------------------------------------------------------
+    # Client API
+    # ------------------------------------------------------------------
+    async def ingest(
+        self,
+        app_name: str,
+        input_label: str,
+        samples,
+        seq: int = 0,
+        deadline_ms: Optional[int] = None,
+    ):
+        """Submit one sample batch; returns the shard's IngestAck."""
+        batch = SampleBatch(
+            app_name=app_name,
+            input_label=input_label,
+            samples=tuple(
+                s if isinstance(s, MissSample) else MissSample(*s) for s in samples
+            ),
+            seq=seq,
+        )
+        return await self.request("ingest", batch, deadline_ms=deadline_ms)
+
+    async def get_plan(
+        self, app_name: str, input_label: str, deadline_ms: Optional[int] = None
+    ) -> PlanVersion:
+        """The latest verified plan for a shard (building if dirty)."""
+        return await self.request(
+            "plan", (app_name, input_label), deadline_ms=deadline_ms
+        )
+
+    async def stats(self, deadline_ms: Optional[int] = None) -> Dict:
+        """Operational snapshot, served through the request queue."""
+        return await self.request("stats", None, deadline_ms=deadline_ms)
+
+    # ------------------------------------------------------------------
+    async def request(self, kind: str, payload, deadline_ms: Optional[int] = None):
+        """Enqueue one request and await its response under a deadline."""
+        if not self._started:
+            raise ServiceError("service not started; call start() first")
+        if self._closed:
+            raise ServiceClosed("service is draining; no new requests accepted")
+        loop = asyncio.get_running_loop()
+        req = _Request(kind, payload, loop.create_future(), loop.time())
+        try:
+            self._queue.put_nowait(req)
+        except asyncio.QueueFull:
+            self.metrics.inc("service.shed")
+            raise ServiceOverload(
+                f"request queue full (depth {self.config.queue_depth}); "
+                f"{kind} request shed"
+            ) from None
+        self.metrics.inc("service.requests")
+        self.metrics.inc(f"service.requests.{kind}")
+        self._note_queue_depth()
+        budget_ms = self.config.deadline_ms if deadline_ms is None else deadline_ms
+        try:
+            result = await asyncio.wait_for(req.future, budget_ms / 1000.0)
+        except asyncio.TimeoutError:
+            self.metrics.inc("service.deadline_expired")
+            raise DeadlineExceeded(
+                f"{kind} request missed its {budget_ms}ms deadline"
+            ) from None
+        self.metrics.add_time(f"service.request.{kind}", loop.time() - req.enqueued_at)
+        return result
+
+    # ------------------------------------------------------------------
+    # Workers
+    # ------------------------------------------------------------------
+    async def _worker(self) -> None:
+        queue = self._queue
+        while True:
+            req = await queue.get()
+            if req is _SENTINEL:
+                queue.task_done()
+                return
+            self._note_queue_depth()
+            if req.future.done():
+                # Deadline expired (and cancelled the future) while the
+                # request sat in the queue; don't spend work on a corpse.
+                self.metrics.inc("service.expired_in_queue")
+                queue.task_done()
+                continue
+            try:
+                if self.config.synthetic_delay_s > 0 and req.kind != "ingest":
+                    await asyncio.sleep(self.config.synthetic_delay_s)
+                result = await self._process(req)
+            except ReproError as exc:
+                if not req.future.done():
+                    req.future.set_exception(exc)
+                else:
+                    # The client's deadline already fired; nobody is
+                    # waiting for this failure, but it still counts.
+                    del exc
+                    self.metrics.inc("service.failed_after_expiry")
+                queue.task_done()
+            else:
+                if not req.future.done():
+                    req.future.set_result(result)
+                queue.task_done()
+
+    async def _process(self, req: _Request):
+        if req.kind == "ingest":
+            return self._process_ingest(req.payload)
+        if req.kind == "plan":
+            app_name, input_label = req.payload
+            return await self._serve_plan((app_name, input_label))
+        if req.kind == "stats":
+            return self.stats_snapshot()
+        raise ServiceError(f"unknown request kind {req.kind!r}")
+
+    def _process_ingest(self, batch: SampleBatch):
+        """Fold one batch in; synchronous so shard order == queue order."""
+        tel = self.telemetry
+        if tel is not None:
+            with tel.span(
+                "service_ingest", app=batch.app_name, input=batch.input_label
+            ):
+                ack = self.buffer.ingest(batch)
+        else:
+            ack = self.buffer.ingest(batch)
+        reg = self.metrics
+        reg.inc("service.ingest_batches")
+        reg.inc("service.samples_received", ack.received)
+        reg.inc("service.samples_admitted", ack.admitted)
+        reg.inc("service.samples_filtered", ack.filtered)
+        reg.inc("service.samples_dropped", ack.dropped)
+        self._arm_debounce(ack.key)
+        return ack
+
+    async def _serve_plan(self, key: ShardKey) -> PlanVersion:
+        shard = self.buffer.get(key)
+        if shard is None:
+            raise ServiceError(
+                f"no samples ingested for shard {key}; nothing to plan"
+            )
+        # Read-your-writes: a plan request on a dirty shard rebuilds
+        # now instead of waiting out the debounce.
+        return await self._build_shard(key)
+
+    # ------------------------------------------------------------------
+    # Builds
+    # ------------------------------------------------------------------
+    def _arm_debounce(self, key: ShardKey) -> None:
+        """(Re-)schedule the trailing-debounce background rebuild."""
+        pending = self._debounce.get(key)
+        if pending is not None and not pending.done():
+            pending.cancel()
+        loop = asyncio.get_running_loop()
+        self._debounce[key] = loop.create_task(self._debounced_build(key))
+
+    async def _debounced_build(self, key: ShardKey) -> None:
+        if self.config.debounce_s > 0:
+            await asyncio.sleep(self.config.debounce_s)
+        try:
+            await self._build_shard(key)
+        except ReproError as exc:
+            # Background rebuilds have no caller to fail; record the
+            # rejection for stats and keep the last good version live.
+            self.metrics.inc("service.background_build_failures")
+            self._last_build_error[key] = str(exc)
+
+    async def _build_shard(self, key: ShardKey) -> PlanVersion:
+        lock = self._build_locks.get(key)
+        if lock is None:
+            lock = self._build_locks[key] = asyncio.Lock()
+        async with lock:
+            shard = self.buffer.get(key)
+            if shard is None:
+                raise ServiceError(f"unknown shard {key}")
+            latest = self.builder.latest(key)
+            if latest is not None and not shard.dirty:
+                return latest
+            loop = asyncio.get_running_loop()
+            t0 = loop.time()
+            attempt = 0
+            while True:
+                fut = loop.run_in_executor(None, self.builder.build, shard)
+                try:
+                    version = await asyncio.shield(fut)
+                    break
+                except asyncio.CancelledError:
+                    # A cancelled caller (re-armed debounce, drain)
+                    # must not abandon the executor build: the thread
+                    # keeps running, and releasing the shard lock here
+                    # would let a second build race it on the same
+                    # shard state.  Wait it out, record any publish,
+                    # then propagate the cancellation.
+                    try:
+                        version = await asyncio.shield(fut)
+                    except (ReproError, asyncio.CancelledError):
+                        pass
+                    else:
+                        self._note_published(version)
+                        self._last_build_error.pop(key, None)
+                    raise
+                except TransientBuildError:
+                    attempt += 1
+                    self.metrics.inc("service.build_retries")
+                    if attempt > self.config.build_retries:
+                        raise
+                    # Seeded jitter in [0.5, 1.5) of the exponential step.
+                    delay = (
+                        self.config.backoff_base_s
+                        * (2 ** (attempt - 1))
+                        * (0.5 + self._backoff_rng.random())
+                    )
+                    await asyncio.sleep(delay)
+            self.metrics.add_time("service.build", loop.time() - t0)
+            self._note_published(version)
+            self._last_build_error.pop(key, None)
+            return version
+
+    def _note_published(self, version: PlanVersion) -> None:
+        reg = self.metrics
+        reg.inc("service.builds")
+        reg.inc("service.plans_published")
+        reg.inc("service.plan_churn", version.diff.churn)
+        reg.set_gauge(
+            f"service.plan_version.{version.key[0]}/{version.key[1]}",
+            version.version,
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def _note_queue_depth(self) -> None:
+        depth = self._queue.qsize() if self._queue is not None else 0
+        if depth > self.max_queue_depth:
+            self.max_queue_depth = depth
+        self.metrics.set_gauge("service.queue_depth", depth)
+        self.metrics.set_gauge("service.max_queue_depth", self.max_queue_depth)
+
+    def stats_snapshot(self) -> Dict:
+        """Synchronous stats view (also served via ``stats()``)."""
+        shards = {}
+        for key in self.buffer.keys():
+            shard = self.buffer.get(key)
+            latest = self.builder.latest(key)
+            shards["/".join(key)] = {
+                "generation": shard.generation,
+                "built_generation": shard.built_generation,
+                "dirty": shard.dirty,
+                "received": shard.counters.received,
+                "admitted": shard.counters.admitted,
+                "filtered": shard.counters.filtered,
+                "dropped": shard.counters.dropped,
+                "retained": len(shard.reservoir),
+                "overflowed": shard.reservoir.overflowed,
+                "plan_version": latest.version if latest is not None else 0,
+                "plan_sites": (
+                    latest.plan.total_prefetch_entries() if latest is not None else 0
+                ),
+                "last_build_error": self._last_build_error.get(key),
+            }
+        return {
+            "closed": self._closed,
+            "queue_depth": self._queue.qsize() if self._queue is not None else 0,
+            "max_queue_depth": self.max_queue_depth,
+            "counters": dict(self.metrics.counters),
+            "shards": shards,
+        }

@@ -1,0 +1,72 @@
+"""Count-min sketch: a bounded hot-branch pre-filter.
+
+The ingest layer sees an unbounded stream of BTB-miss samples and must
+decide, in O(1) space per shard, which branch PCs are hot enough to
+spend reservoir slots on.  A count-min sketch answers "how many times
+has this miss PC appeared so far?" with a one-sided error: estimates
+never undercount, so a branch that clears the hotness threshold truly
+did occur at least that often (a cold branch can only be *over*
+admitted, never silently dropped below its true count).
+
+Hashing is multiplicative (`(a*x + b) mod p mod width`) with per-row
+coefficients derived from :func:`repro.workloads.rng.derive_seed`, so
+sketch contents are a pure function of (seed, stream) — identical
+across processes and platforms, like everything else in this repo.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..errors import ServiceError
+from ..workloads.rng import derive_seed
+
+# Mersenne prime 2^61 - 1: large enough to dominate 48-bit PCs, cheap
+# modular arithmetic on 64-bit Python ints.
+_PRIME = (1 << 61) - 1
+
+
+class CountMinSketch:
+    """Fixed-size frequency sketch over integer keys (miss PCs)."""
+
+    __slots__ = ("width", "depth", "total", "_rows", "_coeffs")
+
+    def __init__(self, width: int = 1024, depth: int = 4, seed: int = 0):
+        if width <= 0:
+            raise ServiceError(f"sketch width must be positive, got {width}")
+        if depth <= 0:
+            raise ServiceError(f"sketch depth must be positive, got {depth}")
+        self.width = width
+        self.depth = depth
+        self.total = 0
+        self._rows: List[List[int]] = [[0] * width for _ in range(depth)]
+        self._coeffs: List[Tuple[int, int]] = []
+        for row in range(depth):
+            a = derive_seed("cms-a", seed, row) % _PRIME
+            b = derive_seed("cms-b", seed, row) % _PRIME
+            self._coeffs.append((a or 1, b))
+
+    # ------------------------------------------------------------------
+    def _index(self, row: int, item: int) -> int:
+        a, b = self._coeffs[row]
+        return ((a * item + b) % _PRIME) % self.width
+
+    def update(self, item: int, count: int = 1) -> int:
+        """Record *count* occurrences of *item*; returns the new estimate."""
+        if count <= 0:
+            raise ServiceError(f"sketch update count must be positive, got {count}")
+        self.total += count
+        estimate = None
+        for row in range(self.depth):
+            cells = self._rows[row]
+            idx = self._index(row, item)
+            cells[idx] += count
+            if estimate is None or cells[idx] < estimate:
+                estimate = cells[idx]
+        return estimate
+
+    def estimate(self, item: int) -> int:
+        """Estimated occurrence count; never below the true count."""
+        return min(
+            self._rows[row][self._index(row, item)] for row in range(self.depth)
+        )

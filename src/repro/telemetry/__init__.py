@@ -15,12 +15,13 @@ Disabled (the default), the instrumented code paths cost one ``None``
 check; enabled, they never change simulation outcomes.
 """
 
-from .events import PHASES, TelemetrySink, telemetry_from_env
+from .events import PHASES, SERVICE_PHASES, TelemetrySink, telemetry_from_env
 from .metrics import MetricsRegistry
 from .report import format_report, read_events, render_report, summarize
 
 __all__ = [
     "PHASES",
+    "SERVICE_PHASES",
     "MetricsRegistry",
     "TelemetrySink",
     "telemetry_from_env",

@@ -50,6 +50,15 @@ PHASES = (
     "simulate",
 )
 
+# Plan-service stages (repro.service), in request order: ingest fold,
+# incremental plan build, staticcheck publish gate, request handling.
+SERVICE_PHASES = (
+    "service_ingest",
+    "service_build",
+    "service_check",
+    "service_request",
+)
+
 
 class TelemetrySink:
     """Metrics registry + JSONL event writer for one process."""

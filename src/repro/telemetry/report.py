@@ -21,7 +21,11 @@ import os
 from typing import Dict, List, Optional
 
 from ..errors import ReproError
-from .events import PHASES
+from .events import PHASES, SERVICE_PHASES
+
+# Known phases in display order: offline pipeline first, then the plan
+# service's stages; anything else sorts after them.
+_KNOWN_PHASES = PHASES + SERVICE_PHASES
 
 
 def read_events(path: str) -> List[Dict]:
@@ -169,8 +173,8 @@ def format_report(summary: Dict) -> str:
     total_s = sum(p["total_s"] for p in phases.values()) or 0.0
     out("")
     out("per-phase wall time")
-    order = [p for p in PHASES if p in phases] + sorted(
-        p for p in phases if p not in PHASES
+    order = [p for p in _KNOWN_PHASES if p in phases] + sorted(
+        p for p in phases if p not in _KNOWN_PHASES
     )
     for phase in order:
         p = phases[phase]

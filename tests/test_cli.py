@@ -66,3 +66,31 @@ class TestCLI:
         monkeypatch.setenv("REPRO_TRACE_INSTRUCTIONS", "not-a-number")
         assert main(["fig03"]) == 2
         assert "REPRO_TRACE_INSTRUCTIONS" in capsys.readouterr().err
+
+
+class TestServiceCLI:
+    """The `serve` / `service-bench` subcommands."""
+
+    def test_serve_smoke(self, capsys):
+        assert main(["serve", "--apps", "wordpress",
+                     "--trace-instructions", "6000"]) == 0
+        out = capsys.readouterr().out
+        assert "parity=OK" in out
+        assert "drain clean" in out
+
+    def test_service_bench_overload_sheds_and_drains(self, capsys, tmp_path):
+        log = tmp_path / "service.jsonl"
+        assert main([
+            "service-bench", "--apps", "wordpress",
+            "--trace-instructions", "6000",
+            "--overload", "--expect-sheds",
+            "--telemetry", str(log),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "parity=OK" in out
+        assert "drain clean" in out
+        assert log.exists() and log.stat().st_size > 0
+
+    def test_service_bench_rejects_unknown_app(self, capsys):
+        assert main(["service-bench", "--apps", "nosuchapp"]) == 2
+        assert "unknown app" in capsys.readouterr().err

@@ -12,6 +12,9 @@ from repro.config import (
     SimConfig,
     TwigConfig,
     is_power_of_two,
+    service_deadline_ms_from_env,
+    service_queue_depth_from_env,
+    service_reservoir_from_env,
 )
 from repro.errors import ConfigError
 
@@ -124,3 +127,55 @@ class TestHelpers:
                                             (0, False), (3, False), (-4, False)])
     def test_is_power_of_two(self, v, expected):
         assert is_power_of_two(v) is expected
+
+
+class TestServiceKnobs:
+    """Typed env knobs for the continuous-profiling plan service."""
+
+    @pytest.fixture(autouse=True)
+    def clean_env(self, monkeypatch):
+        for name in (
+            "REPRO_SERVICE_QUEUE_DEPTH",
+            "REPRO_SERVICE_DEADLINE_MS",
+            "REPRO_SERVICE_RESERVOIR",
+        ):
+            monkeypatch.delenv(name, raising=False)
+        return monkeypatch
+
+    def test_defaults(self):
+        assert service_queue_depth_from_env() == 64
+        assert service_deadline_ms_from_env() == 2000
+        assert service_reservoir_from_env() == 8192
+
+    def test_valid_values(self, clean_env):
+        clean_env.setenv("REPRO_SERVICE_QUEUE_DEPTH", "8")
+        clean_env.setenv("REPRO_SERVICE_DEADLINE_MS", "500")
+        clean_env.setenv("REPRO_SERVICE_RESERVOIR", "1024")
+        assert service_queue_depth_from_env() == 8
+        assert service_deadline_ms_from_env() == 500
+        assert service_reservoir_from_env() == 1024
+
+    @pytest.mark.parametrize(
+        "name,reader",
+        [
+            ("REPRO_SERVICE_QUEUE_DEPTH", service_queue_depth_from_env),
+            ("REPRO_SERVICE_DEADLINE_MS", service_deadline_ms_from_env),
+            ("REPRO_SERVICE_RESERVOIR", service_reservoir_from_env),
+        ],
+    )
+    @pytest.mark.parametrize("bad", ["0", "-5", "lots", "1.5"])
+    def test_invalid_rejected(self, clean_env, name, reader, bad):
+        clean_env.setenv(name, bad)
+        with pytest.raises(ConfigError, match=name):
+            reader()
+
+    def test_service_config_defaults_read_env(self, clean_env):
+        from repro.service.server import ServiceConfig
+
+        clean_env.setenv("REPRO_SERVICE_QUEUE_DEPTH", "3")
+        clean_env.setenv("REPRO_SERVICE_DEADLINE_MS", "123")
+        clean_env.setenv("REPRO_SERVICE_RESERVOIR", "77")
+        cfg = ServiceConfig()
+        assert cfg.queue_depth == 3
+        assert cfg.deadline_ms == 123
+        assert cfg.reservoir_capacity == 77

@@ -75,10 +75,36 @@ class TestMissProfile:
         a.add_sample(0xA, 1, ((1, 30.0),))
         b.add_sample(0xA, 1, ((2, 30.0),))
         b.add_sample(0xB, 2, ((3, 30.0),))
-        merged = a.merge(b)
+        merged = a.merge(b, allow_mixed_inputs=True)
         assert merged.miss_count(0xA) == 2
         assert merged.total_samples == 3
+        assert merged.input_label == "0+1"
         merged.validate()
+
+    def test_merge_same_input_keeps_label(self):
+        a, b = MissProfile("x", "0"), MissProfile("x", "0")
+        a.add_sample(0xA, 1, ((1, 30.0),))
+        b.add_sample(0xB, 2, ((2, 30.0),))
+        merged = a.merge(b)
+        assert merged.input_label == "0"
+        assert merged.total_samples == 2
+
+    def test_merge_rejects_mismatched_app(self):
+        a, b = MissProfile("x", "0"), MissProfile("y", "0")
+        a.add_sample(0xA, 1, ((1, 30.0),))
+        b.add_sample(0xA, 1, ((1, 30.0),))
+        with pytest.raises(ProfileError, match="different apps"):
+            a.merge(b)
+        # Mixed-input permission does not excuse mixed apps.
+        with pytest.raises(ProfileError, match="different apps"):
+            a.merge(b, allow_mixed_inputs=True)
+
+    def test_merge_rejects_mismatched_input_by_default(self):
+        a, b = MissProfile("x", "0"), MissProfile("x", "1")
+        a.add_sample(0xA, 1, ((1, 30.0),))
+        b.add_sample(0xA, 1, ((1, 30.0),))
+        with pytest.raises(ProfileError, match="allow_mixed_inputs"):
+            a.merge(b)
 
     def test_validate_detects_corruption(self):
         prof = MissProfile()

@@ -11,6 +11,7 @@ from repro.errors import PlanError, ProfileError
 from repro.profiling.collector import collect_profile
 from repro.profiling.profile import MissProfile
 from repro.profiling.serialize import (
+    SCHEMA_VERSION,
     load_plan,
     load_profile,
     plan_from_dict,
@@ -74,6 +75,53 @@ class TestProfileRoundTrip:
         _, _, _, profile, _ = artifacts
         text = json.dumps(profile_to_dict(profile))
         assert json.loads(text)["kind"] == "miss_profile"
+
+
+class TestSchemaVersion:
+    """The ``schema_version`` field and its failure modes."""
+
+    def test_writers_stamp_schema_version(self, artifacts):
+        _, _, _, profile, plan = artifacts
+        assert profile_to_dict(profile)["schema_version"] == SCHEMA_VERSION
+        assert plan_to_dict(plan)["schema_version"] == SCHEMA_VERSION
+
+    def test_legacy_format_only_files_still_load(self, artifacts):
+        _, _, _, profile, plan = artifacts
+        legacy = profile_to_dict(profile)
+        del legacy["schema_version"]
+        clone = profile_from_dict(legacy)
+        assert clone.total_samples == profile.total_samples
+        legacy_plan = plan_to_dict(plan)
+        del legacy_plan["schema_version"]
+        assert plan_from_dict(legacy_plan).total_ops() == plan.total_ops()
+
+    def test_missing_version_is_a_clear_error(self, artifacts):
+        _, _, _, profile, plan = artifacts
+        data = profile_to_dict(profile)
+        del data["schema_version"]
+        del data["format"]
+        with pytest.raises(ProfileError, match="schema_version"):
+            profile_from_dict(data)
+        plan_data = plan_to_dict(plan)
+        del plan_data["schema_version"]
+        del plan_data["format"]
+        with pytest.raises(PlanError, match="schema_version"):
+            plan_from_dict(plan_data)
+
+    def test_unknown_version_is_a_clear_error(self, artifacts):
+        _, _, _, profile, _ = artifacts
+        data = profile_to_dict(profile)
+        data["schema_version"] = 99
+        with pytest.raises(ProfileError, match="version 99"):
+            profile_from_dict(data)
+
+    def test_missing_payload_is_typed_not_keyerror(self):
+        with pytest.raises(ProfileError, match="samples"):
+            profile_from_dict(
+                {"kind": "miss_profile", "format": 1, "app": "x", "input": "0"}
+            )
+        with pytest.raises(PlanError, match="ops"):
+            plan_from_dict({"kind": "prefetch_plan", "format": 1, "app": "x"})
 
 
 class TestPlanRoundTrip:

@@ -131,6 +131,11 @@ def main() -> None:
         "bands, and sweep shapes are the reproduction target, not absolute",
         "numbers.",
         "",
+        "Beyond the figures, `benchmarks/test_service_bench.py` (also",
+        "`tools/service_bench.py`) times the continuous-profiling plan",
+        "service — streaming ingest, incremental verified builds, overload",
+        "shedding — with online==offline plan parity asserted; DESIGN.md §11.",
+        "",
     ]
     missing = []
     for exp_id in sorted(EXPERIMENTS):

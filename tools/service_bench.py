@@ -1,0 +1,28 @@
+#!/usr/bin/env python3
+"""Offline wrapper for the plan-service fleet bench.
+
+Runs with no installation step (inserts ``src/`` on sys.path, mirrors
+``tools/staticcheck.py``) so CI can stress the continuous-profiling
+plan server directly:
+
+    python tools/service_bench.py --apps wordpress,drupal
+    python tools/service_bench.py --overload --expect-sheds
+    python tools/service_bench.py --telemetry service.jsonl --clients 8
+
+Exit codes: 0 clean (parity held, drain clean), 1 assertion failure,
+2 usage/pipeline error.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+)
+
+from repro.service.bench import service_bench_main  # noqa: E402
+
+if __name__ == "__main__":
+    raise SystemExit(service_bench_main())
