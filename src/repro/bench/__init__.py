@@ -1,0 +1,19 @@
+"""Wall-clock benchmark harness (``python -m repro.bench``).
+
+Times the pipeline phases — trace generation, serial and batched
+simulation, profile collection, plan build, and streaming service
+build — over the paper's applications, and writes the schema-versioned
+``BENCH_sim.json`` report.  See :mod:`repro.bench.harness` for the
+phase definitions and :mod:`repro.bench.schema` for the report layout.
+"""
+
+from .harness import format_bench, run_bench
+from .schema import BENCH_SCHEMA_VERSION, PHASES, validate_bench_dict
+
+__all__ = [
+    "BENCH_SCHEMA_VERSION",
+    "PHASES",
+    "format_bench",
+    "run_bench",
+    "validate_bench_dict",
+]

@@ -1,0 +1,104 @@
+"""CLI for the benchmark harness: ``python -m repro.bench``.
+
+Writes the schema-versioned report (default ``BENCH_sim.json``) and
+prints a human-readable table.  ``--smoke`` shrinks the run to a few
+seconds for CI gating; the nightly workflow runs the full default
+length and uploads the report as an artifact.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from ..config import (
+    bench_apps_from_env,
+    bench_instructions_from_env,
+    bench_out_from_env,
+    bench_repeats_from_env,
+)
+from ..errors import ReproError
+from .harness import format_bench, run_bench
+from .schema import validate_bench_dict
+
+# --smoke trace length: long enough to exercise warmup, misses, and
+# every phase; short enough for the fast CI matrix.
+SMOKE_INSTRUCTIONS = 20_000
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Time trace-gen, simulation (serial vs batched), "
+        "plan-build, and service-build phases per app; write a "
+        "schema-versioned JSON report.",
+    )
+    parser.add_argument(
+        "--apps",
+        default=None,
+        help="comma-separated app subset "
+        "(default: $REPRO_BENCH_APPS or the full catalog)",
+    )
+    parser.add_argument(
+        "--instructions",
+        type=int,
+        default=None,
+        help="trace length per app "
+        "(default: $REPRO_BENCH_INSTRUCTIONS or 1000000)",
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=None,
+        help="repetitions per phase; minimum is reported "
+        "(default: $REPRO_BENCH_REPEATS or 1)",
+    )
+    parser.add_argument(
+        "--out",
+        default=None,
+        help="report path (default: $REPRO_BENCH_OUT or BENCH_sim.json)",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help=f"CI smoke preset: {SMOKE_INSTRUCTIONS} instructions/app "
+        "unless --instructions overrides",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        # Env accessors raise typed ConfigErrors on garbage values;
+        # resolve them inside the guard so a bad knob is a clean exit-2.
+        apps = None
+        if args.apps:
+            apps = tuple(a.strip() for a in args.apps.split(",") if a.strip())
+        else:
+            apps = bench_apps_from_env()
+        instructions = args.instructions
+        if instructions is None:
+            instructions = (
+                SMOKE_INSTRUCTIONS if args.smoke else bench_instructions_from_env()
+            )
+        repeats = (
+            args.repeats if args.repeats is not None else bench_repeats_from_env()
+        )
+        out_path = args.out if args.out is not None else bench_out_from_env()
+        report = run_bench(apps=apps, instructions=instructions, repeats=repeats)
+        # The writer validates its own output: a schema drift between
+        # harness and validator fails here, not in a reader months on.
+        validate_bench_dict(report)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    with open(out_path, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(format_bench(report))
+    print(f"wrote {out_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

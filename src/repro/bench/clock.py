@@ -1,0 +1,20 @@
+"""The benchmark harness's only wall-clock source.
+
+Everything simulated in this repo is deterministic by construction, and
+the staticcheck determinism rule (L102) bans wall-clock reads precisely
+so timing never leaks into simulated results.  Benchmarking, however,
+*is* the act of reading the wall clock — so this module is the single
+allowlisted home for it (see ``_WALLCLOCK_HOME`` in
+``repro.staticcheck.rules.determinism``).  Bench phases import
+:func:`now` from here; calling ``time.perf_counter`` anywhere else in
+the tree, including the rest of ``repro.bench``, still lints.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+def now() -> float:
+    """Monotonic wall-clock seconds for phase timing."""
+    return time.perf_counter()

@@ -1,0 +1,253 @@
+"""End-to-end benchmark harness over the paper's nine applications.
+
+For each app the harness times the pipeline phases a study run
+actually pays for:
+
+* ``trace_gen`` — CFG walk into a committed-path trace;
+* ``sim_serial`` — the reference per-event timing loop;
+* ``sim_precompute`` — building a :class:`CompiledTrace` plus its
+  direction-outcome stream from scratch (the one-time cost the fast
+  path amortizes across the six simulated systems);
+* ``sim_fast`` — the batched run-loop with the precompute already
+  cached, i.e. the marginal per-system cost;
+* ``profile_collect`` / ``plan_build`` — the offline Twig pipeline;
+* ``service_build`` — streaming ingest (sample stream -> shard absorb
+  -> incremental plan build), the continuous-profiling path.
+
+Every timed phase reports the minimum over ``repeats`` repetitions
+(the standard wall-clock noise floor) via :func:`repro.bench.clock.now`
+— the repo's only allowlisted wall-clock source.  After timing, the
+harness asserts counter-for-counter :func:`result_diffs` parity between
+the serial and fast simulations; a benchmark that got fast by being
+wrong fails loudly with a :class:`BenchError`.
+
+Speedups are *reported*, never asserted: CI runs without numpy, where
+the pure-Python fallbacks keep everything correct but not fast.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, List, Optional, Tuple, TypeVar
+
+from ..config import (
+    SimConfig,
+    bench_apps_from_env,
+    bench_instructions_from_env,
+    bench_repeats_from_env,
+)
+from ..core.twig import build_plan
+from ..errors import BenchError
+from ..frontend.direction_batch import HAVE_NUMPY
+from ..prefetchers.base import BaselineBTBSystem
+from ..profiling.collector import collect_profile
+from ..service.bench import collect_sample_stream
+from ..service.build import IncrementalPlanBuilder
+from ..service.ingest import SampleBatch, ShardState
+from ..trace.compile import CompiledTrace
+from ..trace.walker import generate_trace
+from ..uarch.sim import FrontendSimulator
+from ..validate.parity import result_diffs
+from ..workloads.apps import app_names, get_app
+from ..workloads.cfg import build_workload
+from .clock import now
+from .schema import BENCH_SCHEMA_VERSION, PHASES
+
+T = TypeVar("T")
+
+# Service-build knobs: lossless ingest (threshold 1, huge reservoir),
+# publish gate off — the gate is staticcheck's job, not the clock's.
+_RESERVOIR_CAPACITY = 1 << 20
+
+
+def _timed(repeats: int, fn: Callable[[], T]) -> Tuple[T, Dict[str, object]]:
+    """Run *fn* ``repeats`` times; return (last result, phase record)."""
+    best: Optional[float] = None
+    result: T = None  # type: ignore[assignment]
+    for _ in range(repeats):
+        t0 = now()
+        result = fn()
+        elapsed = now() - t0
+        if best is None or elapsed < best:
+            best = elapsed
+    return result, {"seconds": best, "iterations": repeats}
+
+
+def _bench_app(
+    app: str, instructions: int, repeats: int
+) -> Dict[str, object]:
+    """Time every phase for one app; returns its report record."""
+    cfg = SimConfig()
+    workload = build_workload(get_app(app), seed=0)
+    inp = workload.spec.make_input(0)
+    phases: Dict[str, Dict[str, object]] = {}
+
+    trace, phases["trace_gen"] = _timed(
+        repeats,
+        lambda: generate_trace(workload, inp, max_instructions=instructions),
+    )
+    warmup = len(trace) // 3
+
+    def run(mode: str):
+        sim = FrontendSimulator(
+            workload, config=cfg, btb_system=BaselineBTBSystem(cfg)
+        )
+        return sim.run(trace, label=trace.label, warmup_units=warmup, mode=mode)
+
+    serial_result, phases["sim_serial"] = _timed(repeats, lambda: run("serial"))
+
+    # The one-time compile + direction-outcome precompute, from scratch
+    # each repetition (a direct CompiledTrace construction bypasses the
+    # trace-level cache, so repeats measure real work).
+    def precompute():
+        compiled = CompiledTrace(workload, trace)
+        compiled.direction_outcomes(cfg.frontend)
+        return compiled
+
+    _, phases["sim_precompute"] = _timed(repeats, precompute)
+
+    # Warm the trace-level cache, then time the marginal per-system
+    # cost — the number that multiplies across the six systems and all
+    # sweep points of a study run.
+    trace.compiled_for(workload).direction_outcomes(cfg.frontend)
+    fast_result, phases["sim_fast"] = _timed(repeats, lambda: run("fast"))
+
+    diffs = result_diffs(serial_result, fast_result)
+    if diffs:
+        names = [name for name, _, _ in diffs]
+        raise BenchError(
+            f"fast/serial parity failed on {app}: divergent field(s) {names}"
+        )
+
+    profile, phases["profile_collect"] = _timed(
+        repeats, lambda: collect_profile(workload, trace, cfg)
+    )
+    _, phases["plan_build"] = _timed(
+        repeats, lambda: build_plan(workload, profile, cfg)
+    )
+
+    def service_build():
+        _profile, stream = collect_sample_stream(workload, trace, cfg)
+        shard = ShardState(
+            key=(workload.name, trace.label),
+            reservoir_capacity=_RESERVOIR_CAPACITY,
+            hot_threshold=1,
+            seed=0,
+        )
+        shard.absorb(
+            SampleBatch(
+                app_name=workload.name,
+                input_label=trace.label,
+                samples=stream,
+                seq=0,
+            )
+        )
+        builder = IncrementalPlanBuilder(
+            workload_for=lambda name: workload, config=cfg, check_plans=False
+        )
+        return builder.build(shard)
+
+    _, phases["service_build"] = _timed(repeats, service_build)
+
+    serial_s = float(phases["sim_serial"]["seconds"])  # type: ignore[arg-type]
+    fast_s = float(phases["sim_fast"]["seconds"])  # type: ignore[arg-type]
+    speedup = serial_s / fast_s if fast_s > 0 else None
+    return {
+        "fetch_units": len(trace),
+        "phases": phases,
+        "sim_speedup": speedup,
+    }
+
+
+def run_bench(
+    apps: Optional[Tuple[str, ...]] = None,
+    instructions: Optional[int] = None,
+    repeats: Optional[int] = None,
+) -> dict:
+    """Benchmark *apps* and return the schema-versioned report dict.
+
+    Defaults come from the ``REPRO_BENCH_*`` environment knobs; *apps*
+    defaults to the full nine-app catalog.
+    """
+    if apps is None:
+        apps = bench_apps_from_env() or tuple(app_names())
+    unknown = sorted(set(apps) - set(app_names()))
+    if unknown:
+        raise BenchError(
+            f"bench names unknown app(s) {unknown}; "
+            f"choose from {sorted(app_names())}"
+        )
+    if instructions is None:
+        instructions = bench_instructions_from_env()
+    if repeats is None:
+        repeats = bench_repeats_from_env()
+    if instructions <= 0:
+        raise BenchError(f"instructions must be positive, got {instructions}")
+    if repeats <= 0:
+        raise BenchError(f"repeats must be positive, got {repeats}")
+
+    records = {
+        app: _bench_app(app, instructions, repeats) for app in apps
+    }
+
+    longest = max(records, key=lambda a: records[a]["fetch_units"])
+    speedups: List[float] = [
+        r["sim_speedup"] for r in records.values() if r["sim_speedup"]
+    ]
+    geomean = (
+        math.exp(sum(math.log(s) for s in speedups) / len(speedups))
+        if speedups
+        else None
+    )
+    return {
+        "format": BENCH_SCHEMA_VERSION,
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "kind": "bench",
+        "settings": {
+            "instructions": instructions,
+            "repeats": repeats,
+            "have_numpy": HAVE_NUMPY,
+        },
+        "apps": records,
+        "summary": {
+            "longest_trace_app": longest,
+            "longest_trace_speedup": records[longest]["sim_speedup"],
+            "geomean_sim_speedup": geomean,
+        },
+    }
+
+
+def format_bench(report: dict) -> str:
+    """Human-readable rendering of a bench report."""
+    lines: List[str] = []
+    out = lines.append
+    settings = report["settings"]
+    out(
+        f"repro.bench: {settings['instructions']} instructions/app, "
+        f"min over {settings['repeats']} repeat(s), "
+        f"numpy={'yes' if settings['have_numpy'] else 'no'}"
+    )
+    header = f"  {'app':14s} {'units':>8s} " + " ".join(
+        f"{p:>14s}" for p in PHASES
+    ) + f" {'speedup':>8s}"
+    out(header)
+    for app in sorted(report["apps"]):
+        record = report["apps"][app]
+        cells = " ".join(
+            f"{record['phases'][p]['seconds']:14.4f}" for p in PHASES
+        )
+        speedup = record["sim_speedup"]
+        shown = f"{speedup:8.2f}" if speedup else f"{'n/a':>8s}"
+        out(f"  {app:14s} {record['fetch_units']:8d} {cells} {shown}")
+    summary = report["summary"]
+    geo = summary["geomean_sim_speedup"]
+    longest_speedup = summary["longest_trace_speedup"]
+    out(
+        f"  longest trace: {summary['longest_trace_app']} "
+        f"(speedup {longest_speedup:.2f}x)"
+        if longest_speedup
+        else f"  longest trace: {summary['longest_trace_app']}"
+    )
+    if geo:
+        out(f"  geomean sim speedup: {geo:.2f}x")
+    return "\n".join(lines)

@@ -1,0 +1,126 @@
+"""Schema for the ``BENCH_sim.json`` report.
+
+The report is a versioned artifact like profiles and plans: writers
+stamp ``schema_version``/``kind``, and readers validate through the
+shared :func:`repro.profiling.serialize.check_schema_version` machinery
+so unknown or missing versions fail with a typed :class:`BenchError`
+instead of a ``KeyError`` three fields deep.
+
+Layout (version 1)::
+
+    {
+      "schema_version": 1,
+      "kind": "bench",
+      "settings": {"instructions": int, "repeats": int, "have_numpy": bool},
+      "apps": {
+        "<app>": {
+          "fetch_units": int,
+          "phases": {"<phase>": {"seconds": float, "iterations": int}},
+          "sim_speedup": float | null
+        }, ...
+      },
+      "summary": {
+        "longest_trace_app": str,
+        "longest_trace_speedup": float | null,
+        "geomean_sim_speedup": float | null
+      }
+    }
+
+``sim_speedup`` is serial-seconds / fast-seconds with the one-time
+direction precompute amortized (it is timed separately as the
+``sim_precompute`` phase).  Without numpy the fast path still runs —
+via the pure-Python fallbacks — so the ratio is honest but near 1;
+``null`` is tolerated for degenerate timings.
+"""
+
+from __future__ import annotations
+
+from ..errors import BenchError
+from ..profiling.serialize import check_schema_version
+
+BENCH_SCHEMA_VERSION = 1
+
+# Phases every per-app record must carry, in report order.
+PHASES = (
+    "trace_gen",
+    "sim_serial",
+    "sim_precompute",
+    "sim_fast",
+    "profile_collect",
+    "plan_build",
+    "service_build",
+)
+
+
+def _require(cond: bool, message: str) -> None:
+    if not cond:
+        raise BenchError(message)
+
+
+def validate_bench_dict(data: dict) -> None:
+    """Validate a loaded bench report; raise :class:`BenchError` if bad."""
+    _require(isinstance(data, dict), "bench report must be a JSON object")
+    if data.get("kind") != "bench":
+        raise BenchError(
+            f"not a bench report (kind={data.get('kind')!r}, expected 'bench')"
+        )
+    check_schema_version(data, "bench report", BenchError, expected=BENCH_SCHEMA_VERSION)
+
+    settings = data.get("settings")
+    _require(isinstance(settings, dict), "bench report carries no settings object")
+    for key in ("instructions", "repeats"):
+        _require(
+            isinstance(settings.get(key), int) and settings[key] > 0,
+            f"settings.{key} must be a positive integer",
+        )
+    _require(
+        isinstance(settings.get("have_numpy"), bool),
+        "settings.have_numpy must be a boolean",
+    )
+
+    apps = data.get("apps")
+    _require(isinstance(apps, dict) and apps, "bench report names no apps")
+    for app, record in apps.items():
+        _require(isinstance(record, dict), f"app record for {app!r} is not an object")
+        _require(
+            isinstance(record.get("fetch_units"), int) and record["fetch_units"] > 0,
+            f"apps.{app}.fetch_units must be a positive integer",
+        )
+        phases = record.get("phases")
+        _require(isinstance(phases, dict), f"apps.{app} carries no phases object")
+        missing = [p for p in PHASES if p not in phases]
+        _require(not missing, f"apps.{app} is missing phase(s) {missing}")
+        for name, phase in phases.items():
+            _require(
+                isinstance(phase, dict),
+                f"apps.{app}.phases.{name} is not an object",
+            )
+            seconds = phase.get("seconds")
+            _require(
+                isinstance(seconds, (int, float)) and seconds >= 0.0,
+                f"apps.{app}.phases.{name}.seconds must be a non-negative number",
+            )
+            iters = phase.get("iterations")
+            _require(
+                isinstance(iters, int) and iters > 0,
+                f"apps.{app}.phases.{name}.iterations must be a positive integer",
+            )
+        speedup = record.get("sim_speedup")
+        _require(
+            speedup is None or (isinstance(speedup, (int, float)) and speedup > 0),
+            f"apps.{app}.sim_speedup must be null or a positive number",
+        )
+
+    summary = data.get("summary")
+    _require(isinstance(summary, dict), "bench report carries no summary object")
+    longest = summary.get("longest_trace_app")
+    _require(
+        longest in apps,
+        f"summary.longest_trace_app {longest!r} is not one of the benched apps",
+    )
+    for key in ("longest_trace_speedup", "geomean_sim_speedup"):
+        value = summary.get(key)
+        _require(
+            value is None or (isinstance(value, (int, float)) and value > 0),
+            f"summary.{key} must be null or a positive number",
+        )

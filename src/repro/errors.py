@@ -66,6 +66,10 @@ class CacheError(ReproError):
     """An on-disk experiment-cache entry could not be read or written."""
 
 
+class BenchError(ReproError):
+    """The benchmark harness produced or read an invalid report."""
+
+
 class PlanError(ReproError):
     """A Twig prefetch plan could not be built or applied."""
 

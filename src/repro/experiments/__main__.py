@@ -27,7 +27,12 @@ import argparse
 import os
 import sys
 
-from ..config import cache_dir_from_env, sanitize_from_env, telemetry_path_from_env
+from ..config import (
+    cache_dir_from_env,
+    sanitize_from_env,
+    sim_mode_from_env,
+    telemetry_path_from_env,
+)
 from ..errors import ReproError
 from .cache import DEFAULT_CACHE_DIR, ResultCache
 from .parallel import resolve_jobs
@@ -78,6 +83,13 @@ def main(argv=None) -> int:
         "(equivalent to REPRO_SANITIZE=1; results are cached separately)",
     )
     parser.add_argument(
+        "--sim-mode",
+        choices=("auto", "fast", "serial"),
+        default=None,
+        help="simulator run-loop selection (equivalent to REPRO_SIM_MODE; "
+        "auto uses the batched path when a run is eligible)",
+    )
+    parser.add_argument(
         "--telemetry",
         default=None,
         metavar="PATH",
@@ -96,6 +108,8 @@ def main(argv=None) -> int:
         # Via the environment so parallel workers inherit it and every
         # default-constructed SimConfig in this process picks it up.
         os.environ["REPRO_SANITIZE"] = "1"
+    if args.sim_mode:
+        os.environ["REPRO_SIM_MODE"] = args.sim_mode
     if args.telemetry:
         # Same pattern: the env is what parallel workers inherit.
         os.environ["REPRO_TELEMETRY"] = args.telemetry
@@ -117,9 +131,10 @@ def main(argv=None) -> int:
         return 2
 
     try:
-        # Validate eagerly so a garbage REPRO_SANITIZE is a clean exit-2
-        # here rather than a ConfigError mid-experiment.
+        # Validate eagerly so a garbage REPRO_SANITIZE / REPRO_SIM_MODE
+        # is a clean exit-2 here rather than a ConfigError mid-experiment.
         sanitize_from_env()
+        sim_mode_from_env()
         settings = RunnerSettings.from_env()
         jobs = resolve_jobs(args.jobs)
         if args.no_cache:

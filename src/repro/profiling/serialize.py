@@ -26,25 +26,33 @@ FORMAT_VERSION = 1
 SCHEMA_VERSION = FORMAT_VERSION
 
 
-def _check_schema_version(data: dict, kind: str, err_cls) -> None:
+def check_schema_version(data: dict, kind: str, err_cls, expected=None) -> None:
     """Validate the artifact version fields of a serialized *kind*.
 
     Current-format files carry ``schema_version`` (new) or only
     ``format`` (written before the field existed); both load.  Anything
     else — a missing version or a version this build does not speak —
-    raises *err_cls* with an actionable message.
+    raises *err_cls* with an actionable message.  *expected* defaults to
+    the profiling-artifact :data:`SCHEMA_VERSION`; other artifact
+    families (e.g. ``repro.bench`` reports) pass their own.
     """
+    if expected is None:
+        expected = SCHEMA_VERSION
     version = data.get("schema_version", data.get("format"))
     if version is None:
         raise err_cls(
             f"serialized {kind} carries no schema_version/format field; "
             "refusing to guess its layout"
         )
-    if version != SCHEMA_VERSION:
+    if version != expected:
         raise err_cls(
             f"unsupported {kind} schema version {version!r}; "
-            f"this build reads version {SCHEMA_VERSION}"
+            f"this build reads version {expected}"
         )
+
+
+# Backwards-compatible name for in-package callers.
+_check_schema_version = check_schema_version
 
 
 # ----------------------------------------------------------------------

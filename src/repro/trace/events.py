@@ -43,7 +43,7 @@ class Trace:
     taken (always 0 for branchless blocks and not-taken conditionals).
     """
 
-    __slots__ = ("blocks", "takens", "stats", "label")
+    __slots__ = ("blocks", "takens", "stats", "label", "_compiled")
 
     def __init__(
         self,
@@ -60,6 +60,25 @@ class Trace:
         self.takens = takens
         self.stats = stats
         self.label = label
+        # Lazily built batched per-unit records (trace.compile); keyed
+        # by workload identity so a stale attach can never be reused.
+        self._compiled = None
+
+    def compiled_for(self, workload) -> "CompiledTrace":
+        """The batched structure-of-arrays records for this trace.
+
+        Built once per (trace, workload) and cached on the trace, so
+        every system simulated over the same trace shares one compile —
+        including its memoized TAGE direction sweep.
+        """
+        compiled = self._compiled
+        if compiled is not None and compiled.workload is workload:
+            return compiled
+        from .compile import CompiledTrace
+
+        compiled = CompiledTrace(workload, self)
+        self._compiled = compiled
+        return compiled
 
     def __len__(self) -> int:
         return len(self.blocks)

@@ -14,6 +14,7 @@ import itertools
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..errors import TraceError
+from ..frontend.direction_batch import HAVE_NUMPY as _PRECOMPILE
 from ..isa.branches import BranchKind
 from ..workloads.cfg import Workload
 from ..workloads.rng import make_rng
@@ -284,4 +285,11 @@ def generate_trace(
     stats.unique_branches = len(unique_branches)
 
     label = inp.label() if inp is not None else workload.name
-    return Trace(blocks, takens, stats, label=label)
+    trace = Trace(blocks, takens, stats, label=label)
+    if _PRECOMPILE:
+        # Emit the batched per-unit records alongside the event lists
+        # (vectorized gathers make this a negligible fraction of the
+        # walk; without numpy it stays lazy so analysis-only traces
+        # don't pay a Python-speed gather they may never use).
+        trace.compiled_for(workload)
+    return trace

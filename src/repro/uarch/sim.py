@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from typing import List, Optional
 
-from ..config import SimConfig
+from ..config import SimConfig, sim_mode_from_env
 from ..errors import SimulationError
 from ..frontend.direction import TageLite
 from ..frontend.ibtb import IndirectBTB
@@ -56,6 +56,17 @@ _KIND_NAMES = {
     KIND_CALL: "call_direct",
 }
 
+# Simulation-mode contract (DESIGN.md §12):
+#
+# * ``serial``  — the original per-event loop, always available; owns
+#   the sanitizer/oracle layers and is the parity reference.
+# * ``fast``    — the batched path: precomputed direction outcomes plus
+#   a bulk sub-loop over "simple" fetch units.  Counter-for-counter
+#   identical to serial by construction; raises when a run needs
+#   serial-only machinery (sanitizer, LBR recorder, warm predictor).
+# * ``auto``    — fast when eligible, serial otherwise (the default).
+SIM_MODES = ("auto", "fast", "serial")
+
 
 class FrontendSimulator:
     """One simulator instance per (workload, config, BTB system)."""
@@ -67,7 +78,13 @@ class FrontendSimulator:
         btb_system: Optional[BTBSystem] = None,
         lbr_recorder=None,
         telemetry=None,
+        mode: Optional[str] = None,
     ):
+        self.mode = sim_mode_from_env() if mode is None else mode
+        if self.mode not in SIM_MODES:
+            raise SimulationError(
+                f"unknown simulation mode {self.mode!r}; choose from {SIM_MODES}"
+            )
         self.workload = workload
         # Optional TelemetrySink; consulted once per run() (a single
         # None check — never inside the fetch-unit loop).
@@ -106,14 +123,62 @@ class FrontendSimulator:
         self.hierarchy.prewarm(sorted(all_lines))
 
     # ------------------------------------------------------------------
-    def run(self, trace: Trace, label: str = "", warmup_units: int = 0) -> SimResult:
+    def fast_block_reason(self) -> Optional[str]:
+        """Why the batched path cannot run, or ``None`` when it can.
+
+        The fast path virtualizes the direction predictor (its outcomes
+        are precomputed from a zero state) and strips the per-unit
+        callback points, so anything that needs them pins the run to
+        the serial loop.
+        """
+        if self.sanitizer is not None:
+            return (
+                "sanitize is enabled; the sanitized serial path is the "
+                "parity reference"
+            )
+        if self.lbr_recorder is not None:
+            return "an LBR recorder needs the serial per-unit callbacks"
+        if self.tage.predictions:
+            return (
+                "the direction predictor is already trained; the batched "
+                "outcome sweep assumes a fresh simulator"
+            )
+        return None
+
+    def run(
+        self,
+        trace: Trace,
+        label: str = "",
+        warmup_units: int = 0,
+        mode: Optional[str] = None,
+    ) -> SimResult:
         """Simulate *trace* and return the measured counters.
 
         ``warmup_units`` fetch units are simulated with full structural
         state (BTB, caches, predictor training) but excluded from every
         counter, so measurements reflect steady state rather than
         cold-start compulsory misses.
+
+        ``mode`` overrides the simulator-level mode for this run; see
+        :data:`SIM_MODES`.  Fast and serial runs of the same point are
+        counter-for-counter identical (the parity suite pins this).
         """
+        mode = self.mode if mode is None else mode
+        if mode not in SIM_MODES:
+            raise SimulationError(
+                f"unknown simulation mode {mode!r}; choose from {SIM_MODES}"
+            )
+        if mode != "serial":
+            reason = self.fast_block_reason()
+            if reason is None:
+                return self._run_fast(trace, label, warmup_units)
+            if mode == "fast":
+                raise SimulationError(f"fast simulation unavailable: {reason}")
+        return self._run_serial(trace, label, warmup_units)
+
+    # ------------------------------------------------------------------
+    def _run_serial(self, trace: Trace, label: str, warmup_units: int) -> SimResult:
+        """The original per-event loop: sanitizer home, parity reference."""
         wl = self.workload
         cfg = self.config
         sysm = self.btb_system
@@ -409,6 +474,326 @@ class FrontendSimulator:
             self.telemetry.on_sim_run(res, n_units)
         return res
 
+    # ------------------------------------------------------------------
+    def _run_fast(self, trace: Trace, label: str, warmup_units: int) -> SimResult:
+        """Batched run loop (DESIGN.md §12).
+
+        Mirrors ``_run_serial`` operation-for-operation — the same
+        float arithmetic in the same order, the same structure calls
+        with the same arguments — with two substitutions:
+
+        * direction-predictor outcomes come from the trace's
+          precomputed sweep (:meth:`CompiledTrace.direction_outcomes`)
+          instead of per-unit ``TageLite.update`` calls, and
+        * *simple* units (branchless blocks and correctly predicted
+          not-taken conditionals, away from prefetch-op blocks) take a
+          trimmed sub-loop that skips branch dispatch entirely.
+
+        Every miss, misprediction, taken branch, indirect/return unit,
+        and prefetch-op block falls back to the full per-event body, so
+        stateful structures observe an identical call sequence and the
+        results are counter-for-counter identical to the serial path.
+        """
+        wl = self.workload
+        cfg = self.config
+        sysm = self.btb_system
+
+        tr_blocks = trace.blocks
+        tr_takens = trace.takens
+        n_units = len(tr_blocks)
+        if warmup_units >= n_units:
+            raise SimulationError(
+                f"warmup ({warmup_units}) must be shorter than the trace ({n_units})"
+            )
+
+        compiled = trace.compiled_for(wl)
+        correct_flags = compiled.direction_outcomes(cfg.frontend)
+        ops_blocks = sysm.ops_blocks
+        simple = compiled.simple_flags(cfg.frontend, ops_blocks)
+        kinds = compiled.kinds
+        pcs = compiled.pcs
+
+        block_start = wl.block_start
+        block_size = wl.block_size
+        block_instr = wl.block_instructions
+        block_lines = wl.block_lines
+        fetch_cycles = self._fetch_cycles
+
+        ideal_btb = cfg.ideal_btb
+        ideal_icache = cfg.ideal_icache
+        resteer_penalty = cfg.core.btb_miss_penalty
+        flush_penalty = cfg.core.mispredict_penalty
+        width = float(cfg.core.width)
+        ftq_size = cfg.frontend.ftq_size
+
+        lookup = sysm.lookup
+        fill = sysm.fill
+        on_block_fetched = sysm.on_block_fetched
+        has_ops = bool(ops_blocks)
+        wants_taken = (
+            type(sysm).on_taken_branch is not BTBSystem.on_taken_branch
+        )
+        on_taken = sysm.on_taken_branch
+        wants_lines = (
+            type(sysm).on_line_fetched is not BTBSystem.on_line_fetched
+        )
+        on_line = sysm.on_line_fetched
+
+        ras_push = self.ras.push
+        ras_check = self.ras.predict_and_check
+        ibtb_predict = self.ibtb.predict
+        ibtb_outcome = self.ibtb.record_outcome
+        l1_contains = self.hierarchy.l1i.contains
+        access_line = self.hierarchy.access_line
+
+        # Counters (ints in the loop; dicts materialized at the end).
+        res = SimResult(label=label or trace.label)
+        acc_cond = acc_uncond = acc_call = 0
+        miss_cond = miss_uncond = miss_call = 0
+        btb_accesses = 0
+        btb_misses = 0
+        btb_covered = 0
+        cond_misp = 0
+        ind_misp = 0
+        ras_misp = 0
+        fetch_stalls = 0
+        prefetch_ops = 0
+        extra_instr_total = 0
+        instructions = 0
+        ci = 0  # cursor into correct_flags (one per conditional unit)
+
+        # Clocks and queues.
+        bpu = 0.0
+        fetch = 0.0
+        retire = 0.0
+        fetch_floor = 0.0
+        inflight = {}
+        inflight_get = inflight.get
+        ftq_ring = [0.0] * ftq_size
+        retire_at_warmup = 0.0
+        pf_issued_snap = 0
+        pf_used_snap = 0
+        l1_miss_snap = 0
+
+        for i in range(n_units):
+            if i == warmup_units and i > 0:
+                retire_at_warmup = retire
+                btb_accesses = btb_misses = btb_covered = 0
+                acc_cond = acc_uncond = acc_call = 0
+                miss_cond = miss_uncond = miss_call = 0
+                cond_misp = ind_misp = ras_misp = 0
+                fetch_stalls = 0
+                prefetch_ops = extra_instr_total = instructions = 0
+                pf_issued_snap = self.btb_system.prefetches_issued()
+                pf_used_snap = self.btb_system.prefetches_used()
+                l1_miss_snap = self.hierarchy.l1i.misses
+            blk = tr_blocks[i]
+
+            # --- BPU: wait for an FTQ slot, process one unit/cycle -----
+            slot_free = ftq_ring[i % ftq_size]
+            bpu = bpu + 1.0 if bpu + 1.0 >= slot_free else slot_free
+
+            if simple[i]:
+                # Bulk path: no lookup, no penalty, no hooks — only the
+                # BTB access counter (not-taken conditionals) plus the
+                # FDIP/fetch/retire clock arithmetic of the serial body.
+                if kinds[i]:
+                    btb_accesses += 1
+                    acc_cond += 1
+                    ci += 1
+                if ideal_icache:
+                    lines_ready = bpu
+                else:
+                    lines_ready = bpu
+                    for line in block_lines[blk]:
+                        ready = inflight_get(line, -1.0)
+                        if ready < bpu:
+                            if l1_contains(line):
+                                ready = bpu
+                            else:
+                                lat = access_line(line, True)
+                                ready = bpu + lat
+                                if wants_lines:
+                                    on_line(line, ready)
+                            inflight[line] = ready
+                        if ready > lines_ready:
+                            lines_ready = ready
+                base = fetch + fetch_cycles[blk]
+                after_bpu = bpu + 1.0
+                if after_bpu > base:
+                    base = after_bpu
+                if fetch_floor > base:
+                    base = fetch_floor
+                if lines_ready > base:
+                    fetch_stalls += lines_ready - base
+                    base = lines_ready
+                fetch = base
+                ftq_ring[i % ftq_size] = fetch
+                n_instr = block_instr[blk]
+                instructions += n_instr
+                floor = fetch + 2.0
+                if retire < floor:
+                    retire = floor
+                retire += n_instr / width
+                continue
+
+            # --- Fallback: the full per-event body ---------------------
+            taken = tr_takens[i]
+            kind = kinds[i]
+            penalty = 0.0
+            if kind != KIND_NONE:
+                pc = pcs[i]
+                if kind == KIND_COND:
+                    btb_accesses += 1
+                    acc_cond += 1
+                    correct = correct_flags[ci]
+                    ci += 1
+                    if not correct:
+                        cond_misp += 1
+                        penalty = flush_penalty
+                    if taken:
+                        if ideal_btb:
+                            pass
+                        else:
+                            r = lookup(pc, kind, bpu)
+                            if r == LOOKUP_MISS:
+                                btb_misses += 1
+                                miss_cond += 1
+                                if penalty < resteer_penalty:
+                                    penalty = resteer_penalty
+                                if i + 1 < n_units:
+                                    fill(pc, block_start[tr_blocks[i + 1]], kind, bpu)
+                            elif r == LOOKUP_COVERED:
+                                btb_covered += 1
+                elif kind == KIND_UNCOND or kind == KIND_CALL:
+                    btb_accesses += 1
+                    if kind == KIND_UNCOND:
+                        acc_uncond += 1
+                    else:
+                        acc_call += 1
+                        ras_push(block_start[blk] + block_size[blk])
+                    if not ideal_btb:
+                        r = lookup(pc, kind, bpu)
+                        if r == LOOKUP_MISS:
+                            btb_misses += 1
+                            if kind == KIND_UNCOND:
+                                miss_uncond += 1
+                            else:
+                                miss_call += 1
+                            penalty = resteer_penalty
+                            if i + 1 < n_units:
+                                fill(pc, block_start[tr_blocks[i + 1]], kind, bpu)
+                        elif r == LOOKUP_COVERED:
+                            btb_covered += 1
+                elif kind == KIND_RETURN:
+                    actual = block_start[tr_blocks[i + 1]] if i + 1 < n_units else 0
+                    if not ras_check(actual):
+                        ras_misp += 1
+                        penalty = flush_penalty
+                else:  # KIND_CALL_IND or KIND_JUMP_IND
+                    actual = block_start[tr_blocks[i + 1]] if i + 1 < n_units else 0
+                    predicted = ibtb_predict(pc)
+                    if kind == KIND_CALL_IND:
+                        ras_push(block_start[blk] + block_size[blk])
+                    if not ibtb_outcome(pc, predicted, actual):
+                        ind_misp += 1
+                        penalty = flush_penalty
+
+                if taken and wants_taken and i + 1 < n_units:
+                    on_taken(pc, block_start[tr_blocks[i + 1]], kind, bpu)
+
+            if penalty:
+                restart = fetch if fetch > bpu else bpu
+                bpu = restart + 2.0
+                if restart + penalty > fetch_floor:
+                    fetch_floor = restart + penalty
+
+            # --- FDIP: issue I-cache prefetches for the unit's lines ---
+            if ideal_icache:
+                lines_ready = bpu
+            else:
+                lines_ready = bpu
+                for line in block_lines[blk]:
+                    ready = inflight_get(line, -1.0)
+                    if ready < bpu:
+                        if l1_contains(line):
+                            ready = bpu
+                        else:
+                            lat = access_line(line, True)
+                            ready = bpu + lat
+                            if wants_lines:
+                                on_line(line, ready)
+                        inflight[line] = ready
+                    if ready > lines_ready:
+                        lines_ready = ready
+
+            # --- Fetch: in order, after prediction and line arrival ----
+            base = fetch + fetch_cycles[blk]
+            after_bpu = bpu + 1.0
+            if after_bpu > base:
+                base = after_bpu
+            if fetch_floor > base:
+                base = fetch_floor
+            if lines_ready > base:
+                fetch_stalls += lines_ready - base
+                base = lines_ready
+            fetch = base
+            ftq_ring[i % ftq_size] = fetch
+
+            n_instr = block_instr[blk]
+            if has_ops and blk in ops_blocks:
+                extra, n_ops = on_block_fetched(blk, fetch)
+                n_instr += extra
+                extra_instr_total += extra
+                prefetch_ops += n_ops
+
+            instructions += n_instr
+
+            # --- Retire: width-limited ---------------------------------
+            floor = fetch + 2.0
+            if retire < floor:
+                retire = floor
+            retire += n_instr / width
+
+        if retire <= 0:
+            raise SimulationError("simulation produced no cycles")
+
+        # The predictor object never ran, but its accuracy counters are
+        # part of the simulator's observable surface: account the whole
+        # trace's precomputed stream (warmup included, as serial does).
+        self.tage.predictions += len(correct_flags)
+        self.tage.mispredictions += len(correct_flags) - sum(correct_flags)
+
+        res.instructions = instructions
+        res.cycles = int(retire - retire_at_warmup) + 1
+        res.btb_accesses = btb_accesses
+        res.btb_misses = btb_misses
+        res.btb_covered_misses = btb_covered
+        res.btb_accesses_by_kind = {
+            "cond_direct": acc_cond,
+            "uncond_direct": acc_uncond,
+            "call_direct": acc_call,
+        }
+        res.btb_misses_by_kind = {
+            "cond_direct": miss_cond,
+            "uncond_direct": miss_uncond,
+            "call_direct": miss_call,
+        }
+        res.cond_mispredicts = cond_misp
+        res.indirect_mispredicts = ind_misp
+        res.ras_mispredicts = ras_misp
+        res.fetch_stall_cycles = int(fetch_stalls)
+        res.resteer_cycles = btb_misses * cfg.core.btb_miss_penalty
+        res.mispredict_cycles = (cond_misp + ind_misp + ras_misp) * cfg.core.mispredict_penalty
+        res.icache_demand_misses = self.hierarchy.l1i.misses - l1_miss_snap
+        res.prefetches_issued = self.btb_system.prefetches_issued() - pf_issued_snap
+        res.prefetches_used = self.btb_system.prefetches_used() - pf_used_snap
+        res.prefetch_ops_executed = prefetch_ops
+        res.extra_dynamic_instructions = extra_instr_total
+        if self.telemetry is not None:
+            self.telemetry.on_sim_run(res, n_units)
+        return res
+
 
 def simulate(
     workload: Workload,
@@ -417,9 +802,14 @@ def simulate(
     btb_system: Optional[BTBSystem] = None,
     label: str = "",
     lbr_recorder=None,
+    mode: Optional[str] = None,
 ) -> SimResult:
     """Convenience wrapper: build a simulator and run one trace."""
     sim = FrontendSimulator(
-        workload, config=config, btb_system=btb_system, lbr_recorder=lbr_recorder
+        workload,
+        config=config,
+        btb_system=btb_system,
+        lbr_recorder=lbr_recorder,
+        mode=mode,
     )
     return sim.run(trace, label=label)

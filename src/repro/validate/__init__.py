@@ -33,6 +33,7 @@ from .oracles import (
     ReferencePrefetchBuffer,
     ReferenceRAS,
 )
+from .parity import assert_results_identical, result_diffs
 
 __all__ = [
     "DifferentialChecker",
@@ -48,6 +49,8 @@ __all__ = [
     "ShadowIBTB",
     "ShadowPrefetchBuffer",
     "ShadowRAS",
+    "assert_results_identical",
     "cosimulate",
+    "result_diffs",
     "exercise_prefetch_buffer",
 ]

@@ -7,8 +7,12 @@ trace, then subjects them to both correctness layers:
 
 1. differential co-simulation against the reference oracles
    (:func:`~repro.validate.differential.cosimulate` plus a randomized
-   prefetch-buffer op stream), and
-2. a full sanitized timing-simulator run (``SimConfig.sanitize``).
+   prefetch-buffer op stream),
+2. a full sanitized timing-simulator run (``SimConfig.sanitize``), and
+3. batched-fast-path parity: the same trace re-simulated through the
+   fast run loop (``mode="fast"``, sanitizer off — the sanitizer pins
+   runs to the serial path) must agree with the sanitized serial
+   result on every :class:`SimResult` counter.
 
 Everything is derived from the case seed through
 :func:`~repro.workloads.rng.make_rng`, so a failing seed is a complete
@@ -31,6 +35,7 @@ from ..workloads.cfg import build_workload
 from ..workloads.rng import make_rng
 from ..workloads.spec import AppSpec
 from .differential import Divergence, cosimulate, exercise_prefetch_buffer
+from .parity import result_diffs
 
 DEFAULT_CASES = 20
 DEFAULT_INSTRUCTIONS = 4000
@@ -88,7 +93,7 @@ class FuzzFailure:
     """One failing case, with enough to reproduce and replay it."""
 
     seed: int
-    kind: str                      # "divergence" | "violation"
+    kind: str                      # "divergence" | "violation" | "parity"
     message: str
     divergence: Optional[Divergence] = None
     # Minimal [lo, hi) trace window that still fails (None: not shrunk,
@@ -207,9 +212,12 @@ def run_case(
         )
 
     # Layer 2: sanitized timing-simulator run.
+    def serial_run(tr: Trace):
+        return FrontendSimulator(workload, config=cfg).run(tr)
+
     def violates(tr: Trace) -> Optional[InvariantViolation]:
         try:
-            FrontendSimulator(workload, config=cfg).run(tr)
+            serial_run(tr)
             return None
         except InvariantViolation as exc:
             return exc
@@ -225,6 +233,32 @@ def run_case(
         if shrink:
             failure.window = shrink_window(
                 trace, lambda tr: violates(tr) is not None
+            )
+        return failure, ops
+
+    # Layer 3: batched fast path vs the sanitized serial reference.
+    # The sanitizer pins a run to the serial loop, so the fast run uses
+    # the same geometry with sanitize off; parity must be exact anyway.
+    fast_cfg = replace(cfg, sanitize=False)
+
+    def fast_run(tr: Trace):
+        return FrontendSimulator(workload, config=fast_cfg).run(tr, mode="fast")
+
+    def parity_diffs(tr: Trace):
+        return result_diffs(serial_run(tr), fast_run(tr))
+
+    diffs = parity_diffs(trace)
+    if diffs:
+        failure = FuzzFailure(
+            seed=seed,
+            kind="parity",
+            message="fast path diverged from serial on field(s) "
+            + ", ".join(name for name, _, _ in diffs),
+            trace_len=len(trace),
+        )
+        if shrink:
+            failure.window = shrink_window(
+                trace, lambda tr: bool(parity_diffs(tr))
             )
         return failure, ops
     return None, ops

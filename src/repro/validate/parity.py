@@ -1,0 +1,52 @@
+"""Counter-for-counter parity between simulator implementations.
+
+The batched fast path in :mod:`repro.uarch.sim` promises *bit-exact*
+agreement with the serial reference loop — every :class:`SimResult`
+field, including the float cycle counters, must match exactly.  These
+helpers make that promise checkable: :func:`result_diffs` enumerates
+the fields that disagree (driven by ``dataclasses.fields`` so a new
+counter can never silently escape the comparison), and
+:func:`assert_results_identical` turns any disagreement into a
+:class:`~repro.errors.DivergenceError` naming every divergent field.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Tuple
+
+from ..errors import DivergenceError
+from ..uarch.results import SimResult
+
+
+def result_diffs(a: SimResult, b: SimResult) -> List[Tuple[str, object, object]]:
+    """Fields where *a* and *b* disagree, as ``(name, a_value, b_value)``.
+
+    Equality is exact — no float tolerance.  The fast path performs the
+    same float operations in the same order as the serial loop, so even
+    the cycle accumulators must be identical to the last bit.
+    """
+    diffs: List[Tuple[str, object, object]] = []
+    for field in dataclasses.fields(SimResult):
+        va = getattr(a, field.name)
+        vb = getattr(b, field.name)
+        if va != vb:
+            diffs.append((field.name, va, vb))
+    return diffs
+
+
+def assert_results_identical(
+    reference: SimResult, candidate: SimResult, context: str = ""
+) -> None:
+    """Raise :class:`DivergenceError` unless the two results are identical."""
+    diffs = result_diffs(reference, candidate)
+    if not diffs:
+        return
+    where = f" [{context}]" if context else ""
+    detail = "; ".join(
+        f"{name}: reference={ref!r} candidate={cand!r}"
+        for name, ref, cand in diffs
+    )
+    raise DivergenceError(
+        f"simulator results diverge{where} in {len(diffs)} field(s): {detail}"
+    )

@@ -1,0 +1,161 @@
+"""Benchmark harness: schema validation, determinism, CLI, smoke run."""
+
+from __future__ import annotations
+
+import copy
+import json
+
+import pytest
+
+from repro.bench import (
+    BENCH_SCHEMA_VERSION,
+    PHASES,
+    run_bench,
+    validate_bench_dict,
+)
+from repro.bench.__main__ import main as bench_main
+from repro.errors import BenchError
+
+# Short traces keep the suite fast; every phase still executes.
+SMOKE_INSTRUCTIONS = 6000
+
+
+@pytest.fixture(scope="module")
+def smoke_report():
+    return run_bench(
+        apps=("wordpress",), instructions=SMOKE_INSTRUCTIONS, repeats=2
+    )
+
+
+def _strip_timings(report: dict) -> dict:
+    stripped = copy.deepcopy(report)
+    for record in stripped["apps"].values():
+        record.pop("sim_speedup")
+        for phase in record["phases"].values():
+            phase.pop("seconds")
+    for key in ("longest_trace_speedup", "geomean_sim_speedup"):
+        stripped["summary"].pop(key)
+    return stripped
+
+
+class TestSmokeRun:
+    def test_report_validates(self, smoke_report):
+        validate_bench_dict(smoke_report)
+
+    def test_all_phases_timed(self, smoke_report):
+        record = smoke_report["apps"]["wordpress"]
+        assert set(record["phases"]) == set(PHASES)
+        for phase in record["phases"].values():
+            assert phase["seconds"] >= 0.0
+
+    def test_iteration_counts_match_repeats(self, smoke_report):
+        for record in smoke_report["apps"].values():
+            for phase in record["phases"].values():
+                assert phase["iterations"] == 2
+
+    def test_summary_names_the_benched_app(self, smoke_report):
+        assert smoke_report["summary"]["longest_trace_app"] == "wordpress"
+
+    def test_everything_but_timings_is_deterministic(self, smoke_report):
+        again = run_bench(
+            apps=("wordpress",), instructions=SMOKE_INSTRUCTIONS, repeats=2
+        )
+        assert _strip_timings(again) == _strip_timings(smoke_report)
+
+    def test_report_is_json_serializable(self, smoke_report):
+        validate_bench_dict(json.loads(json.dumps(smoke_report)))
+
+
+class TestRunBenchValidation:
+    def test_unknown_app_rejected(self):
+        with pytest.raises(BenchError, match="unknown app"):
+            run_bench(apps=("wordpress", "nosuchapp"), instructions=1000)
+
+    def test_nonpositive_instructions_rejected(self):
+        with pytest.raises(BenchError, match="instructions"):
+            run_bench(apps=("wordpress",), instructions=0)
+
+    def test_nonpositive_repeats_rejected(self):
+        with pytest.raises(BenchError, match="repeats"):
+            run_bench(apps=("wordpress",), instructions=1000, repeats=0)
+
+
+class TestSchemaValidation:
+    def test_missing_version_is_typed_error(self, smoke_report):
+        bad = copy.deepcopy(smoke_report)
+        del bad["schema_version"]
+        del bad["format"]
+        with pytest.raises(BenchError, match="schema_version"):
+            validate_bench_dict(bad)
+
+    def test_unknown_version_is_typed_error(self, smoke_report):
+        bad = copy.deepcopy(smoke_report)
+        bad["schema_version"] = BENCH_SCHEMA_VERSION + 1
+        bad["format"] = BENCH_SCHEMA_VERSION + 1
+        with pytest.raises(BenchError, match="unsupported"):
+            validate_bench_dict(bad)
+
+    def test_wrong_kind_is_typed_error(self, smoke_report):
+        bad = copy.deepcopy(smoke_report)
+        bad["kind"] = "miss_profile"
+        with pytest.raises(BenchError, match="kind"):
+            validate_bench_dict(bad)
+
+    def test_missing_phase_is_typed_error(self, smoke_report):
+        bad = copy.deepcopy(smoke_report)
+        del bad["apps"]["wordpress"]["phases"]["sim_fast"]
+        with pytest.raises(BenchError, match="sim_fast"):
+            validate_bench_dict(bad)
+
+    def test_negative_seconds_is_typed_error(self, smoke_report):
+        bad = copy.deepcopy(smoke_report)
+        bad["apps"]["wordpress"]["phases"]["trace_gen"]["seconds"] = -1.0
+        with pytest.raises(BenchError, match="seconds"):
+            validate_bench_dict(bad)
+
+    def test_foreign_longest_app_is_typed_error(self, smoke_report):
+        bad = copy.deepcopy(smoke_report)
+        bad["summary"]["longest_trace_app"] = "drupal"
+        with pytest.raises(BenchError, match="longest_trace_app"):
+            validate_bench_dict(bad)
+
+
+class TestCli:
+    def test_smoke_cli_writes_valid_report(self, tmp_path, capsys):
+        out = tmp_path / "bench.json"
+        rc = bench_main(
+            [
+                "--smoke",
+                "--apps",
+                "wordpress",
+                "--instructions",
+                str(SMOKE_INSTRUCTIONS),
+                "--out",
+                str(out),
+            ]
+        )
+        assert rc == 0
+        data = json.loads(out.read_text())
+        validate_bench_dict(data)
+        assert data["settings"]["instructions"] == SMOKE_INSTRUCTIONS
+        stdout = capsys.readouterr().out
+        assert "wordpress" in stdout
+        assert str(out) in stdout
+
+    def test_unknown_app_is_usage_error(self, tmp_path, capsys):
+        rc = bench_main(
+            ["--smoke", "--apps", "nosuchapp", "--out", str(tmp_path / "b.json")]
+        )
+        assert rc == 2
+        assert "unknown app" in capsys.readouterr().err
+
+    def test_env_defaults_flow_through(self, tmp_path, monkeypatch, capsys):
+        out = tmp_path / "env.json"
+        monkeypatch.setenv("REPRO_BENCH_APPS", "wordpress")
+        monkeypatch.setenv("REPRO_BENCH_INSTRUCTIONS", str(SMOKE_INSTRUCTIONS))
+        monkeypatch.setenv("REPRO_BENCH_OUT", str(out))
+        rc = bench_main([])
+        assert rc == 0
+        data = json.loads(out.read_text())
+        assert sorted(data["apps"]) == ["wordpress"]
+        assert data["settings"]["instructions"] == SMOKE_INSTRUCTIONS

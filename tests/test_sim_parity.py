@@ -1,0 +1,249 @@
+"""Fast-path parity: batched and serial simulation must agree exactly.
+
+The batched run loop (DESIGN.md §12) is only admissible because it is
+*provably* the same simulation: every :class:`SimResult` field —
+including the float cycle counters — must match the serial reference
+counter-for-counter, on every app, system, and warmup split.  These
+tests pin that contract, plus the mode-selection semantics around it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import functools
+from dataclasses import replace
+
+import pytest
+
+from repro.config import SimConfig, sim_mode_from_env
+from repro.core.twig import build_plan
+from repro.errors import ConfigError, SimulationError
+from repro.prefetchers.base import BaselineBTBSystem
+from repro.prefetchers.confluence import ConfluenceBTBSystem, DEFAULT_LINE_CAPACITY
+from repro.prefetchers.shotgun import ShotgunBTBSystem
+from repro.profiling.collector import collect_profile
+from repro.trace.walker import generate_trace
+from repro.uarch.results import SimResult
+from repro.uarch.sim import SIM_MODES, FrontendSimulator
+from repro.validate.fuzz import fuzz_config, fuzz_spec
+from repro.validate.parity import assert_results_identical, result_diffs
+from repro.workloads.apps import app_names, get_app
+from repro.workloads.cfg import build_workload
+from repro.workloads.rng import make_rng
+
+SYSTEMS = ("baseline", "ideal_btb", "ideal_icache", "shotgun", "confluence", "twig")
+
+# Small-but-real traces: long enough that every system sees BTB misses,
+# mispredictions, prefetch ops, and warmup resets on the fast path.
+FAST_APPS = ("wordpress", "drupal", "verilator")
+FAST_INSTRUCTIONS = 25_000
+
+
+def _make_system(workload, cfg, system, plan):
+    """Mirror ExperimentRunner._simulate's per-system construction."""
+    scale = cfg.frontend.btb.entries / 8192
+    if system == "shotgun":
+        return ShotgunBTBSystem(
+            workload,
+            cfg,
+            ubtb_entries=max(320, int(5120 * scale)),
+            cbtb_entries=max(96, int(1536 * scale)),
+        )
+    if system == "confluence":
+        return ConfluenceBTBSystem(
+            workload, cfg, line_capacity=max(128, int(DEFAULT_LINE_CAPACITY * scale))
+        )
+    btb_system = BaselineBTBSystem(cfg)
+    if system == "twig":
+        btb_system.install_ops(plan.sim_ops())
+    return btb_system
+
+
+def _config_for(system: str) -> SimConfig:
+    cfg = SimConfig()
+    if system == "ideal_btb":
+        return replace(cfg, ideal_btb=True)
+    if system == "ideal_icache":
+        return replace(cfg, ideal_icache=True)
+    return cfg
+
+
+@functools.lru_cache(maxsize=None)
+def _app_fixture(app: str, instructions: int):
+    workload = build_workload(get_app(app), seed=0)
+    trace = generate_trace(
+        workload, workload.spec.make_input(1), max_instructions=instructions
+    )
+    profile_trace = generate_trace(
+        workload, workload.spec.make_input(0), max_instructions=instructions
+    )
+    cfg = SimConfig()
+    plan = build_plan(workload, collect_profile(workload, profile_trace, cfg), cfg)
+    return workload, trace, plan
+
+
+def _assert_parity(workload, trace, plan, system: str, warmup: int) -> None:
+    cfg = _config_for(system)
+    serial = FrontendSimulator(
+        workload,
+        config=replace(cfg, sanitize=True),
+        btb_system=_make_system(workload, cfg, system, plan),
+    ).run(trace, warmup_units=warmup, mode="serial")
+    fast = FrontendSimulator(
+        workload, config=cfg, btb_system=_make_system(workload, cfg, system, plan)
+    ).run(trace, warmup_units=warmup, mode="fast")
+    assert_results_identical(
+        serial, fast, context=f"{workload.name}/{system} warmup={warmup}"
+    )
+
+
+@pytest.mark.parametrize("system", SYSTEMS)
+@pytest.mark.parametrize("app", FAST_APPS)
+def test_fast_matches_sanitized_serial(app, system):
+    workload, trace, plan = _app_fixture(app, FAST_INSTRUCTIONS)
+    for warmup in (0, len(trace) // 3):
+        _assert_parity(workload, trace, plan, system, warmup)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("app", sorted(app_names()))
+def test_fast_matches_serial_all_apps(app):
+    workload, trace, plan = _app_fixture(app, 60_000)
+    for system in SYSTEMS:
+        for warmup in (0, len(trace) // 3):
+            _assert_parity(workload, trace, plan, system, warmup)
+
+
+class TestFuzzCorpusParity:
+    """Randomized mini-workloads with tiny, eviction-heavy geometries."""
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_fuzz_geometry_parity(self, seed):
+        rng = make_rng("test-sim-parity", seed)
+        spec = fuzz_spec(seed, rng)
+        cfg = replace(fuzz_config(rng), sanitize=False)
+        workload = build_workload(spec, seed=seed)
+        trace = generate_trace(
+            workload, spec.make_input(rng.randrange(4)), max_instructions=4000
+        )
+        for warmup in (0, len(trace) // 3):
+            serial = FrontendSimulator(
+                workload, config=replace(cfg, sanitize=True)
+            ).run(trace, warmup_units=warmup, mode="serial")
+            fast = FrontendSimulator(workload, config=cfg).run(
+                trace, warmup_units=warmup, mode="fast"
+            )
+            assert_results_identical(
+                serial, fast, context=f"fuzz seed={seed} warmup={warmup}"
+            )
+
+    def test_generic_tage_sweep_parity(self):
+        """A non-default table count exercises the generic TAGE sweep."""
+        rng = make_rng("test-sim-parity", "generic")
+        spec = fuzz_spec(991, rng)
+        frontend = replace(SimConfig().frontend, tage_tables=3)
+        cfg = replace(SimConfig(), frontend=frontend)
+        workload = build_workload(spec, seed=991)
+        trace = generate_trace(workload, spec.make_input(0), max_instructions=6000)
+        serial = FrontendSimulator(
+            workload, config=replace(cfg, sanitize=True)
+        ).run(trace, mode="serial")
+        fast = FrontendSimulator(workload, config=cfg).run(trace, mode="fast")
+        assert_results_identical(serial, fast, context="tage_tables=3")
+
+
+class TestResultDiffs:
+    """The parity checker itself must cover every SimResult field."""
+
+    # Field inventory pin: adding a counter to SimResult forces this
+    # test (and the mutation sweep below) to acknowledge it, so a new
+    # counter can never silently escape the parity guarantee.
+    EXPECTED_FIELDS = {
+        "label",
+        "instructions",
+        "cycles",
+        "btb_accesses",
+        "btb_misses",
+        "btb_covered_misses",
+        "btb_accesses_by_kind",
+        "btb_misses_by_kind",
+        "cond_mispredicts",
+        "indirect_mispredicts",
+        "ras_mispredicts",
+        "prefetches_issued",
+        "prefetches_used",
+        "prefetch_ops_executed",
+        "fetch_stall_cycles",
+        "resteer_cycles",
+        "mispredict_cycles",
+        "icache_demand_misses",
+        "extra_dynamic_instructions",
+    }
+
+    def test_field_inventory_pinned(self):
+        assert {f.name for f in dataclasses.fields(SimResult)} == self.EXPECTED_FIELDS
+
+    def test_every_field_mutation_detected(self, tiny_workload, tiny_trace):
+        cfg = SimConfig()
+        base = FrontendSimulator(workload=tiny_workload, config=cfg).run(
+            tiny_trace, mode="serial"
+        )
+        assert result_diffs(base, base) == []
+        for field in dataclasses.fields(SimResult):
+            value = getattr(base, field.name)
+            if isinstance(value, str):
+                mutated = value + "-x"
+            elif isinstance(value, dict):
+                mutated = dict(value)
+                mutated["__mutant__"] = 1
+            else:
+                mutated = value + 1
+            perturbed = replace(base, **{field.name: mutated})
+            diffs = result_diffs(base, perturbed)
+            assert [name for name, _, _ in diffs] == [field.name]
+
+
+class TestModeSemantics:
+    def test_sim_modes_inventory(self):
+        assert SIM_MODES == ("auto", "fast", "serial")
+
+    def test_fast_mode_refuses_sanitizer(self, tiny_workload, tiny_trace):
+        cfg = replace(SimConfig(), sanitize=True)
+        sim = FrontendSimulator(tiny_workload, config=cfg)
+        with pytest.raises(SimulationError, match="sanitiz"):
+            sim.run(tiny_trace, mode="fast")
+
+    def test_fast_mode_refuses_warm_predictor(self, tiny_workload, tiny_trace):
+        sim = FrontendSimulator(tiny_workload, config=SimConfig())
+        sim.run(tiny_trace, mode="serial")
+        with pytest.raises(SimulationError):
+            sim.run(tiny_trace, mode="fast")
+
+    def test_auto_falls_back_to_serial(self, tiny_workload, tiny_trace):
+        cfg = replace(SimConfig(), sanitize=True)
+        auto = FrontendSimulator(tiny_workload, config=cfg).run(
+            tiny_trace, mode="auto"
+        )
+        serial = FrontendSimulator(tiny_workload, config=cfg).run(
+            tiny_trace, mode="serial"
+        )
+        assert result_diffs(serial, auto) == []
+
+    def test_unknown_mode_rejected(self, tiny_workload, tiny_trace):
+        sim = FrontendSimulator(tiny_workload, config=SimConfig())
+        with pytest.raises(SimulationError, match="mode"):
+            sim.run(tiny_trace, mode="vectorized")
+
+    def test_env_mode_parsing(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SIM_MODE", raising=False)
+        assert sim_mode_from_env() == "auto"
+        for mode in ("auto", "fast", "serial"):
+            monkeypatch.setenv("REPRO_SIM_MODE", mode)
+            assert sim_mode_from_env() == mode
+        monkeypatch.setenv("REPRO_SIM_MODE", "warp-speed")
+        with pytest.raises(ConfigError):
+            sim_mode_from_env()
+
+    def test_env_mode_reaches_simulator(self, tiny_workload, monkeypatch):
+        monkeypatch.setenv("REPRO_SIM_MODE", "serial")
+        assert FrontendSimulator(tiny_workload, config=SimConfig()).mode == "serial"

@@ -118,6 +118,58 @@ class TestWarmup:
         with pytest.raises(SimulationError):
             sim.run(tiny_module_trace, warmup_units=len(tiny_module_trace) + 1)
 
+    @pytest.mark.parametrize("mode", ["serial", "fast"])
+    def test_warmup_equal_to_trace_rejected_in_both_modes(
+        self, tiny_module_workload, tiny_module_trace, mode
+    ):
+        cfg = SimConfig()
+        sim = FrontendSimulator(tiny_module_workload, cfg, BaselineBTBSystem(cfg))
+        with pytest.raises(SimulationError, match="warmup"):
+            sim.run(tiny_module_trace, warmup_units=len(tiny_module_trace), mode=mode)
+
+    def _parity(self, workload, trace, warmup):
+        from repro.validate.parity import assert_results_identical
+
+        cfg = SimConfig()
+        serial = FrontendSimulator(workload, cfg, BaselineBTBSystem(cfg)).run(
+            trace, warmup_units=warmup, mode="serial"
+        )
+        fast = FrontendSimulator(workload, cfg, BaselineBTBSystem(cfg)).run(
+            trace, warmup_units=warmup, mode="fast"
+        )
+        assert_results_identical(serial, fast, context=f"warmup={warmup}")
+
+    def test_warmup_of_all_but_one_unit_matches_serial(
+        self, tiny_module_workload, tiny_module_trace
+    ):
+        self._parity(
+            tiny_module_workload, tiny_module_trace, len(tiny_module_trace) - 1
+        )
+
+    def test_warmup_straddling_first_miss_matches_serial(
+        self, tiny_module_workload, tiny_module_trace
+    ):
+        # The first taken direct branch is a compulsory BTB miss whose
+        # resteer stall spans several cycles; warmup boundaries placed
+        # just before, on, and just after it must reset the fast path's
+        # counters at exactly the same instant as the serial loop's.
+        from repro.isa.branches import BranchKind
+
+        kinds = tiny_module_workload.branch_kind
+        direct = (
+            BranchKind.COND_DIRECT,
+            BranchKind.UNCOND_DIRECT,
+            BranchKind.CALL_DIRECT,
+        )
+        first_miss = next(
+            i
+            for i, (block, taken) in enumerate(tiny_module_trace)
+            if taken and kinds[block] in direct
+        )
+        for warmup in (first_miss - 1, first_miss, first_miss + 1, first_miss + 2):
+            if 0 < warmup < len(tiny_module_trace):
+                self._parity(tiny_module_workload, tiny_module_trace, warmup)
+
 
 class TestSensitivityDirections:
     """Directional checks that back the sweep figures."""

@@ -1,0 +1,26 @@
+#!/usr/bin/env python3
+"""Offline wrapper for the benchmark harness.
+
+Runs with no installation step (inserts ``src/`` on sys.path, mirrors
+``tools/staticcheck.py``) so the phase timings are one command away:
+
+    python tools/bench.py                       # full run -> BENCH_sim.json
+    python tools/bench.py --smoke               # CI-sized smoke run
+    python tools/bench.py --apps wordpress --repeats 3
+
+Exit codes: 0 report written (parity held), 2 usage/pipeline error.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+)
+
+from repro.bench.__main__ import main  # noqa: E402
+
+if __name__ == "__main__":
+    raise SystemExit(main())
