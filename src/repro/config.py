@@ -176,6 +176,37 @@ def service_reservoir_from_env() -> int:
     return int_from_env("REPRO_SERVICE_RESERVOIR", 8192)
 
 
+def fleet_workers_from_env() -> int:
+    """Initial fleet worker-process count from ``REPRO_FLEET_WORKERS``.
+
+    The sharded plan service (``repro.service.fleet``) spawns this many
+    worker processes at start; the autoscaler may grow or shrink the
+    pool afterwards within its configured bounds.
+    """
+    return int_from_env("REPRO_FLEET_WORKERS", 2)
+
+
+def fleet_replicas_from_env() -> int:
+    """Shard replication factor from ``REPRO_FLEET_REPLICAS``.
+
+    Every ``(app, input)`` shard is folded on this many distinct
+    workers (primary plus hot spares); the hash ring guarantees
+    replicas never co-locate while the fleet has enough members.
+    """
+    return int_from_env("REPRO_FLEET_REPLICAS", 1)
+
+
+def fleet_autoscale_from_env() -> bool:
+    """Fleet autoscaler toggle from ``REPRO_FLEET_AUTOSCALE``.
+
+    When on, every ``autoscale_tick`` may grow or shrink the worker
+    pool from live telemetry (queue depth, shed rate, build latency);
+    when off, ticks still record a ``hold`` allocation decision so the
+    JSONL decision log stays a complete account of the run.
+    """
+    return bool_from_env("REPRO_FLEET_AUTOSCALE")
+
+
 def sim_mode_from_env() -> str:
     """Simulation-mode default from ``REPRO_SIM_MODE``.
 

@@ -94,5 +94,23 @@ class TransientBuildError(ServiceError):
     """A plan build failed transiently; the service may retry it."""
 
 
+class FleetError(ServiceError):
+    """The sharded multi-process fleet layer failed an operation."""
+
+
+class WorkerCrashed(FleetError):
+    """A fleet worker process died while holding in-flight requests.
+
+    Batches already accepted by the router are journaled and will be
+    replayed into a replacement worker, so callers must *not* retry a
+    crashed ingest (a retry would double-fold the batch); only shed
+    requests (:class:`ServiceOverload`) are safe to resend.
+    """
+
+
+class JournalError(FleetError):
+    """A fleet ingest-journal record could not be written or read."""
+
+
 class EncodingError(PlanError):
     """A prefetch operand could not be encoded in the available bits."""

@@ -46,10 +46,18 @@ def main(argv=None) -> int:
         argv = sys.argv[1:]
     # Subcommands with their own flag vocabularies dispatch before the
     # experiment parser sees (and rejects) those flags.
-    if argv and argv[0] in ("serve", "service-bench"):
-        from ..service.bench import serve_main, service_bench_main
+    if argv and argv[0] in ("serve", "service-bench", "fleet-bench"):
+        from ..service.bench import (
+            fleet_bench_main,
+            serve_main,
+            service_bench_main,
+        )
 
-        sub = serve_main if argv[0] == "serve" else service_bench_main
+        sub = {
+            "serve": serve_main,
+            "service-bench": service_bench_main,
+            "fleet-bench": fleet_bench_main,
+        }[argv[0]]
         return sub(argv[1:])
 
     parser = argparse.ArgumentParser(

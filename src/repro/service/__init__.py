@@ -6,6 +6,13 @@ incremental verified plan builds (:mod:`.build`), and the asyncio
 serving layer with bounded queues, deadlines, shedding, and graceful
 drain (:mod:`.server`).  :mod:`.bench` drives a synthetic fleet
 against it and pins online==offline plan parity.
+
+The scale-out layer (DESIGN.md §13) shards the service across worker
+*processes*: a seeded consistent-hash ring (:mod:`.ring`) places each
+``(app, input)`` shard, a per-shard ingest journal (:mod:`.journal`)
+makes acceptance durable, and the :class:`~repro.service.fleet.FleetRouter`
+(:mod:`.fleet`) routes, heals crashes by replay, rebalances under
+skew, and autoscales the pool from live telemetry.
 """
 
 from .build import (
@@ -16,6 +23,12 @@ from .build import (
     plan_sites,
     plans_equivalent,
 )
+from .fleet import (
+    AllocationDecision,
+    Autoscaler,
+    FleetConfig,
+    FleetRouter,
+)
 from .ingest import (
     IngestAck,
     IngestBuffer,
@@ -23,15 +36,24 @@ from .ingest import (
     ShardKey,
     ShardState,
 )
+from .journal import IngestJournal, read_journal
 from .reservoir import ReservoirSampler
+from .ring import HashRing
+from .ring import movement as ring_movement
 from .server import PlanService, ServiceConfig, default_workload_resolver
 from .sketch import CountMinSketch
 
 __all__ = [
+    "AllocationDecision",
+    "Autoscaler",
     "CountMinSketch",
+    "FleetConfig",
+    "FleetRouter",
+    "HashRing",
     "IncrementalPlanBuilder",
     "IngestAck",
     "IngestBuffer",
+    "IngestJournal",
     "PlanDiff",
     "PlanService",
     "PlanVersion",
@@ -44,4 +66,6 @@ __all__ = [
     "diff_plans",
     "plan_sites",
     "plans_equivalent",
+    "read_journal",
+    "ring_movement",
 ]

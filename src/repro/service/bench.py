@@ -23,6 +23,8 @@ from __future__ import annotations
 import argparse
 import asyncio
 import sys
+import time
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -33,6 +35,7 @@ from ..errors import (
     ReproError,
     ServiceClosed,
     ServiceOverload,
+    WorkerCrashed,
 )
 from ..prefetchers.base import BaselineBTBSystem
 from ..profiling.lbr import LBRRecorder
@@ -45,6 +48,8 @@ from ..workloads.apps import app_names
 from ..workloads.cfg import Workload
 from ..workloads.rng import make_rng
 from .build import plans_equivalent
+from .fleet import FleetConfig as FleetPoolConfig
+from .fleet import FleetRouter
 from .server import PlanService, ServiceConfig, default_workload_resolver
 
 
@@ -349,6 +354,320 @@ def format_bench_report(report: BenchReport) -> str:
 
 
 # ----------------------------------------------------------------------
+# Sharded multi-process fleet driver (repro.service.fleet)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ShardedFleetConfig:
+    """One sharded-fleet bench scenario (router + worker processes).
+
+    The chaos knobs (``kill_after`` / ``rebalance_after`` /
+    ``autoscale_every``) trigger on the count of journaled batches, so
+    a scenario is reproducible batch-for-batch regardless of wall time.
+    """
+
+    apps: Tuple[str, ...] = ("wordpress", "drupal")
+    trace_instructions: int = 12_000
+    sample_rate: int = 1
+    batch_size: int = 64
+    workers: int = 2
+    replicas: int = 1
+    max_workers: int = 8
+    queue_depth: int = 64
+    # Outstanding ingest acks the driver keeps in flight per step;
+    # raising it past queue_depth provokes shedding.
+    pipeline_depth: int = 8
+    autoscale: bool = False
+    autoscale_every: int = 0  # autoscale_tick() every N batches; 0 = never
+    kill_after: Optional[int] = None  # SIGKILL a worker after N batches
+    rebalance_after: Optional[int] = None  # skew ring weights after N batches
+    seed: int = 0
+    check_parity: bool = True
+    check_plans: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.apps:
+            raise ReproError("sharded fleet bench needs at least one app")
+        unknown = sorted(set(self.apps) - set(app_names()))
+        if unknown:
+            raise ReproError(
+                f"sharded fleet bench names unknown app(s) {unknown}; "
+                f"choose from {sorted(app_names())}"
+            )
+        if self.batch_size <= 0:
+            raise ReproError(f"batch_size must be positive, got {self.batch_size}")
+        if self.pipeline_depth < 1:
+            raise ReproError(
+                f"pipeline_depth must be >= 1, got {self.pipeline_depth}"
+            )
+        if self.autoscale_every < 0:
+            raise ReproError(
+                f"autoscale_every must be >= 0, got {self.autoscale_every}"
+            )
+
+
+@dataclass
+class FleetBenchReport:
+    """What one sharded-fleet run produced."""
+
+    apps: Dict[str, AppBenchResult] = field(default_factory=dict)
+    fleet: Dict = field(default_factory=dict)  # FleetRouter.stop() report
+    decisions: List[Dict] = field(default_factory=list)
+    moved_keys: int = 0
+    crash_acks: int = 0  # journaled ingests acked by WorkerCrashed (replayed)
+    ingest_retries: int = 0  # shed submissions resent (exactly-once safe)
+    wall_s: float = 0.0
+
+    @property
+    def router_counters(self) -> Dict:
+        return self.fleet.get("router", {}).get("counters", {})
+
+    @property
+    def parity_ok(self) -> Optional[bool]:
+        checked = [r.parity for r in self.apps.values() if r.parity is not None]
+        if not checked:
+            return None
+        return all(checked)
+
+    @property
+    def sheds(self) -> int:
+        return int(self.router_counters.get("fleet.replica_sheds", 0)) + sum(
+            int(v)
+            for k, v in self.router_counters.items()
+            if k.startswith("fleet.worker.") and k.endswith(".shed")
+        )
+
+    @property
+    def crashed_workers(self) -> List[str]:
+        return list(self.fleet.get("router", {}).get("crashed_workers", []))
+
+    @property
+    def drained_clean(self) -> bool:
+        return (
+            not self.fleet.get("abandoned_shards")
+            and not self.fleet.get("dirty_shards")
+        )
+
+
+def _reap_acks(outstanding, report: FleetBenchReport, limit: int) -> None:
+    """Wait out ingest acks beyond *limit* outstanding.
+
+    A :class:`~repro.errors.WorkerCrashed` ack is *not* a lost batch:
+    the router journaled it at acceptance and will replay it into the
+    replacement worker, so the driver only tallies it.
+    """
+    while len(outstanding) > limit:
+        future = outstanding.popleft()
+        try:
+            future.result(timeout=120.0)
+        except WorkerCrashed:
+            report.crash_acks += 1
+
+
+def run_fleet_sharded(
+    cfg: ShardedFleetConfig,
+    telemetry_path: Optional[str] = None,
+    journal_path: Optional[str] = None,
+    decisions_path: Optional[str] = None,
+) -> FleetBenchReport:
+    """Drive a sharded multi-process fleet and assert end-state parity.
+
+    Ground truth first (offline profile + arrival-ordered stream per
+    app), then the same streams are interleaved round-robin across
+    shards through the router while the configured chaos (worker kill,
+    skewed rebalance, autoscaler ticks) fires at batch milestones.
+    After a fleet-wide drain, each served plan is compared
+    site-for-site against the offline ``collect_profile → build_plan``
+    result on the same samples.
+    """
+    # Imported lazily: repro.bench.harness imports this module, so a
+    # top-level import of repro.bench.clock would be circular.
+    from ..bench.clock import now as wall_now
+
+    resolver = default_workload_resolver()
+    sim_cfg = SimConfig()
+    report = FleetBenchReport()
+    t0 = wall_now()
+
+    shards: Dict[str, Tuple[str, MissProfile, Tuple[MissSample, ...]]] = {}
+    for app in cfg.apps:
+        workload = resolver(app)
+        inp = workload.spec.make_input(0)
+        trace = generate_trace(
+            workload, inp, max_instructions=cfg.trace_instructions
+        )
+        profile, stream = collect_sample_stream(
+            workload, trace, sim_cfg, sample_rate=cfg.sample_rate
+        )
+        shards[app] = (trace.label, profile, stream)
+
+    router = FleetRouter(
+        config=FleetPoolConfig(
+            workers=cfg.workers,
+            replicas=cfg.replicas,
+            autoscale=cfg.autoscale,
+            max_workers=max(cfg.max_workers, cfg.workers),
+            queue_depth=cfg.queue_depth,
+            seed=cfg.seed,
+        ),
+        # Long debounce: shards build once at drain/get_plan instead of
+        # churning mid-stream; parity is about the end state.
+        service_config=ServiceConfig(
+            queue_depth=64,
+            deadline_ms=60_000,
+            reservoir_capacity=1 << 20,
+            hot_threshold=1,
+            debounce_s=30.0,
+            seed=cfg.seed,
+        ),
+        sim_config=sim_cfg,
+        check_plans=cfg.check_plans,
+        telemetry_path=telemetry_path,
+        journal_path=journal_path,
+        decisions_path=decisions_path,
+    )
+    router.start()
+
+    # Round-robin interleave so chaos events land mid-stream for every
+    # shard, not after some shard already finished.
+    queues = {
+        app: deque(
+            (stream[i : i + cfg.batch_size], seq)
+            for seq, i in enumerate(range(0, len(stream), cfg.batch_size))
+        )
+        for app, (_label, _profile, stream) in shards.items()
+    }
+    batches: Dict[str, int] = {app: 0 for app in cfg.apps}
+    retries: Dict[str, int] = {app: 0 for app in cfg.apps}
+    outstanding: deque = deque()
+    journaled = 0
+    killed = False
+    rebalanced = False
+    while any(queues.values()):
+        for app in cfg.apps:
+            if not queues[app]:
+                continue
+            label = shards[app][0]
+            chunk, seq = queues[app].popleft()
+            while True:
+                try:
+                    outstanding.append(
+                        router.ingest_async(app, label, chunk, seq=seq)
+                    )
+                    batches[app] += 1
+                    break
+                except ServiceOverload:
+                    # Shed before journaling: safe (and required) to
+                    # resend.  Draining acks gives the worker air; the
+                    # sleep yields to the IO pumps when none are out.
+                    retries[app] += 1
+                    report.ingest_retries += 1
+                    _reap_acks(outstanding, report, limit=0)
+                    time.sleep(0.001)
+            journaled += 1
+            _reap_acks(outstanding, report, limit=cfg.pipeline_depth)
+            if (
+                cfg.kill_after is not None
+                and not killed
+                and journaled >= cfg.kill_after
+            ):
+                router.kill_worker(router.ring.workers()[0])
+                killed = True
+            if (
+                cfg.rebalance_after is not None
+                and not rebalanced
+                and journaled >= cfg.rebalance_after
+            ):
+                _reap_acks(outstanding, report, limit=0)
+                members = router.ring.workers()
+                weights = {
+                    worker: (2.0 if i == 0 else 0.5)
+                    for i, worker in enumerate(members)
+                }
+                report.moved_keys = len(router.rebalance(weights))
+                rebalanced = True
+            if cfg.autoscale_every and journaled % cfg.autoscale_every == 0:
+                router.autoscale_tick()
+    _reap_acks(outstanding, report, limit=0)
+
+    for app in cfg.apps:
+        label, profile, stream = shards[app]
+        version = router.get_plan(app, label)
+        parity: Optional[bool] = None
+        if cfg.check_parity:
+            offline = build_plan(resolver(app), profile, sim_cfg)
+            parity = plans_equivalent(version.plan, offline)
+        report.apps[app] = AppBenchResult(
+            app=app,
+            input_label=label,
+            stream_samples=len(stream),
+            batches=batches[app],
+            ingest_retries=retries[app],
+            served_version=version.version,
+            served_sites=version.plan.total_prefetch_entries(),
+            parity=parity,
+        )
+
+    report.fleet = router.stop()
+    report.decisions = [d.to_record() for d in router.decisions]
+    report.wall_s = wall_now() - t0
+    return report
+
+
+def format_fleet_report(report: FleetBenchReport) -> str:
+    lines: List[str] = []
+    out = lines.append
+    out("sharded fleet bench report")
+    out("==========================")
+    out("")
+    out("per-shard (streamed -> served)")
+    for app in sorted(report.apps):
+        r = report.apps[app]
+        parity = "n/a" if r.parity is None else ("OK" if r.parity else "MISMATCH")
+        out(
+            f"  {app:16s} samples={r.stream_samples:<6d} "
+            f"batches={r.batches:<4d} retries={r.ingest_retries:<4d} "
+            f"plan v{r.served_version} sites={r.served_sites:<5d} "
+            f"parity={parity}"
+        )
+    counters = report.router_counters
+    router = report.fleet.get("router", {})
+    journal = router.get("journal", {})
+    out("")
+    out(
+        f"fleet: {int(counters.get('fleet.batches', 0))} batches journaled "
+        f"({journal.get('samples', 0)} samples, {journal.get('keys', 0)} shards), "
+        f"{report.sheds} shed (+{report.ingest_retries} resent), "
+        f"{int(counters.get('fleet.replayed_batches', 0))} replayed"
+    )
+    out(
+        f"workers: {int(counters.get('fleet.workers_spawned', 0))} spawned, "
+        f"{len(report.crashed_workers)} crashed "
+        f"({int(counters.get('fleet.workers_replaced', 0))} replaced), "
+        f"{int(counters.get('fleet.grown', 0))} grown, "
+        f"{int(counters.get('fleet.shrunk', 0))} shrunk"
+    )
+    out(
+        f"ring: {router.get('ring', {})} "
+        f"({int(counters.get('fleet.rebalances', 0))} rebalance(s), "
+        f"{report.moved_keys} key(s) moved)"
+    )
+    if report.decisions:
+        actions: Dict[str, int] = {}
+        for decision in report.decisions:
+            actions[decision["action"]] = actions.get(decision["action"], 0) + 1
+        summary = ", ".join(
+            f"{count} {action}" for action, count in sorted(actions.items())
+        )
+        out(f"autoscaler: {len(report.decisions)} decision(s): {summary}")
+    out(
+        f"drain: {'clean' if report.drained_clean else 'DIRTY'} "
+        f"(abandoned={report.fleet.get('abandoned_shards', [])})"
+    )
+    out(f"wall: {report.wall_s:.2f}s")
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
 # CLI entry points (python -m repro.experiments serve / service-bench,
 # tools/service_bench.py)
 # ----------------------------------------------------------------------
@@ -496,7 +815,9 @@ def serve_main(argv=None) -> int:
     """``serve``: a one-shot demo session of the plan service.
 
     Streams every requested app's samples through a running service
-    with gentle settings, prints the served plans, and drains.
+    with gentle settings, prints the served plans, and drains.  With
+    ``--fleet``, ``--workers N`` means N worker *processes* behind the
+    sharded router instead of N async tasks in one process.
     """
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments serve",
@@ -504,7 +825,42 @@ def serve_main(argv=None) -> int:
         "serve verified plans back, drain gracefully.",
     )
     _add_common_args(parser)
+    parser.add_argument(
+        "--fleet",
+        action="store_true",
+        help="serve from a sharded multi-process fleet "
+        "(--workers = worker processes)",
+    )
+    parser.add_argument(
+        "--replicas",
+        type=int,
+        default=1,
+        help="hot-shard replicas per key (fleet mode only)",
+    )
     args = parser.parse_args(argv)
+    if args.fleet:
+        try:
+            cfg = ShardedFleetConfig(
+                apps=_resolve_apps(args.apps),
+                trace_instructions=(
+                    args.trace_instructions
+                    if args.trace_instructions is not None
+                    else int_from_env("REPRO_TRACE_INSTRUCTIONS", 20_000)
+                ),
+                batch_size=args.batch_size,
+                workers=args.workers,
+                replicas=args.replicas,
+                queue_depth=args.queue_depth,
+                seed=args.seed,
+                check_parity=True,
+                check_plans=not args.no_check_plans,
+            )
+            report = run_fleet_sharded(cfg, telemetry_path=args.telemetry)
+        except ReproError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(format_fleet_report(report))
+        return 0 if report.parity_ok is not False and report.drained_clean else 1
     try:
         cfg = FleetConfig(
             apps=_resolve_apps(args.apps),
@@ -533,3 +889,147 @@ def serve_main(argv=None) -> int:
         sink.close()
     print(format_bench_report(report))
     return 0 if report.parity_ok is not False and report.drained_clean else 1
+
+
+def fleet_bench_main(argv=None) -> int:
+    """``fleet-bench``: the sharded multi-process chaos driver."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments fleet-bench",
+        description="Stream synthetic LBR samples through the sharded "
+        "multi-process fleet (kill / rebalance / autoscale chaos) and "
+        "assert end-state plan parity against the offline pipeline.",
+    )
+    _add_common_args(parser)
+    parser.add_argument(
+        "--replicas", type=int, default=1, help="hot-shard replicas per key"
+    )
+    parser.add_argument(
+        "--max-workers", type=int, default=8, help="autoscaler pool ceiling"
+    )
+    parser.add_argument(
+        "--pipeline-depth",
+        type=int,
+        default=8,
+        help="outstanding ingest acks kept in flight (raise past "
+        "--queue-depth to provoke shedding)",
+    )
+    parser.add_argument(
+        "--autoscale",
+        action="store_true",
+        help="enable the autoscaler (grow/shrink from live telemetry)",
+    )
+    parser.add_argument(
+        "--autoscale-every",
+        type=int,
+        default=0,
+        help="run one autoscaler tick every N journaled batches",
+    )
+    parser.add_argument(
+        "--kill-after",
+        type=int,
+        default=None,
+        metavar="N",
+        help="SIGKILL one worker after N journaled batches",
+    )
+    parser.add_argument(
+        "--rebalance-after",
+        type=int,
+        default=None,
+        metavar="N",
+        help="skew ring weights after N journaled batches",
+    )
+    parser.add_argument(
+        "--chaos",
+        action="store_true",
+        help="preset: tiny queues, deep pipeline, kill + rebalance + "
+        "autoscaler ticks mid-stream",
+    )
+    parser.add_argument(
+        "--journal",
+        default=None,
+        metavar="PATH",
+        help="mirror the ingest journal to a JSONL file",
+    )
+    parser.add_argument(
+        "--decisions",
+        default=None,
+        metavar="PATH",
+        help="append autoscaler allocation decisions to a JSONL file",
+    )
+    parser.add_argument(
+        "--no-check-parity",
+        action="store_true",
+        help="skip the online==offline plan parity assertion",
+    )
+    args = parser.parse_args(argv)
+
+    queue_depth = args.queue_depth
+    pipeline_depth = args.pipeline_depth
+    autoscale = args.autoscale
+    autoscale_every = args.autoscale_every
+    kill_after = args.kill_after
+    rebalance_after = args.rebalance_after
+    if args.chaos:
+        queue_depth = min(queue_depth, 4)
+        pipeline_depth = max(pipeline_depth, 3 * queue_depth)
+        autoscale = True
+        autoscale_every = autoscale_every or 6
+        kill_after = kill_after if kill_after is not None else 5
+        rebalance_after = rebalance_after if rebalance_after is not None else 9
+
+    try:
+        cfg = ShardedFleetConfig(
+            apps=_resolve_apps(args.apps),
+            trace_instructions=(
+                args.trace_instructions
+                if args.trace_instructions is not None
+                else int_from_env("REPRO_TRACE_INSTRUCTIONS", 12_000)
+            ),
+            batch_size=args.batch_size,
+            workers=args.workers,
+            replicas=args.replicas,
+            max_workers=args.max_workers,
+            queue_depth=queue_depth,
+            pipeline_depth=pipeline_depth,
+            autoscale=autoscale,
+            autoscale_every=autoscale_every,
+            kill_after=kill_after,
+            rebalance_after=rebalance_after,
+            seed=args.seed,
+            check_parity=not args.no_check_parity,
+            check_plans=not args.no_check_plans,
+        )
+        report = run_fleet_sharded(
+            cfg,
+            telemetry_path=args.telemetry,
+            journal_path=args.journal,
+            decisions_path=args.decisions,
+        )
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(format_fleet_report(report))
+    if cfg.check_parity and report.parity_ok is False:
+        print(
+            "error: served plans diverged from the offline pipeline",
+            file=sys.stderr,
+        )
+        return 1
+    if not report.drained_clean:
+        print("error: fleet did not drain cleanly", file=sys.stderr)
+        return 1
+    if kill_after is not None and not report.crashed_workers:
+        print(
+            "error: --kill-after was set but no worker crash was recorded",
+            file=sys.stderr,
+        )
+        return 1
+    if rebalance_after is not None and not int(
+        report.router_counters.get("fleet.rebalances", 0)
+    ):
+        print(
+            "error: --rebalance-after was set but no rebalance ran",
+            file=sys.stderr,
+        )
+        return 1
+    return 0

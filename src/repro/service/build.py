@@ -127,6 +127,10 @@ class IncrementalPlanBuilder:
     def versions(self) -> Dict[ShardKey, int]:
         return {k: v.version for k, v in self._latest.items()}
 
+    def discard(self, key: ShardKey) -> bool:
+        """Forget *key*'s published version (fleet rebalance handoff)."""
+        return self._latest.pop(key, None) is not None
+
     def build(self, shard: ShardState) -> PlanVersion:
         """Build, verify, and publish a plan for *shard*'s current state.
 

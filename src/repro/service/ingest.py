@@ -204,6 +204,15 @@ class IngestBuffer:
         """All known shards, in first-contact order."""
         return list(self._shards)
 
+    def discard(self, key: ShardKey) -> bool:
+        """Drop *key*'s shard state (fleet rebalance handoff).
+
+        Returns whether the shard existed.  The caller owns the
+        durability story: the fleet router only discards a shard after
+        its journal has been replayed into the new owner.
+        """
+        return self._shards.pop(key, None) is not None
+
     def dirty_keys(self) -> List[ShardKey]:
         """Shards with samples newer than their last plan build."""
         return [k for k, s in self._shards.items() if s.dirty]

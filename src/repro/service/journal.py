@@ -1,0 +1,186 @@
+"""Per-shard ingest journal: the router's durable record of every batch.
+
+The fleet router (:mod:`repro.service.fleet`) appends every accepted
+:class:`~repro.service.ingest.SampleBatch` here *before* handing it to
+a worker process.  The journal is therefore the source of truth for
+each shard's stream: per shard it holds the exact batches in exact
+arrival order, which makes three fleet operations correct by
+construction:
+
+* **crash recovery** — a replacement worker replays the journal and
+  reconstructs the dead worker's shard state fold-for-fold (the ingest
+  fold is deterministic, so replay converges to identical plans);
+* **rebalancing** — a shard moving to a new owner is brought up by
+  replaying its journal prefix into that worker;
+* **replica healing** — a replica that shed a batch under pressure is
+  caught up from the index it last confirmed.
+
+An optional JSONL mirror (``path=``) writes one self-describing line
+per batch — the chaos-run artifact CI uploads — and
+:func:`read_journal` loads a mirror back into an in-memory journal
+(typed :class:`~repro.errors.JournalError` on malformed input), so a
+router restart can resume from disk.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..errors import JournalError
+from ..profiling.profile import MissSample
+from .ingest import SampleBatch, ShardKey
+
+# Journal-line schema version (independent of the profile/plan schema).
+JOURNAL_SCHEMA_VERSION = 1
+
+
+def _batch_to_record(batch: SampleBatch, index: int) -> Dict:
+    return {
+        "v": JOURNAL_SCHEMA_VERSION,
+        "schema_version": JOURNAL_SCHEMA_VERSION,
+        "event": "ingest",
+        "app": batch.app_name,
+        "input": batch.input_label,
+        "index": index,
+        "seq": batch.seq,
+        "samples": [
+            [s.miss_pc, s.miss_block, [[b, c] for b, c in s.window]]
+            for s in batch.samples
+        ],
+    }
+
+
+def _record_to_batch(record: Dict) -> Tuple[SampleBatch, int]:
+    version = record.get("schema_version", record.get("v"))
+    if version is None:
+        raise JournalError(
+            "journal record carries no schema_version field; refusing to "
+            "guess its layout"
+        )
+    if version != JOURNAL_SCHEMA_VERSION:
+        raise JournalError(
+            f"unsupported journal schema version {version!r}; this build "
+            f"reads version {JOURNAL_SCHEMA_VERSION}"
+        )
+    try:
+        samples = tuple(
+            MissSample(
+                miss_pc=pc,
+                miss_block=block,
+                window=tuple((b, c) for b, c in window),
+            )
+            for pc, block, window in record["samples"]
+        )
+        batch = SampleBatch(
+            app_name=record["app"],
+            input_label=record["input"],
+            samples=samples,
+            seq=record.get("seq", 0),
+        )
+        return batch, record["index"]
+    except (KeyError, TypeError, ValueError) as exc:
+        raise JournalError(f"malformed journal record: {exc}") from exc
+
+
+class IngestJournal:
+    """Append-only per-shard batch log with an optional JSONL mirror."""
+
+    def __init__(self, path: Optional[str] = None):
+        self.path = path
+        self._batches: Dict[ShardKey, List[SampleBatch]] = {}
+        self.total_batches = 0
+        self.total_samples = 0
+        self._fh = None
+        if path:
+            parent = os.path.dirname(os.path.abspath(path))
+            try:
+                os.makedirs(parent, exist_ok=True)
+                self._fh = open(path, "a", encoding="utf-8")
+            except OSError as exc:
+                raise JournalError(
+                    f"cannot open journal mirror {path!r}: {exc}"
+                ) from exc
+
+    # ------------------------------------------------------------------
+    def record(self, batch: SampleBatch) -> int:
+        """Append one batch; returns its per-shard journal index."""
+        entries = self._batches.setdefault(batch.key, [])
+        index = len(entries)
+        entries.append(batch)
+        self.total_batches += 1
+        self.total_samples += len(batch.samples)
+        if self._fh is not None:
+            self._fh.write(json.dumps(_batch_to_record(batch, index)) + "\n")
+            self._fh.flush()
+        return index
+
+    def count(self, key: ShardKey) -> int:
+        """Batches journaled so far for *key*."""
+        return len(self._batches.get(key, ()))
+
+    def entries(self, key: ShardKey) -> Tuple[SampleBatch, ...]:
+        """The full journaled stream for *key*, in arrival order."""
+        return tuple(self._batches.get(key, ()))
+
+    def replay(self, key: ShardKey, start: int = 0) -> Iterator[SampleBatch]:
+        """Iterate *key*'s batches from journal index *start* onward."""
+        if start < 0:
+            raise JournalError(f"replay start must be >= 0, got {start}")
+        entries = self._batches.get(key, [])
+        yield from entries[start:]
+
+    def keys(self) -> List[ShardKey]:
+        """All journaled shards, in first-contact order."""
+        return list(self._batches)
+
+    def stats(self) -> Dict:
+        """JSON-friendly accounting snapshot."""
+        return {
+            "keys": len(self._batches),
+            "batches": self.total_batches,
+            "samples": self.total_samples,
+        }
+
+    def close(self) -> None:
+        if self._fh is not None:
+            try:
+                self._fh.close()
+            except OSError:
+                pass
+            self._fh = None
+
+
+def read_journal(path: str) -> IngestJournal:
+    """Load a JSONL journal mirror back into memory (restart recovery).
+
+    Records are re-appended in file order, which per shard *is* arrival
+    order; the per-shard ``index`` fields must come back contiguous or
+    the mirror is corrupt (:class:`~repro.errors.JournalError`).
+    """
+    if not os.path.isfile(path):
+        raise JournalError(f"no journal mirror at {path!r}")
+    journal = IngestJournal()
+    with open(path, "r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError as exc:
+                raise JournalError(
+                    f"journal mirror {path!r} line {lineno}: invalid JSON "
+                    f"({exc})"
+                ) from exc
+            batch, index = _record_to_batch(record)
+            expected = journal.count(batch.key)
+            if index != expected:
+                raise JournalError(
+                    f"journal mirror {path!r} line {lineno}: shard "
+                    f"{batch.key} index {index} out of order "
+                    f"(expected {expected})"
+                )
+            journal.record(batch)
+    return journal

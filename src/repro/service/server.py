@@ -270,6 +270,18 @@ class PlanService:
         """Operational snapshot, served through the request queue."""
         return await self.request("stats", None, deadline_ms=deadline_ms)
 
+    async def forget(
+        self, app_name: str, input_label: str, deadline_ms: Optional[int] = None
+    ) -> bool:
+        """Drop one shard's state and plan (fleet rebalance handoff).
+
+        Returns whether the shard existed.  Served through the request
+        queue so it cannot race an ingest fold for the same shard.
+        """
+        return await self.request(
+            "forget", (app_name, input_label), deadline_ms=deadline_ms
+        )
+
     # ------------------------------------------------------------------
     async def request(self, kind: str, payload, deadline_ms: Optional[int] = None):
         """Enqueue one request and await its response under a deadline."""
@@ -344,7 +356,23 @@ class PlanService:
             return await self._serve_plan((app_name, input_label))
         if req.kind == "stats":
             return self.stats_snapshot()
+        if req.kind == "forget":
+            return self._process_forget(req.payload)
         raise ServiceError(f"unknown request kind {req.kind!r}")
+
+    def _process_forget(self, key: ShardKey) -> bool:
+        """Drop one shard; synchronous (like ingest) so it serializes
+        with folds for the same shard in queue order."""
+        pending = self._debounce.pop(key, None)
+        if pending is not None and not pending.done():
+            pending.cancel()
+        self._build_locks.pop(key, None)
+        self._last_build_error.pop(key, None)
+        dropped_plan = self.builder.discard(key)
+        dropped_state = self.buffer.discard(key)
+        if dropped_state or dropped_plan:
+            self.metrics.inc("service.shards_forgotten")
+        return dropped_state
 
     def _process_ingest(self, batch: SampleBatch):
         """Fold one batch in; synchronous so shard order == queue order."""

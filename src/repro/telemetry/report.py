@@ -7,7 +7,9 @@ operational picture of a run:
 * per-phase wall-time breakdown across the five pipeline stages,
   overall and split per app / per system;
 * disk-cache behaviour: hit rate, stores, quarantine traffic;
-* worker utilization: per-pid request counts and busy seconds;
+* worker utilization: per-pid request counts, busy seconds, and
+  serving pressure (requests shed, queue-depth high-water) — the
+  fleet's per-worker view, not just the fleet-wide totals;
 * retry / serial-fallback counts from the process pool.
 
 Used by ``python -m repro.experiments telemetry-report`` and
@@ -146,6 +148,54 @@ def summarize(events: List[Dict]) -> Dict:
             w = workers.setdefault(pid, {"requests": 0, "busy_s": 0.0})
             w["requests"] += int(value)
 
+    # Per-pid serving-pressure rows.  Two sources, both per process:
+    # each fleet worker's own summary carries its service.shed counter
+    # and service.max_queue_depth high-water gauge, and the router's
+    # summary carries its outside view as fleet.worker.<pid>.* metrics
+    # (router-side sheds never reach the worker, so both views matter).
+    for pid, metrics in summary_by_pid.items():
+        if pid is None:
+            continue
+        pid_counters = metrics.get("counters", {})
+        pid_gauges = metrics.get("gauges", {})
+        shed = int(pid_counters.get("service.shed", 0))
+        depth = int(pid_gauges.get("service.max_queue_depth", 0))
+        if shed or depth or pid in workers:
+            w = workers.setdefault(pid, {"requests": 0, "busy_s": 0.0})
+            w["shed"] = w.get("shed", 0) + shed
+            w["max_queue_depth"] = max(w.get("max_queue_depth", 0), depth)
+    for name, value in counters.items():
+        if not name.startswith("fleet.worker."):
+            continue
+        parts = name.split(".")
+        try:
+            pid = int(parts[2])
+        except ValueError:
+            continue
+        metric = ".".join(parts[3:])
+        w = workers.setdefault(pid, {"requests": 0, "busy_s": 0.0})
+        if metric == "shed":
+            w["shed"] = w.get("shed", 0) + int(value)
+        elif metric == "requests":
+            w["requests"] += int(value)
+    for metrics in summary_by_pid.values():
+        for name, value in metrics.get("gauges", {}).items():
+            if not (
+                name.startswith("fleet.worker.")
+                and name.endswith(".max_queue_depth")
+            ):
+                continue
+            try:
+                pid = int(name.split(".")[2])
+            except ValueError:
+                continue
+            w = workers.setdefault(pid, {"requests": 0, "busy_s": 0.0})
+            w["max_queue_depth"] = max(w.get("max_queue_depth", 0), int(value))
+    # Stable row schema whether or not a pid saw queue pressure.
+    for w in workers.values():
+        w.setdefault("shed", 0)
+        w.setdefault("max_queue_depth", 0)
+
     return {
         "phases": phases,
         "by_group": by_group,
@@ -216,10 +266,17 @@ def format_report(summary: Dict) -> str:
 
     workers = summary["workers"]
     out("")
-    out("processes (requests = pool requests served; busy = span wall time)")
+    out(
+        "processes (requests = pool requests served; busy = span wall "
+        "time; shed/maxq = serving pressure)"
+    )
     for pid in sorted(workers):
         w = workers[pid]
-        out(f"  pid {pid:<8d} requests={w['requests']:<5d} busy={w['busy_s']:.3f}s")
+        out(
+            f"  pid {pid:<8d} requests={w['requests']:<5d} "
+            f"busy={w['busy_s']:.3f}s "
+            f"shed={w.get('shed', 0):<5d} maxq={w.get('max_queue_depth', 0)}"
+        )
     if not workers:
         out("  (no worker activity)")
 

@@ -11,6 +11,9 @@ from repro.config import (
     MemoryConfig,
     SimConfig,
     TwigConfig,
+    fleet_autoscale_from_env,
+    fleet_replicas_from_env,
+    fleet_workers_from_env,
     is_power_of_two,
     service_deadline_ms_from_env,
     service_queue_depth_from_env,
@@ -179,3 +182,60 @@ class TestServiceKnobs:
         assert cfg.queue_depth == 3
         assert cfg.deadline_ms == 123
         assert cfg.reservoir_capacity == 77
+
+
+class TestFleetKnobs:
+    """Typed env knobs for the sharded multi-process fleet."""
+
+    @pytest.fixture(autouse=True)
+    def clean_env(self, monkeypatch):
+        for name in (
+            "REPRO_FLEET_WORKERS",
+            "REPRO_FLEET_REPLICAS",
+            "REPRO_FLEET_AUTOSCALE",
+        ):
+            monkeypatch.delenv(name, raising=False)
+        return monkeypatch
+
+    def test_defaults(self):
+        assert fleet_workers_from_env() == 2
+        assert fleet_replicas_from_env() == 1
+        assert fleet_autoscale_from_env() is False
+
+    def test_valid_values(self, clean_env):
+        clean_env.setenv("REPRO_FLEET_WORKERS", "4")
+        clean_env.setenv("REPRO_FLEET_REPLICAS", "2")
+        clean_env.setenv("REPRO_FLEET_AUTOSCALE", "yes")
+        assert fleet_workers_from_env() == 4
+        assert fleet_replicas_from_env() == 2
+        assert fleet_autoscale_from_env() is True
+
+    @pytest.mark.parametrize(
+        "name,reader",
+        [
+            ("REPRO_FLEET_WORKERS", fleet_workers_from_env),
+            ("REPRO_FLEET_REPLICAS", fleet_replicas_from_env),
+        ],
+    )
+    @pytest.mark.parametrize("bad", ["0", "-5", "lots", "1.5"])
+    def test_invalid_ints_rejected(self, clean_env, name, reader, bad):
+        clean_env.setenv(name, bad)
+        with pytest.raises(ConfigError, match=name):
+            reader()
+
+    @pytest.mark.parametrize("bad", ["maybe", "2", "yep"])
+    def test_invalid_autoscale_flag_rejected(self, clean_env, bad):
+        clean_env.setenv("REPRO_FLEET_AUTOSCALE", bad)
+        with pytest.raises(ConfigError, match="REPRO_FLEET_AUTOSCALE"):
+            fleet_autoscale_from_env()
+
+    def test_fleet_config_defaults_read_env(self, clean_env):
+        from repro.service.fleet import FleetConfig
+
+        clean_env.setenv("REPRO_FLEET_WORKERS", "3")
+        clean_env.setenv("REPRO_FLEET_REPLICAS", "2")
+        clean_env.setenv("REPRO_FLEET_AUTOSCALE", "on")
+        cfg = FleetConfig()
+        assert cfg.workers == 3
+        assert cfg.replicas == 2
+        assert cfg.autoscale is True

@@ -1,0 +1,163 @@
+"""Tests for the fleet ingest journal (repro.service.journal)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import JournalError
+from repro.profiling.profile import MissSample
+from repro.service.ingest import SampleBatch
+from repro.service.journal import (
+    JOURNAL_SCHEMA_VERSION,
+    IngestJournal,
+    read_journal,
+)
+
+
+def sample(i: int) -> MissSample:
+    return MissSample(
+        miss_pc=0x1000 + 4 * i,
+        miss_block=0x2000 + 64 * i,
+        window=((0x2000 + 64 * i, 10 + i), (0x2040 + 64 * i, 20 + i)),
+    )
+
+
+def batch(app: str, label: str, seq: int, n: int = 3) -> SampleBatch:
+    return SampleBatch(
+        app_name=app,
+        input_label=label,
+        samples=tuple(sample(seq * 10 + i) for i in range(n)),
+        seq=seq,
+    )
+
+
+KEY_A = ("wordpress", "input0")
+KEY_B = ("drupal", "input0")
+
+
+class TestInMemoryJournal:
+    def test_record_count_entries_in_order(self):
+        journal = IngestJournal()
+        b0 = batch(*KEY_A, seq=0)
+        b1 = batch(*KEY_A, seq=1)
+        other = batch(*KEY_B, seq=0)
+        assert journal.record(b0) == 0
+        assert journal.record(other) == 0  # indices are per shard
+        assert journal.record(b1) == 1
+        assert journal.count(KEY_A) == 2
+        assert journal.count(KEY_B) == 1
+        assert journal.count(("nope", "nope")) == 0
+        assert journal.entries(KEY_A) == (b0, b1)
+        assert journal.keys() == [KEY_A, KEY_B]
+
+    def test_replay_from_offset(self):
+        journal = IngestJournal()
+        batches = [batch(*KEY_A, seq=i) for i in range(4)]
+        for b in batches:
+            journal.record(b)
+        assert list(journal.replay(KEY_A)) == batches
+        assert list(journal.replay(KEY_A, start=2)) == batches[2:]
+        assert list(journal.replay(KEY_A, start=9)) == []
+        assert list(journal.replay(KEY_B)) == []
+
+    def test_replay_negative_start_rejected(self):
+        journal = IngestJournal()
+        with pytest.raises(JournalError, match="start"):
+            list(journal.replay(KEY_A, start=-1))
+
+    def test_stats(self):
+        journal = IngestJournal()
+        journal.record(batch(*KEY_A, seq=0, n=2))
+        journal.record(batch(*KEY_B, seq=0, n=5))
+        assert journal.stats() == {"keys": 2, "batches": 2, "samples": 7}
+
+
+class TestMirror:
+    def test_roundtrip(self, tmp_path):
+        path = str(tmp_path / "journal.jsonl")
+        journal = IngestJournal(path)
+        recorded = [
+            batch(*KEY_A, seq=0),
+            batch(*KEY_B, seq=0, n=2),
+            batch(*KEY_A, seq=1, n=4),
+        ]
+        for b in recorded:
+            journal.record(b)
+        journal.close()
+
+        loaded = read_journal(path)
+        assert loaded.entries(KEY_A) == (recorded[0], recorded[2])
+        assert loaded.entries(KEY_B) == (recorded[1],)
+        assert loaded.stats() == journal.stats()
+
+    def test_mirror_lines_are_self_describing(self, tmp_path):
+        path = str(tmp_path / "journal.jsonl")
+        journal = IngestJournal(path)
+        journal.record(batch(*KEY_A, seq=0))
+        journal.close()
+        with open(path, encoding="utf-8") as fh:
+            record = json.loads(fh.readline())
+        assert record["schema_version"] == JOURNAL_SCHEMA_VERSION
+        assert record["event"] == "ingest"
+        assert record["app"] == KEY_A[0]
+        assert record["index"] == 0
+        assert record["samples"]
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(JournalError, match="no journal mirror"):
+            read_journal(str(tmp_path / "absent.jsonl"))
+
+    def test_invalid_json_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("{not json\n")
+        with pytest.raises(JournalError, match="invalid JSON"):
+            read_journal(str(path))
+
+    def test_unknown_schema_version_rejected(self, tmp_path):
+        path = str(tmp_path / "future.jsonl")
+        journal = IngestJournal(path)
+        journal.record(batch(*KEY_A, seq=0))
+        journal.close()
+        with open(path, encoding="utf-8") as fh:
+            record = json.loads(fh.readline())
+        record["schema_version"] = 999
+        record["v"] = 999
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(json.dumps(record) + "\n")
+        with pytest.raises(JournalError, match="unsupported journal schema"):
+            read_journal(path)
+
+    def test_missing_schema_version_rejected(self, tmp_path):
+        path = tmp_path / "naked.jsonl"
+        path.write_text(json.dumps({"event": "ingest", "app": "a"}) + "\n")
+        with pytest.raises(JournalError, match="no schema_version"):
+            read_journal(str(path))
+
+    def test_index_gap_rejected(self, tmp_path):
+        path = str(tmp_path / "gap.jsonl")
+        journal = IngestJournal(path)
+        journal.record(batch(*KEY_A, seq=0))
+        journal.record(batch(*KEY_A, seq=1))
+        journal.close()
+        lines = open(path, encoding="utf-8").read().splitlines()
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(lines[1] + "\n")  # drop index 0 -> gap
+        with pytest.raises(JournalError, match="out of order"):
+            read_journal(path)
+
+    def test_malformed_record_rejected(self, tmp_path):
+        path = tmp_path / "mangled.jsonl"
+        path.write_text(
+            json.dumps({"schema_version": 1, "event": "ingest", "app": "a"})
+            + "\n"
+        )
+        with pytest.raises(JournalError, match="malformed journal record"):
+            read_journal(str(path))
+
+    def test_unwritable_mirror_rejected(self, tmp_path):
+        target = tmp_path / "not-a-dir"
+        target.write_text("occupied")
+        with pytest.raises(JournalError, match="cannot open journal mirror"):
+            IngestJournal(str(target / "journal.jsonl"))

@@ -1,0 +1,189 @@
+"""Property tests for the consistent-hash ring (repro.service.ring).
+
+Everything is driven by a seeded key corpus — no ambient RNG — so a
+failure reproduces bit-for-bit.  The three pinned properties are the
+ones the fleet router leans on: balance within a constant factor of
+the mean, minimal key movement under membership/weight changes, and
+replica placement that never co-locates.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import FleetError
+from repro.service.ring import DEFAULT_VNODES, HashRing, movement
+
+
+def corpus(n: int, tag: str = "app") -> list:
+    """A deterministic (app, input) key corpus."""
+    return [(f"{tag}{i % 97}", f"input{i}") for i in range(n)]
+
+
+def build_ring(workers: int, seed: int = 0) -> HashRing:
+    ring = HashRing(seed=seed)
+    for i in range(workers):
+        ring.add(f"w{i}")
+    return ring
+
+
+# ----------------------------------------------------------------------
+class TestBalance:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 7, 42])
+    def test_share_within_bounds_of_mean(self, seed):
+        ring = build_ring(5, seed=seed)
+        keys = corpus(1000)
+        shares = ring.shares(keys)
+        mean = len(keys) / len(shares)
+        assert sum(shares.values()) == len(keys)
+        assert max(shares.values()) <= 2.0 * mean, shares
+        assert min(shares.values()) >= 0.35 * mean, shares
+
+    def test_weight_skews_share(self):
+        ring = build_ring(4, seed=3)
+        keys = corpus(2000)
+        even = ring.shares(keys)
+        ring.set_weight("w0", 3.0)
+        skewed = ring.shares(keys)
+        # Tripling w0's weight must grow its share substantially.
+        assert skewed["w0"] > 1.8 * even["w0"]
+
+    def test_determinism_same_seed_same_placement(self):
+        a = build_ring(4, seed=9)
+        b = build_ring(4, seed=9)
+        keys = corpus(300)
+        assert a.assignment(keys, replicas=2) == b.assignment(keys, replicas=2)
+
+    def test_seed_changes_placement(self):
+        a = build_ring(4, seed=0)
+        b = build_ring(4, seed=1)
+        keys = corpus(300)
+        assert a.assignment(keys) != b.assignment(keys)
+
+
+# ----------------------------------------------------------------------
+class TestMinimalMovement:
+    @pytest.mark.parametrize("seed", [0, 1, 5])
+    def test_add_moves_only_to_new_worker(self, seed):
+        ring = build_ring(4, seed=seed)
+        keys = corpus(800)
+        before = {k: ring.primary(k) for k in keys}
+        ring.add("w4")
+        after = {k: ring.primary(k) for k in keys}
+        # movement() raises FleetError if any move doesn't involve w4.
+        moved = movement(before, after, involved="w4")
+        assert moved, "adding a worker must claim some keys"
+        assert all(after[k] == "w4" for k in moved)
+        # Roughly 1/5 of the space; generous bound to stay seed-stable.
+        assert len(moved) <= 0.45 * len(keys)
+
+    @pytest.mark.parametrize("seed", [0, 1, 5])
+    def test_remove_moves_only_from_removed_worker(self, seed):
+        ring = build_ring(5, seed=seed)
+        keys = corpus(800)
+        before = {k: ring.primary(k) for k in keys}
+        ring.remove("w2")
+        after = {k: ring.primary(k) for k in keys}
+        moved = movement(before, after, involved="w2")
+        assert all(before[k] == "w2" for k in moved)
+        # Everything w2 owned moved; nothing else did.
+        assert len(moved) == sum(1 for k in keys if before[k] == "w2")
+
+    def test_reweight_moves_only_involving_reweighted_worker(self):
+        ring = build_ring(5, seed=4)
+        keys = corpus(800)
+        before = {k: ring.primary(k) for k in keys}
+        ring.set_weight("w1", 2.5)
+        after = {k: ring.primary(k) for k in keys}
+        moved = movement(before, after, involved="w1")
+        # A weight increase only pulls keys toward w1.
+        assert all(after[k] == "w1" for k in moved)
+
+    def test_movement_contract_rejects_gratuitous_moves(self):
+        before = {("a", "1"): "w0", ("b", "2"): "w1"}
+        after = {("a", "1"): "w2", ("b", "2"): "w1"}
+        with pytest.raises(FleetError, match="without involving"):
+            movement(before, after, involved="w1")
+        assert movement(before, after) == [("a", "1")]
+
+
+# ----------------------------------------------------------------------
+class TestReplicaPlacement:
+    @pytest.mark.parametrize("seed", [0, 3, 11])
+    def test_replicas_never_co_locate(self, seed):
+        ring = build_ring(5, seed=seed)
+        for key in corpus(500):
+            owners = ring.owners(key, replicas=3)
+            assert len(owners) == 3
+            assert len(set(owners)) == 3
+
+    def test_replicas_clamp_to_membership(self):
+        ring = build_ring(2, seed=0)
+        owners = ring.owners(("app", "input"), replicas=5)
+        assert sorted(owners) == ["w0", "w1"]
+
+    def test_primary_is_first_owner(self):
+        ring = build_ring(4, seed=2)
+        for key in corpus(100):
+            assert ring.primary(key) == ring.owners(key, replicas=3)[0]
+
+    def test_replica_set_stable_under_unrelated_add(self):
+        ring = build_ring(4, seed=6)
+        keys = corpus(400)
+        before = ring.assignment(keys, replicas=2)
+        ring.add("w4")
+        after = ring.assignment(keys, replicas=2)
+        for key in keys:
+            # The new membership can only introduce w4 (possibly
+            # displacing one old owner); it must never shuffle a key
+            # onto an unrelated old worker.
+            assert set(after[key]) <= set(before[key]) | {"w4"}
+            assert len(set(before[key]) - set(after[key])) <= 1
+
+
+# ----------------------------------------------------------------------
+class TestRingApi:
+    def test_empty_ring_owns_nothing(self):
+        ring = HashRing()
+        with pytest.raises(FleetError, match="no workers"):
+            ring.owners(("a", "b"))
+
+    def test_re_add_rejected(self):
+        ring = build_ring(1)
+        with pytest.raises(FleetError, match="already on the ring"):
+            ring.add("w0")
+
+    def test_remove_unknown_rejected(self):
+        ring = build_ring(1)
+        with pytest.raises(FleetError, match="not on the ring"):
+            ring.remove("w9")
+        with pytest.raises(FleetError, match="not on the ring"):
+            ring.set_weight("w9", 2.0)
+        with pytest.raises(FleetError, match="not on the ring"):
+            ring.weight("w9")
+
+    def test_nonpositive_weight_rejected(self):
+        ring = build_ring(2)
+        with pytest.raises(FleetError, match="must be positive"):
+            ring.set_weight("w0", 0.0)
+        with pytest.raises(FleetError, match="must be positive"):
+            ring.add("w9", weight=-1.0)
+
+    def test_bad_replica_count_rejected(self):
+        ring = build_ring(2)
+        with pytest.raises(FleetError, match="replicas must be >= 1"):
+            ring.owners(("a", "b"), replicas=0)
+
+    def test_bad_vnode_count_rejected(self):
+        with pytest.raises(FleetError, match="vnodes_per_weight"):
+            HashRing(vnodes_per_weight=0)
+
+    def test_membership_and_describe(self):
+        ring = build_ring(3, seed=1)
+        ring.set_weight("w1", 2.0)
+        assert len(ring) == 3
+        assert "w1" in ring and "w9" not in ring
+        assert ring.workers() == ["w0", "w1", "w2"]
+        assert ring.describe() == {"w0": 1.0, "w1": 2.0, "w2": 1.0}
+        assert ring.weight("w1") == 2.0
+        assert ring.vnodes_per_weight == DEFAULT_VNODES

@@ -262,6 +262,42 @@ class TestReport:
         assert "hit rate 100.0%" in report
         assert "pool: 0 retried request(s), 0 serial fallback(s)" in report
 
+    def test_per_pid_serving_pressure_rows(self):
+        # Pin the worker-row schema from both sources: a fleet worker's
+        # own summary (service.shed counter + service.max_queue_depth
+        # gauge) and the router's outside view shipped as
+        # fleet.worker.<pid>.* counters/gauges.  Every row must carry
+        # the full schema even when a pid saw no queue pressure.
+        events = [
+            {"event": "summary", "pid": 71,
+             "metrics": {"counters": {"service.shed": 4},
+                         "gauges": {"service.max_queue_depth": 9}}},
+            {"event": "summary", "pid": 1,
+             "metrics": {"counters": {"fleet.worker.71.shed": 2,
+                                      "fleet.worker.71.requests": 30,
+                                      "fleet.worker.72.shed": 1,
+                                      "fleet.worker.72.requests": 11},
+                         "gauges": {"fleet.worker.72.max_queue_depth": 5}}},
+            {"event": "summary", "pid": 2,
+             "metrics": {"counters": {"worker.80.requests": 3}}},
+        ]
+        workers = summarize(events)["workers"]
+        # Both views of pid 71 merge: sheds add, depth is a high-water.
+        assert workers[71] == {
+            "requests": 30, "busy_s": 0.0, "shed": 6, "max_queue_depth": 9,
+        }
+        assert workers[72] == {
+            "requests": 11, "busy_s": 0.0, "shed": 1, "max_queue_depth": 5,
+        }
+        # A pid with no serving pressure still has the full row schema.
+        assert workers[80] == {
+            "requests": 3, "busy_s": 0.0, "shed": 0, "max_queue_depth": 0,
+        }
+        report = format_report(summarize(events))
+        assert "shed=6" in report
+        assert "maxq=9" in report
+        assert "shed/maxq = serving pressure" in report
+
 
 class TestRunnerIntegration:
     def test_disabled_by_default(self, monkeypatch):

@@ -1,0 +1,28 @@
+#!/usr/bin/env python3
+"""Offline wrapper for the sharded multi-process fleet bench.
+
+Runs with no installation step (inserts ``src/`` on sys.path, mirrors
+``tools/staticcheck.py``) so CI can chaos-test the fleet directly:
+
+    python tools/fleet_bench.py --apps wordpress,drupal --workers 2
+    python tools/fleet_bench.py --chaos --decisions decisions.jsonl
+    python tools/fleet_bench.py --kill-after 5 --rebalance-after 9 \
+        --journal journal.jsonl
+
+Exit codes: 0 clean (parity held through the chaos, drain clean),
+1 assertion failure, 2 usage/pipeline error.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+)
+
+from repro.service.bench import fleet_bench_main  # noqa: E402
+
+if __name__ == "__main__":
+    raise SystemExit(fleet_bench_main())
