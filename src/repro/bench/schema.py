@@ -40,6 +40,10 @@ from ..profiling.serialize import check_schema_version
 
 BENCH_SCHEMA_VERSION = 1
 
+# ``BENCH_service.json`` (the HTTP load harness) versions independently
+# of the simulator bench report.
+SERVICE_BENCH_SCHEMA_VERSION = 1
+
 # Phases every per-app record must carry, in report order.
 PHASES = (
     "trace_gen",
@@ -55,6 +59,135 @@ PHASES = (
 def _require(cond: bool, message: str) -> None:
     if not cond:
         raise BenchError(message)
+
+
+def validate_service_bench_dict(data: dict) -> None:
+    """Validate a loaded ``BENCH_service.json``; raise :class:`BenchError`.
+
+    Layout (version 1)::
+
+        {
+          "schema_version": 1,
+          "kind": "service_bench",
+          "settings": {"apps", "clients", "requests_per_client",
+                       "arrival_rate_hz", "deadline_ms", "queue_depth",
+                       "workers", "trace_instructions", "seed"},
+          "latency_ms": {"count", "p50", "p99", "p999", "mean", "max"},
+          "outcomes": {"ok", "shed", "expired", "transport_error",
+                       "shed_rate"},
+          "ingest": {"batches", "retries", "samples"},
+          "recovery": {"measured", "time_s", "batches_replayed",
+                       "snapshot_loaded", "parity"},
+          "slo": {"<objective>": {"limit", "actual", "ok"}, "ok": bool},
+          "wall_s": float
+        }
+
+    Percentiles are ``null`` when no request succeeded (``count`` 0);
+    ``recovery.time_s``/``recovery.parity`` are ``null`` when recovery
+    was not measured.
+    """
+    _require(isinstance(data, dict), "service bench report must be a JSON object")
+    if data.get("kind") != "service_bench":
+        raise BenchError(
+            f"not a service bench report (kind={data.get('kind')!r}, "
+            "expected 'service_bench')"
+        )
+    check_schema_version(
+        data,
+        "service bench report",
+        BenchError,
+        expected=SERVICE_BENCH_SCHEMA_VERSION,
+    )
+
+    settings = data.get("settings")
+    _require(
+        isinstance(settings, dict), "service bench report carries no settings"
+    )
+    apps = settings.get("apps")
+    _require(
+        isinstance(apps, list) and apps,
+        "settings.apps must be a non-empty list",
+    )
+    for key in ("clients", "requests_per_client", "deadline_ms",
+                "queue_depth", "workers", "trace_instructions"):
+        _require(
+            isinstance(settings.get(key), int) and settings[key] > 0,
+            f"settings.{key} must be a positive integer",
+        )
+
+    latency = data.get("latency_ms")
+    _require(isinstance(latency, dict), "service bench report carries no latency_ms")
+    count = latency.get("count")
+    _require(
+        isinstance(count, int) and count >= 0,
+        "latency_ms.count must be a non-negative integer",
+    )
+    for key in ("p50", "p99", "p999", "mean", "max"):
+        value = latency.get(key)
+        if count == 0:
+            _require(value is None, f"latency_ms.{key} must be null with no samples")
+        else:
+            _require(
+                isinstance(value, (int, float)) and value >= 0.0,
+                f"latency_ms.{key} must be a non-negative number",
+            )
+
+    outcomes = data.get("outcomes")
+    _require(isinstance(outcomes, dict), "service bench report carries no outcomes")
+    for key in ("ok", "shed", "expired", "transport_error"):
+        _require(
+            isinstance(outcomes.get(key), int) and outcomes[key] >= 0,
+            f"outcomes.{key} must be a non-negative integer",
+        )
+    shed_rate = outcomes.get("shed_rate")
+    _require(
+        isinstance(shed_rate, (int, float)) and 0.0 <= shed_rate <= 1.0,
+        "outcomes.shed_rate must be a number in [0, 1]",
+    )
+
+    ingest = data.get("ingest")
+    _require(isinstance(ingest, dict), "service bench report carries no ingest")
+    for key in ("batches", "retries", "samples"):
+        _require(
+            isinstance(ingest.get(key), int) and ingest[key] >= 0,
+            f"ingest.{key} must be a non-negative integer",
+        )
+
+    recovery = data.get("recovery")
+    _require(isinstance(recovery, dict), "service bench report carries no recovery")
+    _require(
+        isinstance(recovery.get("measured"), bool),
+        "recovery.measured must be a boolean",
+    )
+    if recovery["measured"]:
+        _require(
+            isinstance(recovery.get("time_s"), (int, float))
+            and recovery["time_s"] >= 0.0,
+            "recovery.time_s must be a non-negative number when measured",
+        )
+        _require(
+            isinstance(recovery.get("parity"), bool),
+            "recovery.parity must be a boolean when measured",
+        )
+
+    slo = data.get("slo")
+    _require(isinstance(slo, dict), "service bench report carries no slo")
+    _require(isinstance(slo.get("ok"), bool), "slo.ok must be a boolean")
+    for name, objective in slo.items():
+        if name == "ok":
+            continue
+        _require(
+            isinstance(objective, dict)
+            and isinstance(objective.get("ok"), bool)
+            and isinstance(objective.get("limit"), (int, float)),
+            f"slo.{name} must carry numeric limit and boolean ok",
+        )
+
+    wall = data.get("wall_s")
+    _require(
+        isinstance(wall, (int, float)) and wall >= 0.0,
+        "wall_s must be a non-negative number",
+    )
 
 
 def validate_bench_dict(data: dict) -> None:

@@ -207,6 +207,76 @@ def fleet_autoscale_from_env() -> bool:
     return bool_from_env("REPRO_FLEET_AUTOSCALE")
 
 
+def service_snapshot_dir_from_env() -> Optional[str]:
+    """Snapshot directory from ``REPRO_SERVICE_SNAPSHOT_DIR``, or ``None``.
+
+    When set, the plan service periodically persists its per-shard
+    ingest state (sketch counters, reservoir contents and RNG state,
+    published plan lineage) here, and ``PlanService.restore`` reloads
+    the latest valid snapshot on restart.  Unset disables snapshotting.
+    """
+    return os.environ.get("REPRO_SERVICE_SNAPSHOT_DIR", "").strip() or None
+
+
+def service_snapshot_every_from_env() -> int:
+    """Snapshot cadence in journaled batches (``REPRO_SERVICE_SNAPSHOT_EVERY``).
+
+    A snapshot is written after every N ingested batches (and always at
+    drain).  Lower values shorten journal replay on recovery at the
+    cost of more frequent snapshot writes.
+    """
+    return int_from_env("REPRO_SERVICE_SNAPSHOT_EVERY", 16)
+
+
+def service_journal_from_env() -> Optional[str]:
+    """Service WAL mirror path from ``REPRO_SERVICE_JOURNAL``, or ``None``.
+
+    When set, every accepted ingest batch is appended to this JSONL
+    write-ahead log before it is folded; recovery replays the suffix
+    past the latest snapshot.  Unset keeps the journal in memory only
+    (no crash durability).
+    """
+    return os.environ.get("REPRO_SERVICE_JOURNAL", "").strip() or None
+
+
+def service_fsync_from_env() -> bool:
+    """Journal fsync toggle from ``REPRO_SERVICE_FSYNC``.
+
+    Off (the default), each journaled record is flushed to the OS —
+    surviving a process crash; on, each record is also fsynced to
+    stable storage — surviving a machine crash, at a per-batch cost.
+    """
+    return bool_from_env("REPRO_SERVICE_FSYNC")
+
+
+def service_http_host_from_env() -> str:
+    """HTTP transport bind host from ``REPRO_SERVICE_HTTP_HOST``."""
+    return os.environ.get("REPRO_SERVICE_HTTP_HOST", "").strip() or "127.0.0.1"
+
+
+def service_http_port_from_env() -> int:
+    """HTTP transport bind port from ``REPRO_SERVICE_HTTP_PORT``.
+
+    Port ``0`` (the default) asks the OS for an ephemeral port; the
+    server reports the bound port after startup.  Unlike most integer
+    knobs this one therefore accepts zero.
+    """
+    raw = os.environ.get("REPRO_SERVICE_HTTP_PORT")
+    if raw is None or not raw.strip():
+        return 0
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ConfigError(
+            f"REPRO_SERVICE_HTTP_PORT must be an integer port, got {raw!r}"
+        ) from None
+    if value < 0 or value > 65535:
+        raise ConfigError(
+            f"REPRO_SERVICE_HTTP_PORT must be in [0, 65535], got {value}"
+        )
+    return value
+
+
 def sim_mode_from_env() -> str:
     """Simulation-mode default from ``REPRO_SIM_MODE``.
 

@@ -112,5 +112,26 @@ class JournalError(FleetError):
     """A fleet ingest-journal record could not be written or read."""
 
 
+class SnapshotError(ServiceError):
+    """A service state snapshot could not be written, read, or applied.
+
+    Raised by :mod:`repro.service.persist` when a snapshot artifact is
+    missing, carries an unknown schema version, or was captured under a
+    configuration incompatible with the restoring service (replaying a
+    journal into a differently-shaped sketch or reservoir would diverge
+    silently instead of converging).
+    """
+
+
+class TransportError(ServiceError):
+    """The HTTP plan transport failed a request.
+
+    Covers malformed requests/responses and wire-format version
+    mismatches: both ends stamp every payload with ``schema_version``
+    and refuse — with this typed error, never a silent misparse — to
+    speak a version they do not understand.
+    """
+
+
 class EncodingError(PlanError):
     """A prefetch operand could not be encoded in the available bits."""

@@ -12,6 +12,7 @@ Usage::
     python -m repro.experiments telemetry-report run.jsonl  # summarize it
     python -m repro.experiments serve --apps wordpress      # plan service demo
     python -m repro.experiments service-bench --overload    # stress the service
+    python -m repro.experiments service-load-bench --smoke  # HTTP SLO bench
 
 ``--jobs``/``--cache-dir`` default to the ``REPRO_JOBS`` /
 ``REPRO_CACHE_DIR`` environment knobs; results persist under
@@ -46,9 +47,12 @@ def main(argv=None) -> int:
         argv = sys.argv[1:]
     # Subcommands with their own flag vocabularies dispatch before the
     # experiment parser sees (and rejects) those flags.
-    if argv and argv[0] in ("serve", "service-bench", "fleet-bench"):
+    if argv and argv[0] in (
+        "serve", "service-bench", "fleet-bench", "service-load-bench"
+    ):
         from ..service.bench import (
             fleet_bench_main,
+            load_bench_main,
             serve_main,
             service_bench_main,
         )
@@ -57,6 +61,7 @@ def main(argv=None) -> int:
             "serve": serve_main,
             "service-bench": service_bench_main,
             "fleet-bench": fleet_bench_main,
+            "service-load-bench": load_bench_main,
         }[argv[0]]
         return sub(argv[1:])
 

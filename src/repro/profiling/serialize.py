@@ -9,6 +9,7 @@ ints, windows are nested lists.
 from __future__ import annotations
 
 import json
+import os
 from dataclasses import fields as dataclass_fields
 from typing import IO, Union
 
@@ -55,6 +56,28 @@ def check_schema_version(data: dict, kind: str, err_cls, expected=None) -> None:
 _check_schema_version = check_schema_version
 
 
+def _dump_atomic(data: dict, path: str) -> None:
+    """Write *data* as JSON to *path* without ever exposing a torn file.
+
+    The dump goes to a ``.tmp`` sibling first and is renamed into place
+    with :func:`os.replace` (atomic on POSIX and Windows), the same
+    pattern ``experiments/cache.py`` uses: a crash mid-dump leaves the
+    previous artifact intact instead of a truncated file that later
+    fails to load as corrupt.
+    """
+    tmp = path + ".tmp"
+    try:
+        with open(tmp, "w") as f:
+            json.dump(data, f)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
 # ----------------------------------------------------------------------
 # MissProfile
 # ----------------------------------------------------------------------
@@ -98,10 +121,13 @@ def profile_from_dict(data: dict) -> MissProfile:
 
 
 def save_profile(profile: MissProfile, fh: Union[str, IO]) -> None:
-    """Write *profile* as JSON to a path or file object."""
+    """Write *profile* as JSON to a path or file object.
+
+    Path writes are atomic (tmp sibling + ``os.replace``): interrupting
+    the dump never clobbers an existing profile on disk.
+    """
     if isinstance(fh, str):
-        with open(fh, "w") as f:
-            json.dump(profile_to_dict(profile), f)
+        _dump_atomic(profile_to_dict(profile), fh)
     else:
         json.dump(profile_to_dict(profile), fh)
 
@@ -168,10 +194,13 @@ def plan_from_dict(data: dict) -> PrefetchPlan:
 
 
 def save_plan(plan: PrefetchPlan, fh: Union[str, IO]) -> None:
-    """Write *plan* as JSON to a path or file object."""
+    """Write *plan* as JSON to a path or file object.
+
+    Path writes are atomic (tmp sibling + ``os.replace``): interrupting
+    the dump never clobbers an existing plan on disk.
+    """
     if isinstance(fh, str):
-        with open(fh, "w") as f:
-            json.dump(plan_to_dict(plan), f)
+        _dump_atomic(plan_to_dict(plan), fh)
     else:
         json.dump(plan_to_dict(plan), fh)
 

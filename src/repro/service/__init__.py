@@ -13,6 +13,13 @@ The scale-out layer (DESIGN.md §13) shards the service across worker
 makes acceptance durable, and the :class:`~repro.service.fleet.FleetRouter`
 (:mod:`.fleet`) routes, heals crashes by replay, rebalances under
 skew, and autoscales the pool from live telemetry.
+
+The durability layer (DESIGN.md §14) makes restarts survivable:
+periodic schema-versioned state snapshots (:mod:`.persist`) layered
+over the journal-as-WAL give ``PlanService.restore()`` a bounded
+replay, and the stdlib HTTP transport (:mod:`.http`) exposes
+ingest/serve/drain/health over a version-negotiated wire format that
+the :mod:`.bench` load harness drives against SLOs.
 """
 
 from .build import (
@@ -36,7 +43,24 @@ from .ingest import (
     ShardKey,
     ShardState,
 )
+from .bench import (
+    LoadBenchConfig,
+    LoadBenchReport,
+    SLOConfig,
+    run_load,
+)
+from .http import (
+    WIRE_SCHEMA_VERSION,
+    HttpPlanServer,
+    PlanClient,
+)
 from .journal import IngestJournal, read_journal
+from .persist import (
+    PERSIST_SCHEMA_VERSION,
+    SnapshotStore,
+    apply_snapshot,
+    capture_snapshot,
+)
 from .reservoir import ReservoirSampler
 from .ring import HashRing
 from .ring import movement as ring_movement
@@ -50,22 +74,33 @@ __all__ = [
     "FleetConfig",
     "FleetRouter",
     "HashRing",
+    "HttpPlanServer",
     "IncrementalPlanBuilder",
     "IngestAck",
     "IngestBuffer",
     "IngestJournal",
+    "LoadBenchConfig",
+    "LoadBenchReport",
+    "PERSIST_SCHEMA_VERSION",
+    "PlanClient",
     "PlanDiff",
     "PlanService",
     "PlanVersion",
     "ReservoirSampler",
+    "SLOConfig",
     "SampleBatch",
     "ServiceConfig",
     "ShardKey",
     "ShardState",
+    "SnapshotStore",
+    "WIRE_SCHEMA_VERSION",
+    "apply_snapshot",
+    "capture_snapshot",
     "default_workload_resolver",
     "diff_plans",
     "plan_sites",
     "plans_equivalent",
     "read_journal",
     "ring_movement",
+    "run_load",
 ]

@@ -131,6 +131,15 @@ class IncrementalPlanBuilder:
         """Forget *key*'s published version (fleet rebalance handoff)."""
         return self._latest.pop(key, None) is not None
 
+    def restore_version(self, version: PlanVersion) -> None:
+        """Reinstall a snapshot-loaded published version (crash recovery).
+
+        The next ``build()`` for the shard continues the lineage from
+        here: version numbers keep incrementing and the diff is taken
+        against this plan, exactly as if the service had never died.
+        """
+        self._latest[version.key] = version
+
     def build(self, shard: ShardState) -> PlanVersion:
         """Build, verify, and publish a plan for *shard*'s current state.
 

@@ -514,6 +514,7 @@ class FleetRouter:
         check_plans: bool = True,
         telemetry_path: Optional[str] = None,
         journal_path: Optional[str] = None,
+        journal_fsync: bool = False,
         decisions_path: Optional[str] = None,
         workload_seed: int = 0,
     ):
@@ -532,7 +533,16 @@ class FleetRouter:
         self.ring = HashRing(
             seed=self.config.seed, vnodes_per_weight=self.config.ring_vnodes
         )
-        self.journal = IngestJournal(journal_path)
+        # Resume mode: a router restarted on an existing mirror loads it
+        # (truncating any torn tail) and continues the per-shard index
+        # sequence; plain append mode would restart indices at zero and
+        # corrupt the mirror for every future reader.  On first contact
+        # with a resumed shard, ``_catch_up`` replays the loaded prefix
+        # into the new owner, so restart recovery falls out of the same
+        # path that heals crashed workers.
+        self.journal = IngestJournal(
+            journal_path, fsync=journal_fsync, resume=True
+        )
         self.autoscaler = Autoscaler(self.config)
         self.decisions: List[AllocationDecision] = []
         self._decisions_fh = None

@@ -20,6 +20,21 @@ per batch — the chaos-run artifact CI uploads — and
 :func:`read_journal` loads a mirror back into an in-memory journal
 (typed :class:`~repro.errors.JournalError` on malformed input), so a
 router restart can resume from disk.
+
+Durability semantics of the mirror:
+
+* every ``record()`` flushes the line to the OS before returning, so a
+  crashed *process* loses at most the record being appended at the
+  instant of death;
+* ``fsync=True`` additionally forces each line to stable storage, so a
+  crashed *machine* has the same guarantee (slower; opt-in);
+* a crash mid-append leaves a **torn tail** — a final line without its
+  trailing newline.  Each record is emitted as a single ``write()`` of
+  ``json.dumps(...) + "\\n"``, so the torn line is always the *last*
+  one and is never a complete record.  :func:`read_journal` and
+  ``resume=True`` skip it (surfaced via ``stats()["torn_records"]``);
+  anything malformed *before* the final line is genuine corruption and
+  still raises.
 """
 
 from __future__ import annotations
@@ -84,16 +99,107 @@ def _record_to_batch(record: Dict) -> Tuple[SampleBatch, int]:
         raise JournalError(f"malformed journal record: {exc}") from exc
 
 
-class IngestJournal:
-    """Append-only per-shard batch log with an optional JSONL mirror."""
+def _load_mirror(path: str) -> Tuple[List[SampleBatch], int, int]:
+    """Parse a JSONL mirror into batches, tolerating a torn final line.
 
-    def __init__(self, path: Optional[str] = None):
+    Returns ``(batches, valid_bytes, torn_records)`` where *batches* is
+    the valid prefix in file order, *valid_bytes* is the byte length of
+    that prefix (so ``resume`` can truncate the torn tail before
+    re-appending), and *torn_records* counts the skipped tail (0 or 1).
+
+    The torn-tail rule: each record is appended as one ``write()`` of a
+    newline-terminated line, so a crash mid-append can only produce a
+    final line with no trailing newline.  Such a line that fails to
+    parse is skipped; an unparsable line that *does* end in a newline —
+    anywhere in the file — was written whole and is real corruption.
+    """
+    if not os.path.isfile(path):
+        raise JournalError(f"no journal mirror at {path!r}")
+    try:
+        with open(path, "rb") as fh:
+            raw = fh.read()
+    except OSError as exc:
+        raise JournalError(f"cannot read journal mirror {path!r}: {exc}") from exc
+
+    counts: Dict[ShardKey, int] = {}
+    batches: List[SampleBatch] = []
+    valid_bytes = 0
+    torn_records = 0
+    offset = 0
+    lineno = 0
+    for raw_line in raw.splitlines(keepends=True):
+        lineno += 1
+        line_start = offset
+        offset += len(raw_line)
+        terminated = raw_line.endswith(b"\n")
+        line = raw_line.decode("utf-8", errors="replace").strip()
+        if not line:
+            valid_bytes = offset
+            continue
+        try:
+            record = json.loads(line)
+        except ValueError as exc:
+            if not terminated and offset == len(raw):
+                # Torn tail: the crash artifact, not corruption.
+                torn_records = 1
+                valid_bytes = line_start
+                break
+            raise JournalError(
+                f"journal mirror {path!r} line {lineno}: invalid JSON "
+                f"({exc})"
+            ) from exc
+        batch, index = _record_to_batch(record)
+        expected = counts.get(batch.key, 0)
+        if index != expected:
+            raise JournalError(
+                f"journal mirror {path!r} line {lineno}: shard "
+                f"{batch.key} index {index} out of order "
+                f"(expected {expected})"
+            )
+        counts[batch.key] = expected + 1
+        batches.append(batch)
+        valid_bytes = offset
+    return batches, valid_bytes, torn_records
+
+
+class IngestJournal:
+    """Append-only per-shard batch log with an optional JSONL mirror.
+
+    ``fsync=True`` forces every mirrored record to stable storage;
+    ``resume=True`` loads an existing mirror back into memory (torn
+    tail truncated) before appending, so a restarted writer continues
+    the same per-shard index sequence instead of corrupting it.
+    """
+
+    def __init__(
+        self,
+        path: Optional[str] = None,
+        *,
+        fsync: bool = False,
+        resume: bool = False,
+    ):
         self.path = path
+        self._fsync = bool(fsync)
         self._batches: Dict[ShardKey, List[SampleBatch]] = {}
         self.total_batches = 0
         self.total_samples = 0
+        self.torn_records = 0
         self._fh = None
         if path:
+            if resume and os.path.isfile(path):
+                batches, valid_bytes, torn = _load_mirror(path)
+                for batch in batches:
+                    self.record(batch)
+                self.torn_records = torn
+                if torn:
+                    try:
+                        with open(path, "r+b") as fh:
+                            fh.truncate(valid_bytes)
+                    except OSError as exc:
+                        raise JournalError(
+                            f"cannot truncate torn journal tail in "
+                            f"{path!r}: {exc}"
+                        ) from exc
             parent = os.path.dirname(os.path.abspath(path))
             try:
                 os.makedirs(parent, exist_ok=True)
@@ -112,8 +218,12 @@ class IngestJournal:
         self.total_batches += 1
         self.total_samples += len(batch.samples)
         if self._fh is not None:
+            # One write per record: a crash can only tear the final
+            # line, which the readers above know how to skip.
             self._fh.write(json.dumps(_batch_to_record(batch, index)) + "\n")
             self._fh.flush()
+            if self._fsync:
+                os.fsync(self._fh.fileno())
         return index
 
     def count(self, key: ShardKey) -> int:
@@ -141,6 +251,7 @@ class IngestJournal:
             "keys": len(self._batches),
             "batches": self.total_batches,
             "samples": self.total_samples,
+            "torn_records": self.torn_records,
         }
 
     def close(self) -> None:
@@ -157,30 +268,13 @@ def read_journal(path: str) -> IngestJournal:
 
     Records are re-appended in file order, which per shard *is* arrival
     order; the per-shard ``index`` fields must come back contiguous or
-    the mirror is corrupt (:class:`~repro.errors.JournalError`).
+    the mirror is corrupt (:class:`~repro.errors.JournalError`).  A torn
+    final line — the expected artifact of a crash mid-append — is
+    skipped and surfaced as ``stats()["torn_records"]``.
     """
-    if not os.path.isfile(path):
-        raise JournalError(f"no journal mirror at {path!r}")
+    batches, _valid_bytes, torn = _load_mirror(path)
     journal = IngestJournal()
-    with open(path, "r", encoding="utf-8") as fh:
-        for lineno, line in enumerate(fh, start=1):
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                record = json.loads(line)
-            except ValueError as exc:
-                raise JournalError(
-                    f"journal mirror {path!r} line {lineno}: invalid JSON "
-                    f"({exc})"
-                ) from exc
-            batch, index = _record_to_batch(record)
-            expected = journal.count(batch.key)
-            if index != expected:
-                raise JournalError(
-                    f"journal mirror {path!r} line {lineno}: shard "
-                    f"{batch.key} index {index} out of order "
-                    f"(expected {expected})"
-                )
-            journal.record(batch)
+    for batch in batches:
+        journal.record(batch)
+    journal.torn_records = torn
     return journal

@@ -44,8 +44,12 @@ from ..config import (
     ConfigError,
     SimConfig,
     service_deadline_ms_from_env,
+    service_fsync_from_env,
+    service_journal_from_env,
     service_queue_depth_from_env,
     service_reservoir_from_env,
+    service_snapshot_dir_from_env,
+    service_snapshot_every_from_env,
 )
 from ..errors import (
     DeadlineExceeded,
@@ -62,6 +66,8 @@ from ..workloads.cfg import Workload, build_workload
 from ..workloads.rng import make_rng
 from .build import IncrementalPlanBuilder, PlanVersion
 from .ingest import IngestBuffer, SampleBatch, ShardKey
+from .journal import IngestJournal
+from .persist import SnapshotStore, apply_snapshot, capture_snapshot
 
 _SENTINEL = object()
 
@@ -99,6 +105,15 @@ class ServiceConfig:
     # used to provoke queue pressure deterministically.
     synthetic_delay_s: float = 0.0
     seed: int = 0
+    # Durability: WAL mirror path and fsync policy, snapshot directory
+    # and cadence (in journaled batches).  Paths default to unset (no
+    # durability) via their env knobs.
+    journal_path: Optional[str] = field(default_factory=service_journal_from_env)
+    fsync: bool = field(default_factory=service_fsync_from_env)
+    snapshot_dir: Optional[str] = field(
+        default_factory=service_snapshot_dir_from_env
+    )
+    snapshot_every: int = field(default_factory=service_snapshot_every_from_env)
 
     def __post_init__(self) -> None:
         if self.queue_depth <= 0:
@@ -122,6 +137,10 @@ class ServiceConfig:
         if self.synthetic_delay_s < 0:
             raise ConfigError(
                 f"synthetic_delay_s must be >= 0, got {self.synthetic_delay_s}"
+            )
+        if self.snapshot_every <= 0:
+            raise ConfigError(
+                f"snapshot_every must be positive, got {self.snapshot_every}"
             )
 
 
@@ -171,6 +190,13 @@ class PlanService:
         self._started = False
         self._closed = False
         self.max_queue_depth = 0
+        # Durability state: the WAL journal and snapshot store open at
+        # restore()/start(), whichever comes first.
+        self.journal: Optional[IngestJournal] = None
+        self._snapshots: Optional[SnapshotStore] = None
+        self._snapshot_seq = 0
+        self._batches_since_snapshot = 0
+        self.restore_report: Optional[Dict] = None
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -178,6 +204,7 @@ class PlanService:
     async def start(self) -> "PlanService":
         if self._started:
             raise ServiceError("service already started")
+        self._open_durability()
         self._queue = asyncio.Queue(maxsize=self.config.queue_depth)
         self._workers = [
             asyncio.get_running_loop().create_task(self._worker())
@@ -186,6 +213,84 @@ class PlanService:
         self._started = True
         self._closed = False
         return self
+
+    def _open_durability(self) -> None:
+        """Open the WAL + snapshot store if configured and not yet open.
+
+        Opening the journal in resume mode is load-bearing even without
+        an explicit ``restore()``: re-opening an existing mirror in
+        plain append mode would restart per-shard indices at zero and
+        corrupt it for every future reader.
+        """
+        if self.journal is None and self.config.journal_path:
+            self.journal = IngestJournal(
+                self.config.journal_path, fsync=self.config.fsync, resume=True
+            )
+        if self._snapshots is None and self.config.snapshot_dir:
+            self._snapshots = SnapshotStore(self.config.snapshot_dir)
+
+    def restore(
+        self,
+        snapshot_dir: Optional[str] = None,
+        journal_path: Optional[str] = None,
+    ) -> Dict:
+        """Recover pre-crash state: latest snapshot + journal-suffix replay.
+
+        Must run before ``start()``.  Loads the newest valid snapshot
+        (if a snapshot directory is configured and holds one), installs
+        its shard state and published plan lineage, then replays every
+        journaled batch past the snapshot's per-shard coverage directly
+        into the ingest buffer — *without* re-journaling, since the WAL
+        already holds those records.  The fold being deterministic,
+        this converges to the exact state of an uninterrupted run.
+
+        Returns a recovery report (snapshot seq, shards/plans restored,
+        batches replayed, torn journal records skipped).
+        """
+        if self._started:
+            raise ServiceError("restore() must run before start()")
+        sdir = snapshot_dir if snapshot_dir is not None else self.config.snapshot_dir
+        jpath = (
+            journal_path if journal_path is not None else self.config.journal_path
+        )
+        report: Dict = {
+            "snapshot_loaded": False,
+            "snapshot_seq": 0,
+            "shards_restored": 0,
+            "plans_restored": 0,
+            "batches_replayed": 0,
+            "torn_records": 0,
+        }
+        journal_counts: Dict[ShardKey, int] = {}
+        if sdir:
+            self._snapshots = SnapshotStore(sdir)
+            data = self._snapshots.latest()
+            if data is not None:
+                shards, plans, journal_counts = apply_snapshot(self, data)
+                self._snapshot_seq = int(data["seq"])
+                report["snapshot_loaded"] = True
+                report["snapshot_seq"] = self._snapshot_seq
+                report["shards_restored"] = shards
+                report["plans_restored"] = plans
+        if jpath:
+            self.journal = IngestJournal(
+                jpath, fsync=self.config.fsync, resume=True
+            )
+            report["torn_records"] = self.journal.torn_records
+            replayed = 0
+            for key in self.journal.keys():
+                start = journal_counts.get(key, 0)
+                for batch in self.journal.replay(key, start):
+                    self.buffer.ingest(batch)
+                    replayed += 1
+            report["batches_replayed"] = replayed
+            self._batches_since_snapshot = replayed
+        self.metrics.inc("service.restores")
+        self.metrics.inc("service.restored_batches", report["batches_replayed"])
+        if self.telemetry is not None:
+            self.telemetry.emit("service_restore", report=report)
+        self.restore_report = report
+        return report
 
     async def stop(self) -> Dict:
         """Graceful drain: finish the backlog, publish dirty shards.
@@ -223,6 +328,13 @@ class PlanService:
                 self._note_published(version)
                 self.metrics.inc("service.drain_builds")
         self._started = False
+        # Final snapshot: drain-time builds are part of the lineage, so
+        # a restart from here replays nothing and serves the same plans.
+        if self._snapshots is not None and self.buffer.keys():
+            self._write_snapshot()
+        if self.journal is not None:
+            self.journal.close()
+            self.journal = None
         self.metrics.set_gauge("service.queue_depth", 0)
         snapshot = self.stats_snapshot()
         if self.telemetry is not None:
@@ -376,6 +488,11 @@ class PlanService:
 
     def _process_ingest(self, batch: SampleBatch):
         """Fold one batch in; synchronous so shard order == queue order."""
+        if self.journal is not None:
+            # WAL discipline: the batch is durable before it is folded,
+            # so an acknowledged batch is always replayable.
+            self.journal.record(batch)
+            self.metrics.inc("service.journaled_batches")
         tel = self.telemetry
         if tel is not None:
             with tel.span(
@@ -391,7 +508,43 @@ class PlanService:
         reg.inc("service.samples_filtered", ack.filtered)
         reg.inc("service.samples_dropped", ack.dropped)
         self._arm_debounce(ack.key)
+        self._maybe_snapshot()
         return ack
+
+    # ------------------------------------------------------------------
+    # Durability
+    # ------------------------------------------------------------------
+    def _maybe_snapshot(self) -> None:
+        """Count one folded batch toward the periodic snapshot cadence."""
+        if self._snapshots is None:
+            return
+        self._batches_since_snapshot += 1
+        if self._batches_since_snapshot >= self.config.snapshot_every:
+            self._write_snapshot()
+
+    def _write_snapshot(self) -> None:
+        """Persist the current fold state + plan lineage atomically."""
+        if self._snapshots is None:
+            return
+        self._snapshot_seq += 1
+        if self.journal is not None:
+            counts = {key: self.journal.count(key) for key in self.journal.keys()}
+        else:
+            # No WAL: replay positions are moot, but record the batch
+            # counts anyway so the snapshot stays self-describing.
+            counts = {
+                key: self.buffer.get(key).counters.batches
+                for key in self.buffer.keys()
+            }
+        data = capture_snapshot(self, self._snapshot_seq, counts)
+        tel = self.telemetry
+        if tel is not None:
+            with tel.span("service_snapshot", seq=self._snapshot_seq):
+                self._snapshots.write(data)
+        else:
+            self._snapshots.write(data)
+        self.metrics.inc("service.snapshots")
+        self._batches_since_snapshot = 0
 
     async def _serve_plan(self, key: ShardKey) -> PlanVersion:
         shard = self.buffer.get(key)
@@ -485,6 +638,14 @@ class PlanService:
             f"service.plan_version.{version.key[0]}/{version.key[1]}",
             version.version,
         )
+        # Every publish is a snapshot point: version numbers and diffs
+        # are derived from the previously published version, so lineage
+        # only provably survives a crash if no published version can
+        # exist outside a snapshot.  Publishes are rare next to batches
+        # (debounce + read-your-writes coalescing), so this does not
+        # meaningfully raise the snapshot rate.
+        if self._snapshots is not None:
+            self._write_snapshot()
 
     # ------------------------------------------------------------------
     # Introspection
@@ -523,5 +684,13 @@ class PlanService:
             "queue_depth": self._queue.qsize() if self._queue is not None else 0,
             "max_queue_depth": self.max_queue_depth,
             "counters": dict(self.metrics.counters),
+            "durability": {
+                "journal": self.config.journal_path,
+                "journaled_batches": (
+                    self.journal.total_batches if self.journal is not None else 0
+                ),
+                "snapshot_dir": self.config.snapshot_dir,
+                "snapshot_seq": self._snapshot_seq,
+            },
             "shards": shards,
         }

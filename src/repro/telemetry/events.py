@@ -51,12 +51,15 @@ PHASES = (
 )
 
 # Plan-service stages (repro.service), in request order: ingest fold,
-# incremental plan build, staticcheck publish gate, request handling.
+# incremental plan build, staticcheck publish gate, request handling,
+# plus the durability path (periodic state snapshots; ``service_restore``
+# is emitted as a plain event, not a span, since it runs pre-loop).
 SERVICE_PHASES = (
     "service_ingest",
     "service_build",
     "service_check",
     "service_request",
+    "service_snapshot",
 )
 
 

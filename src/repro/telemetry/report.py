@@ -286,6 +286,19 @@ def format_report(summary: Dict) -> str:
         f"pool: {par['retries']} retried request(s), "
         f"{par['serial_fallbacks']} serial fallback(s)"
     )
+
+    counters = summary.get("counters", {})
+    snapshots = int(counters.get("service.snapshots", 0))
+    restores = int(counters.get("service.restores", 0))
+    journaled = int(counters.get("service.journaled_batches", 0))
+    replayed = int(counters.get("service.restored_batches", 0))
+    if snapshots or restores or journaled:
+        out("")
+        out(
+            f"durability: {snapshots} snapshot(s) written, "
+            f"{journaled} batch(es) journaled, {restores} restore(s) "
+            f"replaying {replayed} batch(es)"
+        )
     if summary.get("malformed_lines"):
         out(f"warning: {summary['malformed_lines']} malformed log line(s) skipped")
     return "\n".join(lines)

@@ -16,8 +16,14 @@ from repro.config import (
     fleet_workers_from_env,
     is_power_of_two,
     service_deadline_ms_from_env,
+    service_fsync_from_env,
+    service_http_host_from_env,
+    service_http_port_from_env,
+    service_journal_from_env,
     service_queue_depth_from_env,
     service_reservoir_from_env,
+    service_snapshot_dir_from_env,
+    service_snapshot_every_from_env,
 )
 from repro.errors import ConfigError
 
@@ -182,6 +188,89 @@ class TestServiceKnobs:
         assert cfg.queue_depth == 3
         assert cfg.deadline_ms == 123
         assert cfg.reservoir_capacity == 77
+
+
+class TestDurabilityKnobs:
+    """Env knobs for the durability layer and the HTTP transport."""
+
+    @pytest.fixture(autouse=True)
+    def clean_env(self, monkeypatch):
+        for name in (
+            "REPRO_SERVICE_SNAPSHOT_DIR",
+            "REPRO_SERVICE_SNAPSHOT_EVERY",
+            "REPRO_SERVICE_JOURNAL",
+            "REPRO_SERVICE_FSYNC",
+            "REPRO_SERVICE_HTTP_HOST",
+            "REPRO_SERVICE_HTTP_PORT",
+        ):
+            monkeypatch.delenv(name, raising=False)
+        return monkeypatch
+
+    def test_defaults(self):
+        assert service_snapshot_dir_from_env() is None
+        assert service_snapshot_every_from_env() == 16
+        assert service_journal_from_env() is None
+        assert service_fsync_from_env() is False
+        assert service_http_host_from_env() == "127.0.0.1"
+        assert service_http_port_from_env() == 0
+
+    def test_paths_pass_through(self, clean_env):
+        clean_env.setenv("REPRO_SERVICE_SNAPSHOT_DIR", "/tmp/snaps")
+        clean_env.setenv("REPRO_SERVICE_JOURNAL", "/tmp/wal.jsonl")
+        assert service_snapshot_dir_from_env() == "/tmp/snaps"
+        assert service_journal_from_env() == "/tmp/wal.jsonl"
+
+    def test_blank_paths_mean_disabled(self, clean_env):
+        clean_env.setenv("REPRO_SERVICE_SNAPSHOT_DIR", "   ")
+        clean_env.setenv("REPRO_SERVICE_JOURNAL", "")
+        assert service_snapshot_dir_from_env() is None
+        assert service_journal_from_env() is None
+
+    def test_snapshot_cadence(self, clean_env):
+        clean_env.setenv("REPRO_SERVICE_SNAPSHOT_EVERY", "4")
+        assert service_snapshot_every_from_env() == 4
+        clean_env.setenv("REPRO_SERVICE_SNAPSHOT_EVERY", "0")
+        with pytest.raises(ConfigError, match="SNAPSHOT_EVERY"):
+            service_snapshot_every_from_env()
+
+    @pytest.mark.parametrize(
+        "raw,expected", [("1", True), ("yes", True), ("0", False), ("off", False)]
+    )
+    def test_fsync_flag(self, clean_env, raw, expected):
+        clean_env.setenv("REPRO_SERVICE_FSYNC", raw)
+        assert service_fsync_from_env() is expected
+
+    def test_fsync_garbage_rejected(self, clean_env):
+        clean_env.setenv("REPRO_SERVICE_FSYNC", "maybe")
+        with pytest.raises(ConfigError, match="FSYNC"):
+            service_fsync_from_env()
+
+    def test_http_host(self, clean_env):
+        clean_env.setenv("REPRO_SERVICE_HTTP_HOST", "0.0.0.0")
+        assert service_http_host_from_env() == "0.0.0.0"
+
+    def test_http_port_accepts_zero_and_range(self, clean_env):
+        clean_env.setenv("REPRO_SERVICE_HTTP_PORT", "0")
+        assert service_http_port_from_env() == 0
+        clean_env.setenv("REPRO_SERVICE_HTTP_PORT", "8080")
+        assert service_http_port_from_env() == 8080
+        for bad in ("-1", "65536", "http"):
+            clean_env.setenv("REPRO_SERVICE_HTTP_PORT", bad)
+            with pytest.raises(ConfigError, match="HTTP_PORT"):
+                service_http_port_from_env()
+
+    def test_service_config_reads_durability_env(self, clean_env, tmp_path):
+        from repro.service.server import ServiceConfig
+
+        clean_env.setenv("REPRO_SERVICE_JOURNAL", str(tmp_path / "wal.jsonl"))
+        clean_env.setenv("REPRO_SERVICE_SNAPSHOT_DIR", str(tmp_path / "snaps"))
+        clean_env.setenv("REPRO_SERVICE_SNAPSHOT_EVERY", "7")
+        clean_env.setenv("REPRO_SERVICE_FSYNC", "1")
+        cfg = ServiceConfig()
+        assert cfg.journal_path == str(tmp_path / "wal.jsonl")
+        assert cfg.snapshot_dir == str(tmp_path / "snaps")
+        assert cfg.snapshot_every == 7
+        assert cfg.fsync is True
 
 
 class TestFleetKnobs:

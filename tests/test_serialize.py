@@ -151,3 +151,68 @@ class TestPlanRoundTrip:
     def test_rejects_wrong_version(self):
         with pytest.raises(PlanError):
             plan_from_dict({"kind": "prefetch_plan", "format": 0})
+
+
+class TestAtomicSaves:
+    """Torn-write regression: an interrupted save must never clobber
+    the artifact already on disk, and must clean up its tmp file."""
+
+    class Boom(BaseException):
+        """Out-of-band interrupt, like SIGKILL landing mid-dump."""
+
+    def crashing_dump(self, monkeypatch, after_chars: int):
+        """Make json.dump die after emitting *after_chars* characters."""
+        import repro.profiling.serialize as serialize
+
+        real_dumps = json.dumps
+
+        def dump(data, fh, **kwargs):
+            text = real_dumps(data, **kwargs)
+            fh.write(text[:after_chars])
+            raise self.Boom()
+
+        monkeypatch.setattr(serialize.json, "dump", dump)
+
+    def test_interrupted_save_profile_keeps_old_file(
+        self, artifacts, tmp_path, monkeypatch
+    ):
+        _, _, _, profile, _ = artifacts
+        path = str(tmp_path / "profile.json")
+        save_profile(profile, path)
+        before = open(path, encoding="utf-8").read()
+
+        replacement = MissProfile("other", "1")
+        replacement.add_sample(0xA, 1, ((2, 30.0), (3, 25.0)))
+        self.crashing_dump(monkeypatch, after_chars=40)
+        with pytest.raises(self.Boom):
+            save_profile(replacement, path)
+        monkeypatch.undo()
+
+        assert open(path, encoding="utf-8").read() == before
+        clone = load_profile(path)  # still loads, not torn
+        assert clone.total_samples == profile.total_samples
+        assert not list(tmp_path.glob("*.tmp")), "tmp file left behind"
+
+    def test_interrupted_save_plan_keeps_old_file(
+        self, artifacts, tmp_path, monkeypatch
+    ):
+        _, _, _, _, plan = artifacts
+        path = str(tmp_path / "plan.json")
+        save_plan(plan, path)
+        before = open(path, encoding="utf-8").read()
+
+        self.crashing_dump(monkeypatch, after_chars=25)
+        with pytest.raises(self.Boom):
+            save_plan(plan, path)
+        monkeypatch.undo()
+
+        assert open(path, encoding="utf-8").read() == before
+        assert load_plan(path).table == plan.table
+        assert not list(tmp_path.glob("*.tmp")), "tmp file left behind"
+
+    def test_stream_saves_still_write_through(self, artifacts):
+        """File-object saves are the caller's transaction, not ours."""
+        _, _, _, profile, _ = artifacts
+        buf = io.StringIO()
+        save_profile(profile, buf)
+        assert json.loads(buf.getvalue())["kind"] == "miss_profile"

@@ -1,0 +1,147 @@
+"""The HTTP load harness end-to-end + its report schema
+(repro.service.bench load section, repro.bench.schema)."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.bench.schema import validate_service_bench_dict
+from repro.errors import BenchError, ReproError
+from repro.service.bench import (
+    LoadBenchConfig,
+    LoadBenchReport,
+    SLOConfig,
+    evaluate_slo,
+    load_report_to_dict,
+    run_load,
+    save_load_report,
+)
+
+
+@pytest.fixture(scope="module")
+def load_run(tmp_path_factory):
+    cfg = LoadBenchConfig(
+        apps=("wordpress",),
+        trace_instructions=4_000,
+        clients=3,
+        requests_per_client=6,
+        arrival_rate_hz=500.0,
+        snapshot_every=2,
+        seed=11,
+    )
+    slo = SLOConfig()
+    state_dir = str(tmp_path_factory.mktemp("load-state"))
+    report = run_load(cfg, slo=slo, state_dir=state_dir)
+    return cfg, slo, report, state_dir
+
+
+class TestLoadRun:
+    def test_load_phase_served_requests(self, load_run):
+        _cfg, _slo, report, _state = load_run
+        assert report.requests == 3 * 6
+        assert report.ok > 0
+        assert len(report.latencies_ms) == report.ok
+        assert report.percentile_ms(0.5) is not None
+        assert report.ingest_batches > 0
+        assert report.ingest_samples > 0
+
+    def test_recovery_converged(self, load_run):
+        _cfg, _slo, report, state_dir = load_run
+        assert report.recovery_measured
+        assert report.recovery_parity is True
+        assert report.recovery_s is not None and report.recovery_s >= 0.0
+        # The simulated crash left durable state behind.
+        assert os.path.isfile(os.path.join(state_dir, "journal.jsonl"))
+        assert report.recovery_snapshot_loaded or (
+            report.recovery_batches_replayed > 0
+        )
+
+    def test_report_dict_validates(self, load_run):
+        cfg, slo, report, _state = load_run
+        data = load_report_to_dict(report, cfg, slo)
+        validate_service_bench_dict(data)  # raises on any schema break
+        assert data["kind"] == "service_bench"
+        assert data["outcomes"]["ok"] == report.ok
+        assert data["recovery"]["parity"] is True
+
+    def test_save_load_report_is_valid_json_file(self, load_run, tmp_path):
+        cfg, slo, report, _state = load_run
+        out = str(tmp_path / "BENCH_service.json")
+        save_load_report(load_report_to_dict(report, cfg, slo), out)
+        with open(out, encoding="utf-8") as fh:
+            validate_service_bench_dict(json.load(fh))
+        assert not os.path.exists(out + ".tmp")
+
+    def test_save_rejects_invalid_report(self, tmp_path):
+        with pytest.raises(BenchError):
+            save_load_report(
+                {"kind": "service_bench", "schema_version": 1},
+                str(tmp_path / "bad.json"),
+            )
+
+
+class TestSLO:
+    def make_report(self, **overrides) -> LoadBenchReport:
+        report = LoadBenchReport(
+            latencies_ms=[1.0, 2.0, 3.0, 4.0, 100.0],
+            ok=5,
+            recovery_measured=True,
+            recovery_s=1.0,
+        )
+        for name, value in overrides.items():
+            setattr(report, name, value)
+        return report
+
+    def test_all_objectives_pass(self):
+        result = evaluate_slo(self.make_report(), SLOConfig())
+        assert result["ok"] is True
+        assert all(
+            v["ok"] for k, v in result.items() if k != "ok"
+        )
+
+    def test_p999_uses_the_tail(self):
+        result = evaluate_slo(
+            self.make_report(), SLOConfig(p999_ms=50.0)
+        )
+        assert result["p999_ms"]["actual"] == 100.0
+        assert result["p999_ms"]["ok"] is False
+        assert result["ok"] is False
+
+    def test_shed_rate_violation(self):
+        report = self.make_report(shed=5)
+        result = evaluate_slo(report, SLOConfig(max_shed_rate=0.25))
+        assert result["shed_rate"]["actual"] == 0.5
+        assert result["shed_rate"]["ok"] is False
+
+    def test_unmeasured_recovery_passes_vacuously(self):
+        report = self.make_report(recovery_measured=False, recovery_s=None)
+        result = evaluate_slo(report, SLOConfig(max_recovery_s=0.001))
+        assert result["recovery_s"]["ok"] is True
+
+    def test_no_successes_has_null_percentiles(self):
+        report = LoadBenchReport(shed=4)
+        result = evaluate_slo(report, SLOConfig())
+        assert result["p50_ms"]["actual"] is None
+        assert result["p50_ms"]["ok"] is True  # vacuous
+        assert result["shed_rate"]["ok"] is False  # 100% shed
+
+    def test_slo_config_validation(self):
+        with pytest.raises(ReproError, match="positive"):
+            SLOConfig(p50_ms=0)
+        with pytest.raises(ReproError, match="max_shed_rate"):
+            SLOConfig(max_shed_rate=1.5)
+
+
+class TestLoadConfigValidation:
+    def test_unknown_app_rejected(self):
+        with pytest.raises(ReproError, match="unknown app"):
+            LoadBenchConfig(apps=("not-an-app",))
+
+    def test_positive_counts_required(self):
+        with pytest.raises(ReproError, match="clients"):
+            LoadBenchConfig(clients=0)
+        with pytest.raises(ReproError, match="arrival_rate_hz"):
+            LoadBenchConfig(arrival_rate_hz=0.0)

@@ -1,0 +1,310 @@
+"""HTTP transport round-trips, wire versioning, typed errors
+(repro.service.http) over real localhost sockets."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.config import SimConfig
+from repro.core.twig import build_plan
+from repro.errors import (
+    ServiceClosed,
+    ServiceError,
+    ServiceOverload,
+    TransportError,
+)
+from repro.service.bench import collect_sample_stream
+from repro.service.build import plans_equivalent
+from repro.service.http import (
+    WIRE_SCHEMA_VERSION,
+    HttpPlanServer,
+    PlanClient,
+)
+from repro.service.server import PlanService, ServiceConfig
+
+CFG = SimConfig().with_btb(entries=512)
+APP = "tinyapp"
+
+
+@pytest.fixture(scope="module")
+def stream_artifacts(tiny_workload, tiny_trace):
+    profile, stream = collect_sample_stream(tiny_workload, tiny_trace, CFG)
+    assert stream, "tiny trace must produce BTB miss samples"
+    return profile, stream
+
+
+def make_service(tiny_workload, **overrides) -> PlanService:
+    defaults = dict(
+        queue_depth=64,
+        deadline_ms=30_000,
+        reservoir_capacity=1 << 20,
+        workers=2,
+        debounce_s=30.0,
+    )
+    defaults.update(overrides)
+    return PlanService(
+        workload_for=lambda app: tiny_workload,
+        config=ServiceConfig(**defaults),
+        sim_config=CFG,
+    )
+
+
+async def raw_request(host: int, port: int, text: bytes):
+    """Send raw bytes, return (status, parsed JSON body)."""
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        writer.write(text)
+        await writer.drain()
+        status = int((await reader.readline()).split()[1])
+        length = 0
+        while True:
+            hline = await reader.readline()
+            if hline in (b"\r\n", b"\n", b""):
+                break
+            name, _sep, value = hline.partition(b":")
+            if name.strip().lower() == b"content-length":
+                length = int(value)
+        body = await reader.readexactly(length) if length else b""
+        return status, (json.loads(body) if body else {})
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+
+def request_bytes(method, path, payload=None, schema=WIRE_SCHEMA_VERSION):
+    body = b""
+    if payload is not None:
+        body = json.dumps(payload).encode()
+    head = (
+        f"{method} {path} HTTP/1.1\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        + (f"X-Repro-Schema: {schema}\r\n" if schema is not None else "")
+        + "Connection: close\r\n\r\n"
+    ).encode()
+    return head + body
+
+
+class TestRoundTrip:
+    def test_ingest_plan_stats_health_drain(
+        self, tiny_workload, stream_artifacts
+    ):
+        profile, stream = stream_artifacts
+        label = profile.input_label
+
+        async def scenario():
+            service = make_service(tiny_workload)
+            await service.start()
+            async with HttpPlanServer(service) as server:
+                client = PlanClient("127.0.0.1", server.port)
+                health = await client.health()
+                assert health == {
+                    "schema_version": WIRE_SCHEMA_VERSION,
+                    "status": "ok",
+                    "started": True,
+                }
+                for seq, start in enumerate(range(0, len(stream), 64)):
+                    chunk = stream[start : start + 64]
+                    ack = await client.ingest(APP, label, chunk, seq=seq)
+                    assert ack.key == (APP, label)
+                    assert ack.received == len(chunk)
+                version = await client.get_plan(APP, label)
+                stats = await client.stats()
+                drained = await client.drain()
+                return version, stats, drained
+
+        version, stats, drained = asyncio.run(scenario())
+        offline = build_plan(tiny_workload, profile, CFG)
+        assert plans_equivalent(version.plan, offline)
+        assert version.checked
+        shard = stats["shards"][f"{APP}/{profile.input_label}"]
+        assert shard["generation"] > 0
+        assert drained["closed"] is True or drained.get("shards")
+
+    def test_get_plan_via_query_string(self, tiny_workload, stream_artifacts):
+        profile, stream = stream_artifacts
+        label = profile.input_label
+
+        async def scenario():
+            service = make_service(tiny_workload)
+            await service.start()
+            async with HttpPlanServer(service) as server:
+                client = PlanClient("127.0.0.1", server.port)
+                await client.ingest(APP, label, stream[:64], seq=0)
+                from urllib.parse import quote
+
+                status, data = await raw_request(
+                    "127.0.0.1",
+                    server.port,
+                    request_bytes(
+                        "GET",
+                        f"/v1/plan?app={quote(APP)}&input={quote(label)}",
+                    ),
+                )
+            await service.stop()
+            return status, data
+
+        status, data = asyncio.run(scenario())
+        assert status == 200
+        assert data["schema_version"] == WIRE_SCHEMA_VERSION
+        assert data["plan_version"]["app"] == APP
+
+
+class TestWireVersioning:
+    def test_future_header_version_refused(self, tiny_workload):
+        async def scenario():
+            service = make_service(tiny_workload)
+            await service.start()
+            async with HttpPlanServer(service) as server:
+                status, data = await raw_request(
+                    "127.0.0.1",
+                    server.port,
+                    request_bytes("GET", "/v1/health", schema=999),
+                )
+            await service.stop()
+            return status, data
+
+        status, data = asyncio.run(scenario())
+        assert status == 400
+        assert data["error"]["type"] == "TransportError"
+        assert "unsupported wire schema version 999" in data["error"]["message"]
+
+    def test_future_body_version_refused(self, tiny_workload):
+        async def scenario():
+            service = make_service(tiny_workload)
+            await service.start()
+            async with HttpPlanServer(service) as server:
+                status, data = await raw_request(
+                    "127.0.0.1",
+                    server.port,
+                    request_bytes(
+                        "POST",
+                        "/v1/plan",
+                        payload={
+                            "schema_version": 999,
+                            "app": APP,
+                            "input": "x",
+                        },
+                        schema=None,  # no header: body stamp must gate
+                    ),
+                )
+            await service.stop()
+            return status, data
+
+        status, data = asyncio.run(scenario())
+        assert status == 400
+        assert data["error"]["type"] == "TransportError"
+
+    def test_client_refuses_future_response_version(self, tiny_workload):
+        """Version negotiation is two-sided: a client must refuse a
+        response stamped with a schema it does not speak."""
+
+        async def fake_server(reader, writer):
+            await reader.read(200)
+            body = json.dumps({"schema_version": 999}).encode()
+            writer.write(
+                b"HTTP/1.1 200 OK\r\nContent-Length: "
+                + str(len(body)).encode()
+                + b"\r\nX-Repro-Schema: 999\r\n\r\n"
+                + body
+            )
+            await writer.drain()
+            writer.close()
+
+        async def scenario():
+            server = await asyncio.start_server(fake_server, "127.0.0.1", 0)
+            port = server.sockets[0].getsockname()[1]
+            client = PlanClient("127.0.0.1", port)
+            with pytest.raises(TransportError, match="unsupported wire"):
+                await client.health()
+            server.close()
+            await server.wait_closed()
+
+        asyncio.run(scenario())
+
+    def test_unknown_endpoint_rejected(self, tiny_workload):
+        async def scenario():
+            service = make_service(tiny_workload)
+            await service.start()
+            async with HttpPlanServer(service) as server:
+                status, data = await raw_request(
+                    "127.0.0.1",
+                    server.port,
+                    request_bytes("GET", "/v2/everything"),
+                )
+            await service.stop()
+            return status, data
+
+        status, data = asyncio.run(scenario())
+        assert status == 400
+        assert "no endpoint" in data["error"]["message"]
+
+
+class TestTypedErrors:
+    def test_overload_crosses_the_wire_as_itself(self, tiny_workload):
+        """A shed must stay distinguishable (503 + ServiceOverload):
+        the client's retry logic depends on the class."""
+
+        async def scenario():
+            service = make_service(
+                tiny_workload, queue_depth=1, workers=1,
+                synthetic_delay_s=0.2,
+            )
+            await service.start()
+            async with HttpPlanServer(service) as server:
+                client = PlanClient("127.0.0.1", server.port)
+                tasks = [
+                    asyncio.ensure_future(client.stats()) for _ in range(12)
+                ]
+                results = await asyncio.gather(*tasks, return_exceptions=True)
+            await service.stop()
+            return results
+
+        results = asyncio.run(scenario())
+        sheds = [r for r in results if isinstance(r, ServiceOverload)]
+        served = [r for r in results if isinstance(r, dict)]
+        assert sheds, "an over-capacity burst must shed over the wire too"
+        assert served, "in-capacity requests must still be served"
+
+    def test_draining_service_is_closed_over_the_wire(self, tiny_workload):
+        async def scenario():
+            service = make_service(tiny_workload)
+            await service.start()
+            async with HttpPlanServer(service) as server:
+                client = PlanClient("127.0.0.1", server.port)
+                service._closed = True  # what stop() sets while draining
+                health = await client.health()
+                with pytest.raises(ServiceClosed):
+                    await client.stats()
+                service._closed = False
+            await service.stop()
+            return health
+
+        health = asyncio.run(scenario())
+        # Health stays answerable while the queue path is refusing.
+        assert health["status"] == "draining"
+
+    def test_unknown_shard_is_a_service_error(self, tiny_workload):
+        async def scenario():
+            service = make_service(tiny_workload)
+            await service.start()
+            async with HttpPlanServer(service) as server:
+                client = PlanClient("127.0.0.1", server.port)
+                with pytest.raises(ServiceError, match="no samples"):
+                    await client.get_plan(APP, "never-ingested")
+            await service.stop()
+
+        asyncio.run(scenario())
+
+    def test_unreachable_server_is_a_transport_error(self):
+        async def scenario():
+            client = PlanClient("127.0.0.1", 1)  # nothing listens there
+            with pytest.raises(TransportError, match="cannot reach"):
+                await client.health()
+
+        asyncio.run(scenario())

@@ -71,7 +71,12 @@ class TestInMemoryJournal:
         journal = IngestJournal()
         journal.record(batch(*KEY_A, seq=0, n=2))
         journal.record(batch(*KEY_B, seq=0, n=5))
-        assert journal.stats() == {"keys": 2, "batches": 2, "samples": 7}
+        assert journal.stats() == {
+            "keys": 2,
+            "batches": 2,
+            "samples": 7,
+            "torn_records": 0,
+        }
 
 
 class TestMirror:
@@ -161,3 +166,163 @@ class TestMirror:
         target.write_text("occupied")
         with pytest.raises(JournalError, match="cannot open journal mirror"):
             IngestJournal(str(target / "journal.jsonl"))
+
+
+class TestTornTail:
+    """A crash can only tear the FINAL record (each record is one
+    ``write()`` of a full line); readers skip it and surface the count."""
+
+    def write_with_torn_tail(self, tmp_path) -> str:
+        path = str(tmp_path / "torn.jsonl")
+        journal = IngestJournal(path)
+        journal.record(batch(*KEY_A, seq=0))
+        journal.record(batch(*KEY_A, seq=1))
+        journal.close()
+        with open(path, "r+", encoding="utf-8") as fh:
+            whole = fh.read()
+            fh.seek(0)
+            fh.truncate()
+            # Chop the final record mid-JSON, dropping its newline.
+            fh.write(whole[: len(whole) - 30])
+        return path
+
+    def test_torn_final_record_skipped(self, tmp_path):
+        path = self.write_with_torn_tail(tmp_path)
+        loaded = read_journal(path)
+        assert loaded.count(KEY_A) == 1
+        assert loaded.stats()["torn_records"] == 1
+
+    def test_torn_tail_without_newline_terminator(self, tmp_path):
+        path = str(tmp_path / "torn2.jsonl")
+        journal = IngestJournal(path)
+        journal.record(batch(*KEY_A, seq=0))
+        journal.close()
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('{"schema_version": 1, "event": "in')  # no newline
+        loaded = read_journal(path)
+        assert loaded.count(KEY_A) == 1
+        assert loaded.torn_records == 1
+
+    def test_interior_corruption_still_rejected(self, tmp_path):
+        # A bad line WITH a trailing newline is not a torn tail — a
+        # single-write append can't produce it — so it must raise.
+        path = str(tmp_path / "interior.jsonl")
+        journal = IngestJournal(path)
+        journal.record(batch(*KEY_A, seq=0))
+        journal.close()
+        with open(path, "r+", encoding="utf-8") as fh:
+            good = fh.read()
+            fh.seek(0)
+            fh.truncate()
+            fh.write("{corrupt}\n" + good)
+        with pytest.raises(JournalError, match="invalid JSON"):
+            read_journal(path)
+
+    def test_resume_truncates_torn_tail(self, tmp_path):
+        path = self.write_with_torn_tail(tmp_path)
+        journal = IngestJournal(path, resume=True)
+        assert journal.count(KEY_A) == 1
+        assert journal.torn_records == 1
+        # The torn bytes are gone from disk, and the next record lands
+        # at the index the torn one failed to claim.
+        assert journal.record(batch(*KEY_A, seq=1)) == 1
+        journal.close()
+        loaded = read_journal(path)
+        assert loaded.count(KEY_A) == 2
+        assert loaded.torn_records == 0
+
+
+class TestResume:
+    def test_resume_continues_indices(self, tmp_path):
+        path = str(tmp_path / "journal.jsonl")
+        first = IngestJournal(path)
+        first.record(batch(*KEY_A, seq=0))
+        first.record(batch(*KEY_B, seq=0))
+        first.close()
+
+        second = IngestJournal(path, resume=True)
+        assert second.count(KEY_A) == 1
+        assert second.record(batch(*KEY_A, seq=1)) == 1
+        second.close()
+
+        loaded = read_journal(path)
+        assert loaded.count(KEY_A) == 2
+        assert loaded.count(KEY_B) == 1
+
+    def test_resume_without_existing_file(self, tmp_path):
+        path = str(tmp_path / "fresh.jsonl")
+        journal = IngestJournal(path, resume=True)
+        assert journal.record(batch(*KEY_A, seq=0)) == 0
+        journal.close()
+        assert read_journal(path).count(KEY_A) == 1
+
+
+class TestDurableWrites:
+    def test_fsync_knob_records_and_reads_back(self, tmp_path):
+        path = str(tmp_path / "fsynced.jsonl")
+        journal = IngestJournal(path, fsync=True)
+        journal.record(batch(*KEY_A, seq=0))
+        journal.record(batch(*KEY_A, seq=1))
+        # Acked records are already on disk before close().
+        assert read_journal(path).count(KEY_A) == 2
+        journal.close()
+
+    def test_killed_writer_loses_no_acked_batch(self, tmp_path):
+        """Regression: every record() acked before a SIGKILL must be
+        readable afterwards — flush-per-record is the WAL contract."""
+        import os
+        import signal
+        import subprocess
+        import sys
+
+        path = str(tmp_path / "killed.jsonl")
+        src = os.path.join(
+            os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"
+        )
+        script = """
+import sys
+from repro.profiling.profile import MissSample
+from repro.service.ingest import SampleBatch
+from repro.service.journal import IngestJournal
+
+journal = IngestJournal(sys.argv[1])
+seq = 0
+while True:
+    samples = tuple(
+        MissSample(miss_pc=0x1000 + i, miss_block=0x2000 + i, window=())
+        for i in range(3)
+    )
+    journal.record(
+        SampleBatch(
+            app_name="wordpress", input_label="input0",
+            samples=samples, seq=seq,
+        )
+    )
+    print(f"ACK {seq}", flush=True)
+    seq += 1
+"""
+        env = dict(os.environ)
+        env["PYTHONPATH"] = src
+        proc = subprocess.Popen(
+            [sys.executable, "-c", script, path],
+            stdout=subprocess.PIPE,
+            env=env,
+            text=True,
+        )
+        try:
+            acked = -1
+            for _ in range(5):  # wait for five acked batches
+                line = proc.stdout.readline()
+                assert line.startswith("ACK ")
+                acked = int(line.split()[1])
+        finally:
+            proc.kill()
+            proc.wait()
+        assert acked >= 4
+        loaded = IngestJournal(path, resume=True)
+        # At most the in-flight (never-acked) record may be torn; every
+        # acked batch must have survived the kill.
+        assert loaded.count(("wordpress", "input0")) >= acked + 1
+        for i, b in enumerate(loaded.replay(("wordpress", "input0"))):
+            assert b.seq == i
+        loaded.close()

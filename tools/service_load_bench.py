@@ -1,0 +1,34 @@
+#!/usr/bin/env python3
+"""Offline wrapper for the plan-service HTTP load bench.
+
+Runs with no installation step (inserts ``src/`` on sys.path, mirrors
+``tools/service_bench.py``) so CI can drive the durable plan server
+over its wire transport and judge it against SLOs:
+
+    python tools/service_load_bench.py --smoke
+    python tools/service_load_bench.py --clients 16 --arrival-rate 400 \
+        --out BENCH_service.json --enforce-slo
+    python tools/service_load_bench.py --no-recovery --telemetry load.jsonl
+
+The run primes the service over HTTP, fires seeded-Poisson plan
+requests from synthetic clients, then simulates a crash and times the
+snapshot+WAL recovery to the first served plan (asserting plan parity
+against the pre-crash versions).
+
+Exit codes: 0 clean (parity held, SLO ok when --enforce-slo), 1
+assertion/SLO failure, 2 usage/pipeline error.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+)
+
+from repro.service.bench import load_bench_main  # noqa: E402
+
+if __name__ == "__main__":
+    raise SystemExit(load_bench_main())
