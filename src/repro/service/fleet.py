@@ -226,7 +226,11 @@ async def _fleet_worker_loop(
         if request.get("kind") == "drain":
             running = False
         try:
-            conn.send(reply)
+            # Replies can carry whole plan versions; pickling + the
+            # pipe write belong off the loop just like the recv side.
+            # The loop body is strictly sequential (recv → dispatch →
+            # send), so the executor hop cannot reorder replies.
+            await loop.run_in_executor(None, conn.send, reply)
         except (EOFError, OSError):
             break
     if sink is not None:

@@ -204,7 +204,10 @@ class PlanService:
     async def start(self) -> "PlanService":
         if self._started:
             raise ServiceError("service already started")
-        self._open_durability()
+        # One-time journal/snapshot open, before any request is
+        # accepted: nothing else runs on the loop yet, and deferring
+        # it would let the first ingest race an unopened WAL.
+        self._open_durability()  # staticcheck: disable=A101 (startup-only open, loop idle)
         self._queue = asyncio.Queue(maxsize=self.config.queue_depth)
         self._workers = [
             asyncio.get_running_loop().create_task(self._worker())
@@ -323,15 +326,19 @@ class PlanService:
                 version = self.builder.build(shard)
             except ReproError as exc:
                 self.metrics.inc("service.drain_build_failures")
-                self._last_build_error[key] = str(exc)
+                # Drain runs after the workers are joined and the
+                # debounce timers are dead: no build can race this.
+                self._last_build_error[key] = str(exc)  # staticcheck: disable=A103 (drain: workers joined, no concurrent builds)
             else:
-                self._note_published(version)
+                # Publish-time snapshot must stay atomic with the
+                # publish; at drain there are no requests to stall.
+                self._note_published(version)  # staticcheck: disable=A101 (drain-time publish, no requests in flight)
                 self.metrics.inc("service.drain_builds")
         self._started = False
         # Final snapshot: drain-time builds are part of the lineage, so
         # a restart from here replays nothing and serves the same plans.
         if self._snapshots is not None and self.buffer.keys():
-            self._write_snapshot()
+            self._write_snapshot()  # staticcheck: disable=A101 (drain-time snapshot, no requests in flight)
         if self.journal is not None:
             self.journal.close()
             self.journal = None
@@ -462,7 +469,12 @@ class PlanService:
 
     async def _process(self, req: _Request):
         if req.kind == "ingest":
-            return self._process_ingest(req.payload)
+            # Audited blocking path: the WAL write (flush + optional
+            # fsync) must stay synchronous between dequeue and ack so
+            # fold order == queue order and an acked batch is durable.
+            # The fsync cost *is* the durability budget (DESIGN §14);
+            # moving it to an executor would reorder folds.
+            return self._process_ingest(req.payload)  # staticcheck: disable=A101 (WAL-before-fold must stay synchronous; fold order == queue order)
         if req.kind == "plan":
             app_name, input_label = req.payload
             return await self._serve_plan((app_name, input_label))
@@ -479,7 +491,9 @@ class PlanService:
         if pending is not None and not pending.done():
             pending.cancel()
         self._build_locks.pop(key, None)
-        self._last_build_error.pop(key, None)
+        # The shard's lock object is being discarded with the shard;
+        # forget serializes with builds for the key via queue order.
+        self._last_build_error.pop(key, None)  # staticcheck: disable=A103 (queue-order serialization; the owning lock is discarded here)
         dropped_plan = self.builder.discard(key)
         dropped_state = self.buffer.discard(key)
         if dropped_state or dropped_plan:
@@ -572,62 +586,69 @@ class PlanService:
             await asyncio.sleep(self.config.debounce_s)
         try:
             await self._build_shard(key)
-        except ReproError as exc:
-            # Background rebuilds have no caller to fail; record the
-            # rejection for stats and keep the last good version live.
+        except ReproError:
+            # Background rebuilds have no caller to fail; _build_shard
+            # already recorded the rejection under the shard lock, so
+            # the last good version stays live and stats stay honest.
             self.metrics.inc("service.background_build_failures")
-            self._last_build_error[key] = str(exc)
 
     async def _build_shard(self, key: ShardKey) -> PlanVersion:
         lock = self._build_locks.get(key)
         if lock is None:
             lock = self._build_locks[key] = asyncio.Lock()
         async with lock:
-            shard = self.buffer.get(key)
-            if shard is None:
-                raise ServiceError(f"unknown shard {key}")
-            latest = self.builder.latest(key)
-            if latest is not None and not shard.dirty:
-                return latest
-            loop = asyncio.get_running_loop()
-            t0 = loop.time()
-            attempt = 0
-            while True:
-                fut = loop.run_in_executor(None, self.builder.build, shard)
-                try:
-                    version = await asyncio.shield(fut)
-                    break
-                except asyncio.CancelledError:
-                    # A cancelled caller (re-armed debounce, drain)
-                    # must not abandon the executor build: the thread
-                    # keeps running, and releasing the shard lock here
-                    # would let a second build race it on the same
-                    # shard state.  Wait it out, record any publish,
-                    # then propagate the cancellation.
+            try:
+                shard = self.buffer.get(key)
+                if shard is None:
+                    raise ServiceError(f"unknown shard {key}")
+                latest = self.builder.latest(key)
+                if latest is not None and not shard.dirty:
+                    return latest
+                loop = asyncio.get_running_loop()
+                t0 = loop.time()
+                attempt = 0
+                while True:
+                    fut = loop.run_in_executor(None, self.builder.build, shard)
                     try:
                         version = await asyncio.shield(fut)
-                    except (ReproError, asyncio.CancelledError):
-                        pass
-                    else:
-                        self._note_published(version)
-                        self._last_build_error.pop(key, None)
-                    raise
-                except TransientBuildError:
-                    attempt += 1
-                    self.metrics.inc("service.build_retries")
-                    if attempt > self.config.build_retries:
+                        break
+                    except asyncio.CancelledError:
+                        # A cancelled caller (re-armed debounce, drain)
+                        # must not abandon the executor build: the thread
+                        # keeps running, and releasing the shard lock here
+                        # would let a second build race it on the same
+                        # shard state.  Wait it out, record any publish,
+                        # then propagate the cancellation.
+                        try:
+                            version = await asyncio.shield(fut)
+                        except (ReproError, asyncio.CancelledError):
+                            pass
+                        else:
+                            self._note_published(version)  # staticcheck: disable=A101 (publish-time snapshot is atomic with the publish)
+                            self._last_build_error.pop(key, None)
                         raise
-                    # Seeded jitter in [0.5, 1.5) of the exponential step.
-                    delay = (
-                        self.config.backoff_base_s
-                        * (2 ** (attempt - 1))
-                        * (0.5 + self._backoff_rng.random())
-                    )
-                    await asyncio.sleep(delay)
-            self.metrics.add_time("service.build", loop.time() - t0)
-            self._note_published(version)
-            self._last_build_error.pop(key, None)
-            return version
+                    except TransientBuildError:
+                        attempt += 1
+                        self.metrics.inc("service.build_retries")
+                        if attempt > self.config.build_retries:
+                            raise
+                        # Seeded jitter in [0.5, 1.5) of the exponential step.
+                        delay = (
+                            self.config.backoff_base_s
+                            * (2 ** (attempt - 1))
+                            * (0.5 + self._backoff_rng.random())
+                        )
+                        await asyncio.sleep(delay)
+                self.metrics.add_time("service.build", loop.time() - t0)
+                self._note_published(version)  # staticcheck: disable=A101 (publish-time snapshot is atomic with the publish)
+                self._last_build_error.pop(key, None)
+                return version
+            except ReproError as exc:
+                # Build failures are lock-owned shard state: record
+                # them here, under the lock, so a concurrent build for
+                # the same key can never interleave with the write.
+                self._last_build_error[key] = str(exc)
+                raise
 
     def _note_published(self, version: PlanVersion) -> None:
         reg = self.metrics

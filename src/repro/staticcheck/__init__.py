@@ -1,6 +1,6 @@
 """Static plan/artifact verifier + repo-invariant lint engine.
 
-Two layers, one report format (DESIGN.md §10):
+Three layers, one report format (DESIGN.md §10, §15):
 
 * **Artifact verifier** (:mod:`.plan_checks`, :mod:`.cfg_checks`) —
   checks a built :class:`~repro.core.plan.PrefetchPlan` (and the
@@ -17,25 +17,39 @@ Two layers, one report format (DESIGN.md §10):
   arguments, and sanitize-coverage of frontend structures.  Rule ids
   ``L1xx``, with per-line ``# staticcheck: disable=RULE`` suppressions.
 
-Both layers emit :class:`~repro.staticcheck.findings.Finding` records
+* **Service analyzer** (:mod:`.service_checks` + the
+  ``rules/service_*`` modules) — a cross-module AST/dataflow pass over
+  ``repro/service/`` pinning the async service's concurrency,
+  durability, and wire-protocol invariants: no blocking calls on the
+  event loop, no dropped coroutines, GUARDED_BY lock ownership,
+  journal-before-fold ordering, snapshot field coverage, and typed
+  versioned wire errors.  Rule ids ``A1xx``; stale suppressions
+  surface as ``U101`` via ``--report-unused-suppressions``.
+
+All layers emit :class:`~repro.staticcheck.findings.Finding` records
 and share the text/JSON reporters; ``python -m repro.staticcheck`` and
-``tools/staticcheck.py`` are the CLI entry points, and the experiment
-runner can verify every plan it builds (``--check-plans`` /
-``REPRO_CHECK_PLANS``).
+``tools/staticcheck.py`` are the CLI entry points (``--changed`` lints
+only files changed vs origin/main), and the experiment runner can
+verify every plan it builds (``--check-plans`` / ``REPRO_CHECK_PLANS``).
 """
 
 from __future__ import annotations
 
 from .cfg_checks import BlockGraph, verify_workload
-from .engine import LintEngine, lint_paths, lint_source_tree
+from .engine import ENGINE_RULES, LintEngine, lint_paths, lint_source_tree
 from .findings import Finding, Severity, exit_code, render_json, render_text
 from .plan_checks import PLAN_RULES, verify_plan
+from .service_checks import GUARDED_BY, SERVICE_RULES, ServiceIndex
 
 __all__ = [
     "BlockGraph",
+    "ENGINE_RULES",
     "Finding",
+    "GUARDED_BY",
     "LintEngine",
     "PLAN_RULES",
+    "SERVICE_RULES",
+    "ServiceIndex",
     "Severity",
     "exit_code",
     "lint_paths",

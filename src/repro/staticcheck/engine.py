@@ -1,33 +1,75 @@
 """AST lint engine: rule registry, suppressions, source-tree driver.
 
-Each rule (see :mod:`.rules`) receives a :class:`ParsedModule` — path,
-source lines, and parsed AST — and yields :class:`Finding` records.
-The engine then drops findings the source suppressed explicitly:
+Each per-module rule (see :mod:`.rules`) receives a
+:class:`ParsedModule` — path, source lines, and parsed AST — and yields
+:class:`Finding` records.  *Project rules* (layer 3) receive the whole
+module set at once so they can resolve calls and types across files;
+their findings are attributed back to the module named in the finding's
+location and pass through the same suppression filter.
+
+The engine drops findings the source suppressed explicitly:
 
 * ``# staticcheck: disable=L104`` on a line suppresses that rule (by
   id or name, comma-separated for several) for that line;
 * ``# staticcheck: disable-file=L104`` anywhere in the file suppresses
   the rule for the whole module.
 
+Several directives may share one line (``# staticcheck: disable=L101
+# staticcheck: disable-file=L104``); each token may carry a
+parenthesized reason (``disable=A101 (startup-only open)``).
+
 Suppressions are deliberately per-rule — a bare ``disable`` with no
 rule list suppresses nothing — so silencing a checker always names the
-invariant being waived.
+invariant being waived.  Every suppression site records whether it
+actually matched a finding during a lint run; ``U101
+unused-suppression`` (surfaced via ``--report-unused-suppressions``)
+flags sites that no longer fire so allowlists cannot rot silently.
 """
 
 from __future__ import annotations
 
 import ast
+import io
 import re
+import tokenize
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Set
 
 from ..errors import ReproError
-from .findings import Finding
+from .findings import Finding, Severity
 
 _SUPPRESS_RE = re.compile(
     r"#\s*staticcheck:\s*(disable(?:-file)?)\s*=\s*([A-Za-z0-9_,\- ]+)"
 )
+
+# Engine-level findings (not tied to a rule module).
+ENGINE_RULES: Dict[str, str] = {"U101": "unused-suppression"}
+
+
+@dataclass
+class SuppressionSite:
+    """One ``disable``/``disable-file`` token parsed from a comment."""
+
+    lineno: int
+    kind: str  # "line" | "file"
+    token: str  # rule id or rule name
+    used: bool = False
+
+
+def _tokens(raw: str) -> List[str]:
+    """Extract rule tokens from the text after ``disable=``.
+
+    Comma separates rules; within each chunk only the first
+    whitespace-delimited word is the rule token, so trailing prose
+    (``disable=A101 see DESIGN §15``) cannot corrupt it.
+    """
+    out = []
+    for chunk in raw.split(","):
+        words = chunk.split()
+        if words:
+            out.append(words[0])
+    return out
 
 
 @dataclass
@@ -39,43 +81,117 @@ class ParsedModule:
     source: str
     lines: List[str] = field(init=False)
     tree: ast.AST = field(init=False)
-    # line -> rule ids/names suppressed on that line.
-    line_suppressions: Dict[int, Set[str]] = field(init=False)
-    file_suppressions: Set[str] = field(init=False)
+    suppressions: List[SuppressionSite] = field(init=False)
+    # line -> {token -> site} suppressed on that line.
+    line_suppressions: Dict[int, Dict[str, SuppressionSite]] = field(init=False)
+    file_suppressions: Dict[str, SuppressionSite] = field(init=False)
 
     def __post_init__(self) -> None:
         self.lines = self.source.splitlines()
         self.tree = ast.parse(self.source, filename=str(self.path))
+        self.suppressions = []
         self.line_suppressions = {}
-        self.file_suppressions = set()
-        for lineno, text in enumerate(self.lines, start=1):
-            m = _SUPPRESS_RE.search(text)
-            if not m:
-                continue
-            rules = {r.strip() for r in m.group(2).split(",") if r.strip()}
-            if m.group(1) == "disable-file":
-                self.file_suppressions |= rules
-            else:
-                self.line_suppressions.setdefault(lineno, set()).update(rules)
+        self.file_suppressions = {}
+        for lineno, text in self._comments():
+            for m in _SUPPRESS_RE.finditer(text):
+                kind = "file" if m.group(1) == "disable-file" else "line"
+                for token in _tokens(m.group(2)):
+                    site = SuppressionSite(lineno=lineno, kind=kind, token=token)
+                    self.suppressions.append(site)
+                    if kind == "file":
+                        self.file_suppressions.setdefault(token, site)
+                    else:
+                        self.line_suppressions.setdefault(lineno, {}).setdefault(
+                            token, site
+                        )
+
+    def _comments(self) -> Iterable[tuple]:
+        """(lineno, text) for real comment tokens.
+
+        Tokenizing (rather than scanning raw lines) keeps suppression
+        syntax quoted in docstrings — like the examples in this very
+        module — from acting as, or being reported as, a suppression.
+        """
+        try:
+            tokens = tokenize.generate_tokens(io.StringIO(self.source).readline)
+            return [
+                (tok.start[0], tok.string)
+                for tok in tokens
+                if tok.type == tokenize.COMMENT
+            ]
+        except (tokenize.TokenError, IndentationError):  # pragma: no cover
+            return [
+                (lineno, text)
+                for lineno, text in enumerate(self.lines, start=1)
+                if "#" in text
+            ]
 
     def suppressed(self, finding: Finding) -> bool:
-        keys = {finding.rule, finding.name}
-        if keys & self.file_suppressions:
-            return True
-        if finding.line is None:
-            return False
-        return bool(keys & self.line_suppressions.get(finding.line, set()))
+        """True if the source waives this finding; marks the site used."""
+        hit = False
+        for key in (finding.rule, finding.name):
+            site = self.file_suppressions.get(key)
+            if site is not None:
+                site.used = True
+                hit = True
+        if finding.line is not None:
+            for key in (finding.rule, finding.name):
+                site = self.line_suppressions.get(finding.line, {}).get(key)
+                if site is not None:
+                    site.used = True
+                    hit = True
+        return hit
+
+    def unused_suppressions(
+        self, known_rules: Optional[Set[str]] = None
+    ) -> List[Finding]:
+        """U101 findings for suppression sites no finding matched."""
+        out: List[Finding] = []
+        for site in self.suppressions:
+            if site.used:
+                continue
+            message = (
+                f"suppression 'staticcheck: "
+                f"{'disable-file' if site.kind == 'file' else 'disable'}="
+                f"{site.token}' never matched a finding; remove it"
+            )
+            if known_rules is not None and site.token not in known_rules:
+                message += f" ({site.token!r} is not a known rule id or name)"
+            out.append(
+                Finding(
+                    rule="U101",
+                    name=ENGINE_RULES["U101"],
+                    severity=Severity.WARNING,
+                    location=self.relpath,
+                    message=message,
+                    line=site.lineno,
+                )
+            )
+        return out
 
 
 class LintEngine:
-    """Runs a set of rules over parsed modules, honoring suppressions."""
+    """Runs rules over parsed modules, honoring suppressions.
 
-    def __init__(self, rules: Optional[Sequence] = None):
+    ``rules`` check one module at a time; ``project_rules`` see the
+    whole module set and may emit findings against any module in it.
+    """
+
+    def __init__(
+        self,
+        rules: Optional[Sequence] = None,
+        project_rules: Optional[Sequence] = None,
+    ):
         if rules is None:
             from .rules import default_rules
 
             rules = default_rules()
+        if project_rules is None:
+            from .rules import default_project_rules
+
+            project_rules = default_project_rules()
         self.rules = list(rules)
+        self.project_rules = list(project_rules)
 
     def lint_module(self, module: ParsedModule) -> List[Finding]:
         findings: List[Finding] = []
@@ -86,10 +202,29 @@ class LintEngine:
         return findings
 
     def lint(self, modules: Iterable[ParsedModule]) -> List[Finding]:
+        modules = list(modules)
         findings: List[Finding] = []
         for module in modules:
             findings.extend(self.lint_module(module))
+        by_relpath = {module.relpath: module for module in modules}
+        for rule in self.project_rules:
+            for f in rule.check_project(modules):
+                owner = by_relpath.get(f.location)
+                if owner is not None and owner.suppressed(f):
+                    continue
+                findings.append(f)
         return findings
+
+    def unused_suppression_findings(
+        self,
+        modules: Iterable[ParsedModule],
+        known_rules: Optional[Set[str]] = None,
+    ) -> List[Finding]:
+        """Must run after :meth:`lint` on the same module objects."""
+        out: List[Finding] = []
+        for module in modules:
+            out.extend(module.unused_suppressions(known_rules))
+        return out
 
 
 def _parse(path: Path, root: Path) -> ParsedModule:
@@ -107,13 +242,8 @@ def _parse(path: Path, root: Path) -> ParsedModule:
         raise ReproError(f"staticcheck cannot parse {path}: {exc}") from exc
 
 
-def lint_paths(
-    paths: Sequence[Path],
-    root: Optional[Path] = None,
-    engine: Optional[LintEngine] = None,
-) -> List[Finding]:
-    """Lint explicit files (directories are walked for ``*.py``)."""
-    engine = engine if engine is not None else LintEngine()
+def parse_paths(paths: Sequence[Path], root: Optional[Path] = None) -> List[ParsedModule]:
+    """Parse explicit files (directories are walked for ``*.py``)."""
     root = root if root is not None else Path.cwd()
     files: List[Path] = []
     for p in paths:
@@ -121,7 +251,17 @@ def lint_paths(
             files.extend(sorted(p.rglob("*.py")))
         else:
             files.append(p)
-    return engine.lint(_parse(p, root) for p in files)
+    return [_parse(p, root) for p in files]
+
+
+def lint_paths(
+    paths: Sequence[Path],
+    root: Optional[Path] = None,
+    engine: Optional[LintEngine] = None,
+) -> List[Finding]:
+    """Lint explicit files (directories are walked for ``*.py``)."""
+    engine = engine if engine is not None else LintEngine()
+    return engine.lint(parse_paths(paths, root))
 
 
 def lint_source_tree(

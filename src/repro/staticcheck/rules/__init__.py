@@ -25,18 +25,24 @@ rule id   name                    severity  invariant
 
 Rules register themselves via :func:`register`; :func:`default_rules`
 instantiates the full set for :class:`~repro.staticcheck.engine.LintEngine`.
+
+Layer 3 (*project rules*, ids ``A1xx``) analyzes the whole module set
+at once — call graphs, lock discipline, persistence coverage — and
+registers via :func:`register_project`; the rule catalog lives in
+:mod:`~repro.staticcheck.service_checks`.
 """
 
 from __future__ import annotations
 
 import ast
-from typing import Callable, Dict, Iterator, List, Type
+from typing import Callable, Dict, Iterator, List, Sequence, Type
 
 from ..engine import ParsedModule
 from ..findings import Finding, Severity
 
 LINT_RULES: Dict[str, str] = {}
 _REGISTRY: List[Type["Rule"]] = []
+_PROJECT_REGISTRY: List[Type["ProjectRule"]] = []
 
 
 class Rule:
@@ -60,10 +66,29 @@ class Rule:
         )
 
 
+class ProjectRule:
+    """Base for whole-project rules: sees every module in one pass.
+
+    A single ProjectRule may own several rule ids (the service
+    analyzer shares one cross-module index across A101–A106), so
+    findings carry their ids explicitly rather than inheriting them
+    from class attributes.
+    """
+
+    def check_project(self, modules: Sequence[ParsedModule]) -> Iterator[Finding]:
+        raise NotImplementedError
+
+
 def register(cls: Type[Rule]) -> Type[Rule]:
     """Class decorator adding a rule to the default set."""
     LINT_RULES[cls.rule] = cls.name
     _REGISTRY.append(cls)
+    return cls
+
+
+def register_project(cls: Type[ProjectRule]) -> Type[ProjectRule]:
+    """Class decorator adding a project rule to the default set."""
+    _PROJECT_REGISTRY.append(cls)
     return cls
 
 
@@ -72,3 +97,11 @@ def default_rules() -> List[Rule]:
     from . import determinism, environment, exceptions, hygiene, sanitize_coverage  # noqa: F401
 
     return [cls() for cls in _REGISTRY]
+
+
+def default_project_rules() -> List[ProjectRule]:
+    # Import for side effect: registers the service analyzer (layer 3).
+    from . import service_async, service_concurrency, service_persistence, service_wire  # noqa: F401
+    from .. import service_checks  # noqa: F401
+
+    return [cls() for cls in _PROJECT_REGISTRY]

@@ -1,0 +1,73 @@
+"""A101/A102: event-loop discipline for the async plan service.
+
+**A101 no-blocking-in-async** — a call lexically inside an ``async
+def`` must not perform blocking IO, directly (``time.sleep``,
+``open``, ``os.fsync``, ``subprocess``, pipe/socket ops, file-handle
+writes, executor ``Future.result()``) or through a resolved chain of
+sync calls (the :class:`~repro.staticcheck.service_checks.ServiceIndex`
+blocking fixpoint).  Off-loop work goes through ``run_in_executor``;
+deliberate synchronous paths — the WAL-before-fold ingest path, the
+startup journal open, publish-time snapshots — carry per-line
+``# staticcheck: disable=A101 (reason)`` allowlists naming why the
+loop may stall there.
+
+**A102 unawaited-coroutine** — calling a known-``async`` function and
+dropping the result (the call is its own expression statement) never
+runs the coroutine; it must be awaited, returned, gathered, or stored
+for later scheduling.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..findings import Finding
+from ..service_checks import ServiceIndex, service_finding
+
+
+def check_blocking(index: ServiceIndex) -> Iterator[Finding]:
+    for fi in index.functions:
+        if not fi.is_async:
+            continue
+        for call in index.calls(fi):
+            prim = index.blocking_primitive(fi, call)
+            if prim is not None:
+                yield service_finding(
+                    "A101",
+                    fi.module.relpath,
+                    call.lineno,
+                    f"blocking {prim} inside async {fi.display}(); route it "
+                    f"through run_in_executor or add a reasoned suppression",
+                )
+                continue
+            target = index.resolve_call(fi, call)
+            if target is None or target.is_async:
+                continue
+            chain = index.blocking.get(target.qualname)
+            if chain is not None:
+                yield service_finding(
+                    "A101",
+                    fi.module.relpath,
+                    call.lineno,
+                    f"async {fi.display}() calls {target.display}(), which "
+                    f"blocks the event loop via {chain}; route it through "
+                    f"run_in_executor or add a reasoned suppression",
+                )
+
+
+def check_unawaited(index: ServiceIndex) -> Iterator[Finding]:
+    for fi in index.functions:
+        for call in index.calls(fi):
+            target = index.resolve_call(fi, call)
+            if target is None or not target.is_async:
+                continue
+            if isinstance(index.parent(call), ast.Expr):
+                yield service_finding(
+                    "A102",
+                    fi.module.relpath,
+                    call.lineno,
+                    f"{fi.display}() calls async {target.display}() but drops "
+                    f"the coroutine: it is never awaited, returned, gathered, "
+                    f"or stored, so it will not run",
+                )

@@ -1,0 +1,56 @@
+"""A103: lock discipline for GUARDED_BY service attributes.
+
+Attributes declared in
+:data:`~repro.staticcheck.service_checks.GUARDED_BY` (the router's
+``_handles``/``_delivered`` under the fleet RLock, the server's
+``_last_build_error`` under the per-shard build locks) may only be
+mutated while their owning lock is held.  "Held" is proved two ways:
+
+* lexically — the mutation sits inside a ``with``/``async with`` on
+  the owning lock (including per-key dict locks via a local bound from
+  the lock dict);
+* by propagation — the mutation is in a private method whose *every*
+  reference from within the class is under the lock or inside another
+  qualifying method (``ServiceIndex.lock_held_methods``), so helpers
+  like ``FleetRouter._reap_dead`` need no allowlist churn.
+
+``__init__`` is exempt: nothing races construction.  Reads are not
+checked — the map asserts write ownership, and read-side staleness is
+the documented contract of the stats paths.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..findings import Finding
+from ..service_checks import ServiceIndex, service_finding
+
+
+def check_lock_discipline(index: ServiceIndex) -> Iterator[Finding]:
+    for ci, guards in index.guarded_classes():
+        held_cache = {}
+        for method_name in sorted(ci.methods):
+            if method_name == "__init__":
+                continue
+            fi = ci.methods[method_name]
+            for attr in sorted(guards):
+                lockspec = guards[attr]
+                for node in index.mutations(fi, attr):
+                    if index.under_lock(fi, node, lockspec):
+                        continue
+                    if not lockspec.endswith("[]"):
+                        if lockspec not in held_cache:
+                            held_cache[lockspec] = index.lock_held_methods(
+                                ci, lockspec
+                            )
+                        if method_name in held_cache[lockspec]:
+                            continue
+                    yield service_finding(
+                        "A103",
+                        ci.module.relpath,
+                        getattr(node, "lineno", None),
+                        f"{ci.name}.{attr} is GUARDED_BY {lockspec} but "
+                        f"{method_name}() mutates it without holding the "
+                        f"lock (see service_checks.GUARDED_BY)",
+                    )

@@ -1,0 +1,38 @@
+"""A104: WAL-before-fold ordering, proved on the intra-function CFG.
+
+The durability contract (DESIGN §14) is that a batch is journaled
+*before* it folds into shard state, so a crash between the two replays
+the batch instead of losing it.  For any function that both records to
+a journal (``journal.record``/``append``) and folds
+(``buffer.ingest``/``shard.absorb``), every fold site must be
+dominated by a record on the same path.
+
+The proof runs on a statement-level CFG built over the function's AST
+(the same dominance style as the plan verifier in ``plan_checks.py``):
+a fold is flagged iff some path from entry reaches it without passing
+a record statement.  Branches that establish the journal is absent
+(``if self.journal is not None`` false-edges) are excused — folding
+without a WAL is the journal-off configuration, not a reorder — and
+functions that only fold (``restore()`` replaying an existing journal)
+or only record are out of scope by construction.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..findings import Finding
+from ..service_checks import ServiceIndex, service_finding
+
+
+def check_journal_before_fold(index: ServiceIndex) -> Iterator[Finding]:
+    for fi in index.functions:
+        for stmt in index.unguarded_folds(fi):
+            yield service_finding(
+                "A104",
+                fi.module.relpath,
+                getattr(stmt, "lineno", None),
+                f"{fi.display}() folds samples into shard state on a path "
+                f"with no preceding journal record; the WAL write must "
+                f"dominate every fold (journal-before-fold, DESIGN §14)",
+            )

@@ -1,0 +1,140 @@
+"""A105: snapshot field coverage for the durable service state.
+
+Kill-and-restart lineage convergence (DESIGN §14) only holds if every
+field of the durable state classes round-trips through ``persist.py``.
+This rule makes that a lint invariant, in the L107 coverage idiom: for
+each subject in :data:`~repro.staticcheck.service_checks.PERSIST_PAIRS`
+(``ShardState``, ``PlanVersion``, the ``IngestBuffer`` ingest config),
+every field — dataclass annotations for dataclasses, ``self.x = ...``
+assignments in ``__init__`` otherwise, private ``_x`` excluded — must
+be mentioned in *both* halves of its serialization pair.  "Mentioned"
+accepts an attribute access, an identifier, a keyword argument, or a
+string key, so either dict-literal or attribute-copy style counts.
+
+Fields deliberately rebuilt from the restoring process's verified
+config (``DERIVED_PERSIST_FIELDS``) are exempt; anything else added
+without a persistence path fails lint at the field's own definition
+line instead of silently breaking recovery.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from ..findings import Finding
+from ..service_checks import (
+    DERIVED_PERSIST_FIELDS,
+    PERSIST_PAIRS,
+    _PERSIST_SUFFIX,
+    ClassInfo,
+    ServiceIndex,
+    service_finding,
+)
+
+
+def _is_dataclass(node: ast.ClassDef) -> bool:
+    for dec in node.decorator_list:
+        target = dec.func if isinstance(dec, ast.Call) else dec
+        name = getattr(target, "id", None) or getattr(target, "attr", None)
+        if name == "dataclass":
+            return True
+    return False
+
+
+def _class_fields(ci: ClassInfo) -> List[Tuple[str, int]]:
+    """(field name, definition line) for the persisted subject."""
+    fields: List[Tuple[str, int]] = []
+    seen: Set[str] = set()
+    if _is_dataclass(ci.node):
+        for item in ci.node.body:
+            if isinstance(item, ast.AnnAssign) and isinstance(item.target, ast.Name):
+                name = item.target.id
+                if not name.startswith("_") and name not in seen:
+                    seen.add(name)
+                    fields.append((name, item.lineno))
+        return fields
+    init = ci.methods.get("__init__")
+    if init is None:
+        return fields
+    for node in ast.walk(init.node):
+        targets: List[ast.AST] = []
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+        elif isinstance(node, ast.AnnAssign):
+            targets = [node.target]
+        for target in targets:
+            if (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+            ):
+                name = target.attr
+                if not name.startswith("_") and name not in seen:
+                    seen.add(name)
+                    fields.append((name, node.lineno))
+    return fields
+
+
+def _mentions(func: ast.AST) -> Set[str]:
+    """Identifiers a persist function 'covers': names, attrs, kwargs, keys."""
+    out: Set[str] = set()
+    for node in ast.walk(func):
+        if isinstance(node, ast.Name):
+            out.add(node.id)
+        elif isinstance(node, ast.Attribute):
+            out.add(node.attr)
+        elif isinstance(node, ast.keyword) and node.arg:
+            out.add(node.arg)
+        elif isinstance(node, ast.Constant) and isinstance(node.value, str):
+            out.add(node.value)
+    return out
+
+
+def check_snapshot_coverage(index: ServiceIndex) -> Iterator[Finding]:
+    persist = index.module_by_suffix(_PERSIST_SUFFIX)
+    if persist is None:
+        return  # partial lint set; the CLI closure keeps the pair together
+    persist_funcs: Dict[str, ast.AST] = {
+        node.name: node
+        for node in persist.tree.body
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+    }
+    for subject in sorted(PERSIST_PAIRS):
+        to_name, from_name = PERSIST_PAIRS[subject]
+        ci = index.classes.get(subject)
+        if ci is None:
+            continue
+        halves: List[Tuple[str, Optional[Set[str]]]] = []
+        for fn_name in (to_name, from_name):
+            fn = persist_funcs.get(fn_name)
+            if fn is None:
+                yield service_finding(
+                    "A105",
+                    persist.relpath,
+                    1,
+                    f"persist.py must define {fn_name}() — the "
+                    f"{subject} serialization pair is incomplete",
+                )
+                halves.append((fn_name, None))
+            else:
+                halves.append((fn_name, _mentions(fn)))
+        derived = DERIVED_PERSIST_FIELDS.get(subject, set())
+        for field_name, lineno in _class_fields(ci):
+            if field_name in derived:
+                continue
+            missing = [
+                fn_name
+                for fn_name, mentioned in halves
+                if mentioned is not None and field_name not in mentioned
+            ]
+            if missing:
+                yield service_finding(
+                    "A105",
+                    ci.module.relpath,
+                    lineno,
+                    f"{subject}.{field_name} is not covered by persist."
+                    f"{' or persist.'.join(missing)}; persist the field (or "
+                    f"record it in DERIVED_PERSIST_FIELDS with a reason) so "
+                    f"kill-and-restart recovery round-trips it",
+                )

@@ -1,0 +1,160 @@
+"""A106: typed, versioned errors on the HTTP wire.
+
+The transport contract (DESIGN §14) is that everything crossing the
+wire is (a) a registered ``ReproError`` subclass the client can
+resurrect by name, and (b) stamped with the wire schema version so
+mixed-version fleets fail loudly instead of misparsing.  This rule
+pins both halves of that contract in ``http.py``:
+
+* the ``_WIRE_ERRORS`` registry must exist, and every class listed in
+  it must be a ``ReproError`` subclass per ``repro/errors.py``;
+* every ``raise`` in the module must name a registered wire error —
+  raising a builtin (``ValueError``) or an unregistered ``ReproError``
+  subclass would reach the client as an opaque 500; locally-bound
+  names (``cls = _WIRE_ERRORS.get(...)``) are trusted as
+  registry-derived;
+* every function that writes to the wire (contains a ``.write()``
+  call) must stamp the schema version — lexically mention
+  ``schema_version`` or ``WIRE_SCHEMA_VERSION`` — so no response body
+  can ship unversioned.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, Optional, Set
+
+from ..findings import Finding
+from ..service_checks import (
+    _BUILTIN_EXCEPTIONS,
+    _HTTP_SUFFIX,
+    ServiceIndex,
+    _walk_scope,
+    service_finding,
+)
+
+
+def _repro_error_subclasses(index: ServiceIndex) -> Optional[Set[str]]:
+    """Transitive ReproError subclass names from repro/errors.py."""
+    module = index.errors_module
+    if module is None:
+        return None
+    bases: Dict[str, Set[str]] = {}
+    for node in module.tree.body:
+        if isinstance(node, ast.ClassDef):
+            bases[node.name] = {
+                b.id for b in node.bases if isinstance(b, ast.Name)
+            }
+    subclasses = {"ReproError"}
+    changed = True
+    while changed:
+        changed = False
+        for name, parents in bases.items():
+            if name not in subclasses and parents & subclasses:
+                subclasses.add(name)
+                changed = True
+    return subclasses
+
+
+def _registered_names(tree: ast.AST) -> Optional[Dict[str, int]]:
+    """Class names listed in the module-level _WIRE_ERRORS registry."""
+    for node in tree.body:
+        targets = []
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets = [node.target]
+        if not any(
+            isinstance(t, ast.Name) and t.id == "_WIRE_ERRORS" for t in targets
+        ):
+            continue
+        names: Dict[str, int] = {}
+        for sub in ast.walk(node):
+            if isinstance(sub, (ast.Tuple, ast.List, ast.Set)):
+                for elt in sub.elts:
+                    if isinstance(elt, ast.Name):
+                        names[elt.id] = elt.lineno
+        return names
+    return None
+
+
+def check_typed_wire_errors(index: ServiceIndex) -> Iterator[Finding]:
+    http = index.module_by_suffix(_HTTP_SUFFIX)
+    if http is None:
+        return
+    registered = _registered_names(http.tree)
+    if registered is None:
+        yield service_finding(
+            "A106",
+            http.relpath,
+            1,
+            "http transport module defines no _WIRE_ERRORS registry; "
+            "every error crossing the wire must be registered by name",
+        )
+        registered = {}
+    repro_errors = _repro_error_subclasses(index)
+    if repro_errors is not None:
+        for name in sorted(registered):
+            if name not in repro_errors:
+                yield service_finding(
+                    "A106",
+                    http.relpath,
+                    registered[name],
+                    f"_WIRE_ERRORS registers {name}, which is not a "
+                    f"ReproError subclass in repro/errors.py",
+                )
+    for fi in index.functions:
+        if fi.module is not http:
+            continue
+        env = index.func_env(fi)
+        writes = False
+        stamped = False
+        for node in _walk_scope(fi.node):
+            if isinstance(node, ast.Raise):
+                exc = node.exc
+                target = exc.func if isinstance(exc, ast.Call) else exc
+                if not isinstance(target, ast.Name):
+                    continue  # bare re-raise or attribute: out of scope
+                name = target.id
+                if name in env.assigned:
+                    continue  # registry-derived local (cls = _WIRE_ERRORS...)
+                if name in _BUILTIN_EXCEPTIONS:
+                    yield service_finding(
+                        "A106",
+                        http.relpath,
+                        node.lineno,
+                        f"{fi.display}() raises builtin {name}; only "
+                        f"registered ReproError subclasses (_WIRE_ERRORS) "
+                        f"may cross the wire",
+                    )
+                elif (
+                    repro_errors is not None
+                    and name in repro_errors
+                    and name not in registered
+                ):
+                    yield service_finding(
+                        "A106",
+                        http.relpath,
+                        node.lineno,
+                        f"{fi.display}() raises {name}, which is not "
+                        f"registered in _WIRE_ERRORS; the client would "
+                        f"degrade it to ServiceError",
+                    )
+            elif isinstance(node, ast.Call) and isinstance(
+                node.func, ast.Attribute
+            ):
+                if node.func.attr == "write":
+                    writes = True
+            elif isinstance(node, ast.Constant) and node.value == "schema_version":
+                stamped = True
+            elif isinstance(node, ast.Name) and node.id == "WIRE_SCHEMA_VERSION":
+                stamped = True
+        if writes and not stamped:
+            yield service_finding(
+                "A106",
+                http.relpath,
+                getattr(fi.node, "lineno", None),
+                f"{fi.display}() writes to the wire without stamping the "
+                f"schema version (mention schema_version / "
+                f"WIRE_SCHEMA_VERSION in the payload)",
+            )

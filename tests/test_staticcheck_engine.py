@@ -8,7 +8,9 @@ from pathlib import Path
 import pytest
 
 from repro.staticcheck import lint_paths, lint_source_tree
-from repro.staticcheck.engine import LintEngine, ParsedModule
+from repro.staticcheck.__main__ import _known_rule_keys
+from repro.staticcheck.cfg_checks import CFG_RULES
+from repro.staticcheck.engine import ENGINE_RULES, LintEngine, ParsedModule, parse_paths
 from repro.staticcheck.findings import (
     Finding,
     Severity,
@@ -17,7 +19,9 @@ from repro.staticcheck.findings import (
     render_text,
     sort_findings,
 )
+from repro.staticcheck.plan_checks import PLAN_RULES
 from repro.staticcheck.rules import LINT_RULES, default_rules
+from repro.staticcheck.service_checks import SERVICE_RULES
 
 
 def lint_snippet(tmp_path: Path, source: str, name: str = "mod.py"):
@@ -242,6 +246,93 @@ class TestReporters:
         assert doc["counts"] == {"error": 1, "warning": 1, "info": 0}
         assert doc["findings"][0]["rule"] == "L101"
         assert doc["strict"] is False
+
+
+class TestSuppressionEngineEdgeCases:
+    def _lint_with_unused(self, tmp_path, source, name="mod.py"):
+        path = tmp_path / name
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(source)
+        engine = LintEngine()
+        modules = parse_paths([path], root=tmp_path)
+        findings = engine.lint(modules)
+        known = _known_rule_keys()
+        return findings, engine.unused_suppression_findings(modules, known)
+
+    def test_unknown_rule_id_has_no_effect_and_is_reported(self, tmp_path):
+        src = "import random  # staticcheck: disable=L999\n"
+        findings, unused = self._lint_with_unused(tmp_path, src)
+        assert rules_of(findings) == {"L101"}  # bogus token suppresses nothing
+        assert [u.rule for u in unused] == ["U101"]
+        assert "not a known rule" in unused[0].message
+        assert unused[0].line == 1
+
+    def test_mixed_directives_share_one_line(self, tmp_path):
+        src = (
+            "import random  "
+            "# staticcheck: disable=L101  # staticcheck: disable-file=L104\n"
+            "import os\n"
+            "v = os.getenv('X')\n"
+        )
+        findings, unused = self._lint_with_unused(tmp_path, src)
+        assert findings == []  # both directives applied
+        assert unused == []  # and both matched a finding
+
+    def test_stale_suppression_flagged_live_one_silent(self, tmp_path):
+        src = (
+            "import random  # staticcheck: disable=L101\n"
+            "x = 1  # staticcheck: disable=L106\n"
+        )
+        findings, unused = self._lint_with_unused(tmp_path, src)
+        assert findings == []
+        assert [(u.rule, u.line) for u in unused] == [("U101", 2)]
+        assert unused[0].severity is Severity.WARNING
+        assert "disable=L106" in unused[0].message
+
+    def test_docstring_examples_are_inert(self, tmp_path):
+        # Suppression syntax quoted in a docstring neither suppresses
+        # nor registers as an unused site.
+        src = (
+            '"""Use # staticcheck: disable=L101 to waive."""\n'
+            "import random\n"
+        )
+        findings, unused = self._lint_with_unused(tmp_path, src)
+        assert rules_of(findings) == {"L101"}
+        assert unused == []
+
+    def test_layer3_findings_pass_through_suppression_filter(self, tmp_path):
+        src = (
+            "import time\n\n"
+            "async def tick():\n"
+            "    time.sleep(0.1)  # staticcheck: disable=A101 (fixture)\n"
+        )
+        findings, unused = self._lint_with_unused(
+            tmp_path, src, name="repro/service/mini.py"
+        )
+        assert findings == []
+        assert unused == []
+
+
+class TestRuleInventoryPinned:
+    """Adding a rule without cataloging + documenting it fails here."""
+
+    def test_catalog_ids(self):
+        assert set(PLAN_RULES) == {f"P10{i}" for i in range(1, 9)}
+        assert set(CFG_RULES) == {f"C10{i}" for i in range(1, 6)}
+        default_rules()
+        assert set(LINT_RULES) == {f"L10{i}" for i in range(1, 8)}
+        assert set(SERVICE_RULES) == {f"A10{i}" for i in range(1, 7)}
+        assert set(ENGINE_RULES) == {"U101"}
+
+    def test_every_rule_documented(self):
+        # A new rule must land with user-facing docs: each id appears
+        # literally in README.md or DESIGN.md (ranges don't count).
+        repo = Path(__file__).resolve().parent.parent
+        docs = (repo / "README.md").read_text() + (repo / "DESIGN.md").read_text()
+        default_rules()
+        for catalog in (PLAN_RULES, CFG_RULES, LINT_RULES, SERVICE_RULES, ENGINE_RULES):
+            for rule in catalog:
+                assert rule in docs, f"{rule} missing from README.md/DESIGN.md"
 
 
 class TestRepoIsClean:

@@ -5,7 +5,9 @@ Runs with no installation step (inserts ``src/`` on sys.path, mirrors
 ``tools/check_cache.py``) so CI and pre-commit hooks can gate on it:
 
     python tools/staticcheck.py                    # lint the package
+    python tools/staticcheck.py --changed          # fast dev loop: diff only
     python tools/staticcheck.py --check-plans --apps wordpress
+    python tools/staticcheck.py --report-unused-suppressions --strict
     python tools/staticcheck.py --list-rules
 
 Exit codes: 0 clean, 1 findings, 2 usage/pipeline error.
