@@ -78,6 +78,22 @@ def int_from_env(name: str, default: int) -> int:
     return value
 
 
+def float_from_env(name: str, default: float, lo: float, hi: float) -> float:
+    """Read a float knob bounded to ``[lo, hi]``; reject garbage loudly."""
+    raw = os.environ.get(name)
+    if raw is None or not raw.strip():
+        return default
+    try:
+        value = float(raw)
+    except ValueError:
+        raise ConfigError(f"{name} must be a number, got {raw!r}") from None
+    if not (lo <= value <= hi):
+        raise ConfigError(
+            f"{name} must be in [{lo}, {hi}], got {value}"
+        )
+    return value
+
+
 def jobs_from_env() -> Optional[int]:
     """Parallel worker count from ``REPRO_JOBS``, or ``None`` when unset.
 
@@ -277,6 +293,61 @@ def service_http_port_from_env() -> int:
     return value
 
 
+def drift_canary_from_env() -> bool:
+    """Canary-stage toggle from ``REPRO_DRIFT_CANARY``.
+
+    When on, a freshly built :class:`~repro.service.build.PlanVersion`
+    for a shard that already serves a plan is *staged* rather than
+    activated: post-publish miss feedback is scored against both the
+    candidate and the live baseline on a deterministic traffic split,
+    and the candidate promotes or auto-rolls-back on the windowed
+    verdict.  Off (the default), every build activates immediately —
+    the pre-drift behaviour the parity suites pin.
+    """
+    return bool_from_env("REPRO_DRIFT_CANARY")
+
+
+def drift_canary_fraction_from_env() -> float:
+    """Canary traffic fraction from ``REPRO_DRIFT_CANARY_FRACTION``.
+
+    The deterministic share of post-publish feedback samples scored
+    against the canaried candidate (the rest score against the live
+    baseline).  Seeded hashing makes the split a pure function of the
+    sample and its arrival index, so verdicts are reproducible.
+    """
+    return float_from_env("REPRO_DRIFT_CANARY_FRACTION", 0.5, 0.01, 0.99)
+
+
+def drift_window_from_env() -> int:
+    """Feedback-window size in samples from ``REPRO_DRIFT_WINDOW``.
+
+    Per-arm effectiveness (covered-miss fraction, prefetch-hit proxy)
+    is aggregated over windows of this many scored samples; a window
+    closes when full and feeds the regression detector.
+    """
+    return int_from_env("REPRO_DRIFT_WINDOW", 64)
+
+
+def drift_windows_from_env() -> int:
+    """Closed windows per arm before a verdict (``REPRO_DRIFT_WINDOWS``).
+
+    The canary controller withholds judgement until both the candidate
+    and baseline arms have closed this many feedback windows since
+    staging, so one unlucky window cannot roll a healthy plan back.
+    """
+    return int_from_env("REPRO_DRIFT_WINDOWS", 2)
+
+
+def drift_threshold_from_env() -> float:
+    """Regression threshold from ``REPRO_DRIFT_THRESHOLD``.
+
+    A staged candidate rolls back when its mean windowed effectiveness
+    trails the baseline's by more than this absolute margin; otherwise
+    it promotes.  Small values react faster but amplify sampling noise.
+    """
+    return float_from_env("REPRO_DRIFT_THRESHOLD", 0.1, 0.0, 1.0)
+
+
 def sim_mode_from_env() -> str:
     """Simulation-mode default from ``REPRO_SIM_MODE``.
 
@@ -295,6 +366,21 @@ def sim_mode_from_env() -> str:
     raise ConfigError(
         f"REPRO_SIM_MODE must be auto, fast, or serial, got {raw!r}"
     )
+
+
+def default_sweep_sim_mode() -> Optional[str]:
+    """The sim mode experiment sweeps should install when none is set.
+
+    Sweeps default to the batched fast path — the parity suite pins it
+    counter-for-counter against serial, and profiling runs pin
+    ``mode="serial"`` at their own call sites — except under
+    ``REPRO_SANITIZE``, where ``auto`` keeps the serial-only sanitizer
+    runnable.  Returns ``None`` when ``REPRO_SIM_MODE`` is already set
+    (explicit choices, including the ``serial`` opt-out, always win).
+    """
+    if os.environ.get("REPRO_SIM_MODE"):
+        return None
+    return "auto" if sanitize_from_env() else "fast"
 
 
 def bench_instructions_from_env() -> int:

@@ -1,0 +1,51 @@
+"""Dynamic-workload drift: scenarios, effectiveness feedback, canarying.
+
+Twig's plans are profile-guided, so they go stale the moment the fleet
+changes (ROADMAP item 5, DESIGN §16): binaries redeploy and relocate
+code, traffic phases shift the hot paths, JITs create and destroy
+branches.  This package closes the loop in three layers:
+
+* :mod:`~repro.drift.scenarios` — deterministic, seeded phase schedules
+  that drift a miss-sample stream (diurnal re-weighting, rolling-deploy
+  relocation, JIT branch churn), each emitting a ground-truth changelog
+  so tests can assert exactly what should have gone stale;
+* :mod:`~repro.drift.feedback` — post-publish miss-feedback scoring
+  against the live plan into windowed per-shard effectiveness metrics
+  (covered-miss fraction, prefetch-hit proxy) plus the seeded
+  regression detector;
+* :mod:`~repro.drift.canary` — the canary state machine the plan
+  service drives: new plan versions stage first, are evaluated against
+  the live baseline on a deterministic traffic split, and promote or
+  auto-roll-back.
+"""
+
+from .canary import (  # noqa: F401
+    STAGE_CANARY,
+    STAGE_STEADY,
+    CanaryController,
+    CanarySettings,
+    CanaryState,
+    CanaryVerdict,
+)
+from .feedback import (  # noqa: F401
+    SCORE_COVERED,
+    SCORE_HIT,
+    SCORE_STALE,
+    SCORE_UNCOVERED,
+    EffectivenessTracker,
+    RegressionDetector,
+    assign_arm,
+    score_sample,
+    sites_by_pc,
+)
+from .scenarios import (  # noqa: F401
+    SCENARIO_KINDS,
+    ChangelogEntry,
+    DriftPhase,
+    DriftSchedule,
+    ensure_fresh,
+    feedback_view,
+    ingest_view,
+    make_schedule,
+    stale_sites,
+)

@@ -1,0 +1,239 @@
+"""Post-publish effectiveness feedback: scoring, windows, regression.
+
+Layer 2 of the drift engine (DESIGN §16).  After the service publishes
+a plan, the fleet keeps streaming miss-feedback samples; this module
+scores each one against the plan it was served under, folds the scores
+into fixed-size windows, and runs a seeded regression detector over
+the per-window covered-miss fraction.
+
+Scoring is a pure function of ``(plan sites, sample)`` so the serial
+and fast simulation planes — and a restarted service replaying the
+same feedback — produce bit-identical metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..errors import DriftError
+from ..profiling.profile import MissSample
+from ..service.build import plan_sites
+from ..workloads.rng import derive_seed
+
+# Per-sample score kinds, from best to worst.
+SCORE_HIT = "hit"            # covered, and an inject block ran ahead of it
+SCORE_COVERED = "covered"    # the plan has prefetches for this miss pc
+SCORE_UNCOVERED = "uncovered"  # the plan never learned this miss
+SCORE_STALE = "stale"        # the miss runs code the plan's layout predates
+
+SCORE_KINDS = (SCORE_HIT, SCORE_COVERED, SCORE_UNCOVERED, SCORE_STALE)
+
+
+def sites_by_pc(sites: Dict[Tuple[int, int], Tuple]) -> Dict[int, Set[int]]:
+    """Index :func:`~repro.service.build.plan_sites` output by branch PC.
+
+    Maps each planned miss PC to the set of injection blocks that would
+    fire its prefetches — the shape :func:`score_sample` consumes.
+    """
+    by_pc: Dict[int, Set[int]] = {}
+    for (inject_block, branch_pc) in sites:
+        by_pc.setdefault(branch_pc, set()).add(inject_block)
+    return by_pc
+
+
+def plan_index(plan) -> Dict[int, Set[int]]:
+    """Convenience: :func:`sites_by_pc` straight from a plan."""
+    return sites_by_pc(plan_sites(plan))
+
+
+def score_sample(
+    index: Dict[int, Set[int]],
+    sample: MissSample,
+    stale_pcs: Optional[Set[int]] = None,
+) -> str:
+    """Score one feedback sample against a plan index.
+
+    * ``stale`` — the sample's miss PC belongs to code a changelog says
+      was relocated out from under the plan (typed staleness wins over
+      every other classification);
+    * ``hit`` — the plan covers the miss PC *and* one of its injection
+      blocks appears in the sample's predecessor window, i.e. the
+      prefetch would have fired before the miss (the prefetch-hit
+      proxy);
+    * ``covered`` — the plan covers the miss PC but no injection block
+      ran close enough ahead;
+    * ``uncovered`` — the plan has nothing for this miss.
+    """
+    if stale_pcs and sample.miss_pc in stale_pcs:
+        return SCORE_STALE
+    inject_blocks = index.get(sample.miss_pc)
+    if inject_blocks is None:
+        return SCORE_UNCOVERED
+    window_blocks = {block for block, _ in sample.window}
+    if inject_blocks & window_blocks:
+        return SCORE_HIT
+    return SCORE_COVERED
+
+
+@dataclass
+class WindowStats:
+    """Mutable accumulator for the currently-open feedback window."""
+
+    samples: int = 0
+    covered: int = 0
+    hits: int = 0
+    stale: int = 0
+
+    def add(self, score: str) -> None:
+        self.samples += 1
+        if score in (SCORE_HIT, SCORE_COVERED):
+            self.covered += 1
+        if score == SCORE_HIT:
+            self.hits += 1
+        if score == SCORE_STALE:
+            self.stale += 1
+
+    def covered_fraction(self) -> float:
+        return self.covered / self.samples if self.samples else 0.0
+
+    def hit_fraction(self) -> float:
+        return self.hits / self.samples if self.samples else 0.0
+
+    def stale_fraction(self) -> float:
+        return self.stale / self.samples if self.samples else 0.0
+
+
+class EffectivenessTracker:
+    """Windowed per-shard effectiveness over a feedback stream.
+
+    Scores accumulate into the open window; every *window* samples the
+    window closes and its covered-miss fraction is appended to
+    ``scores`` (with the hit proxy and stale fraction alongside).  The
+    closed-window series is what the regression detector and the canary
+    controller consume.
+    """
+
+    def __init__(self, window: int):
+        if window < 1:
+            raise DriftError(f"feedback window must be >= 1, got {window}")
+        self.window = window
+        self.current = WindowStats()
+        self.scores: List[float] = []
+        self.hit_scores: List[float] = []
+        self.stale_scores: List[float] = []
+        self.total_samples = 0
+
+    def observe(self, score: str) -> Optional[float]:
+        """Fold one score; return the covered fraction if a window closed."""
+        if score not in SCORE_KINDS:
+            raise DriftError(f"unknown feedback score {score!r}")
+        self.current.add(score)
+        self.total_samples += 1
+        if self.current.samples >= self.window:
+            closed = self.current.covered_fraction()
+            self.scores.append(closed)
+            self.hit_scores.append(self.current.hit_fraction())
+            self.stale_scores.append(self.current.stale_fraction())
+            self.current = WindowStats()
+            return closed
+        return None
+
+    def closed_windows(self) -> int:
+        return len(self.scores)
+
+    def mean_score(self, last: Optional[int] = None) -> float:
+        """Mean covered fraction over the ``last`` closed windows."""
+        series = self.scores if last is None else self.scores[-last:]
+        return sum(series) / len(series) if series else 0.0
+
+    # -- persistence -------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "window": self.window,
+            "scores": list(self.scores),
+            "hit_scores": list(self.hit_scores),
+            "stale_scores": list(self.stale_scores),
+            "total_samples": self.total_samples,
+            "current": [
+                self.current.samples,
+                self.current.covered,
+                self.current.hits,
+                self.current.stale,
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "EffectivenessTracker":
+        tracker = cls(window=int(payload["window"]))
+        tracker.scores = [float(s) for s in payload["scores"]]
+        tracker.hit_scores = [float(s) for s in payload["hit_scores"]]
+        tracker.stale_scores = [float(s) for s in payload["stale_scores"]]
+        tracker.total_samples = int(payload["total_samples"])
+        samples, covered, hits, stale = payload["current"]
+        tracker.current = WindowStats(
+            samples=int(samples),
+            covered=int(covered),
+            hits=int(hits),
+            stale=int(stale),
+        )
+        return tracker
+
+
+@dataclass(frozen=True)
+class RegressionDetector:
+    """Seeded detector over two closed-window effectiveness series.
+
+    A *candidate* regresses against the *baseline* when its mean
+    covered fraction over the comparison horizon falls short by more
+    than ``threshold`` (absolute).  Purely deterministic — the seed
+    only salts :func:`assign_arm` so arm assignment and detection share
+    one provenance.
+    """
+
+    threshold: float
+    windows: int
+    seed: int
+
+    def __post_init__(self) -> None:
+        if not (0.0 <= self.threshold <= 1.0):
+            raise DriftError(
+                f"regression threshold must be in [0, 1], got {self.threshold}"
+            )
+        if self.windows < 1:
+            raise DriftError(
+                f"regression horizon must be >= 1 window, got {self.windows}"
+            )
+
+    def ready(self, baseline: EffectivenessTracker,
+              candidate: EffectivenessTracker) -> bool:
+        """Both arms have closed enough windows to compare."""
+        return (
+            baseline.closed_windows() >= self.windows
+            and candidate.closed_windows() >= self.windows
+        )
+
+    def regressed(self, baseline: EffectivenessTracker,
+                  candidate: EffectivenessTracker) -> bool:
+        """True when the candidate's effectiveness fell off the cliff."""
+        if not self.ready(baseline, candidate):
+            raise DriftError("regression verdict requested before ready")
+        base = baseline.mean_score(last=self.windows)
+        cand = candidate.mean_score(last=self.windows)
+        return (base - cand) > self.threshold
+
+
+def assign_arm(seed: int, key, counter: int, fraction: float) -> str:
+    """Deterministic traffic split for one feedback sample.
+
+    Returns ``"candidate"`` for roughly ``fraction`` of samples, keyed
+    on ``(seed, shard key, per-shard sample counter)`` — so replaying
+    the same feedback stream after a restart reproduces the exact same
+    split, which is what makes canary verdicts restart-stable.
+    """
+    if not (0.0 < fraction < 1.0):
+        raise DriftError(
+            f"canary traffic fraction must be in (0, 1), got {fraction}"
+        )
+    roll = derive_seed("drift-arm", seed, tuple(key), counter) % 10_000
+    return "candidate" if roll < int(fraction * 10_000) else "baseline"

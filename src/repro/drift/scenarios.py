@@ -1,0 +1,436 @@
+"""Deterministic drift scenarios over a miss-sample stream.
+
+A :class:`DriftSchedule` partitions a profiled sample stream into
+phases and attaches seeded workload changes to the phase boundaries.
+Three fleet phenomena are modeled (plus a ``steady`` control):
+
+* ``diurnal`` — traffic phases re-weight hot-path frequencies
+  mid-stream: a seeded subset of miss branches runs hotter, another
+  runs colder, in every phase after the first;
+* ``deploy`` — a rolling deploy relocates a seeded subset of code
+  blocks: their addresses move by a fixed delta, the profile loses
+  attribution for the moved code (its samples vanish from the ingest
+  plane), and every plan site built against the old layout dangles —
+  surfaced as a *typed* :class:`~repro.errors.PlanStaleError`, never
+  silent garbage;
+* ``jit`` — JIT-style branch churn: a held-back subset of branches
+  only appears after the first boundary, and another subset disappears.
+
+Every change is recorded in a ground-truth :class:`ChangelogEntry`, so
+tests can assert exactly which branches moved, appeared, or vanished —
+and exactly which plan sites :func:`stale_sites` must report.
+
+Two *views* derive the streams the service planes consume, both pure
+functions of ``(stream, schedule)``:
+
+* :func:`ingest_view` — what profilers can still attribute and ship
+  for plan building (relocated/disappeared code drops out, diurnal
+  weights apply);
+* :func:`feedback_view` — what the live fleet actually executes: the
+  full population, with a ``deployed_fraction`` share of relocated
+  branches already running at their *new* addresses mid-rollout.
+
+All randomness flows through :func:`~repro.workloads.rng.derive_seed`,
+so a schedule is a pure function of ``(scenario, seed, stream)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..errors import DriftError, PlanStaleError
+from ..profiling.profile import MissSample
+from ..service.build import plan_sites
+from ..workloads.rng import derive_seed, make_rng
+
+SCENARIO_KINDS = ("steady", "diurnal", "deploy", "jit")
+
+# Changelog entry kinds.
+CHANGE_REWEIGHT = "reweight"
+CHANGE_RELOCATE = "relocate"
+CHANGE_APPEAR = "appear"
+CHANGE_DISAPPEAR = "disappear"
+
+# Share of the branch population touched per change (deterministic).
+_TOUCH_FRACTION = 0.3
+_UPWEIGHT_FACTOR = 3.0
+_DOWNWEIGHT_FACTOR = 1.0 / 3.0
+
+
+@dataclass(frozen=True)
+class ChangelogEntry:
+    """Ground truth for one phase change.
+
+    ``pcs`` are the affected branch PCs; ``blocks`` the ``(old, new)``
+    block relocations (``relocate`` only); ``factor`` the frequency
+    multiplier (``reweight`` only, 1.0 otherwise).
+    """
+
+    phase: int
+    kind: str
+    pcs: Tuple[int, ...]
+    blocks: Tuple[Tuple[int, int], ...] = ()
+    factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in (
+            CHANGE_REWEIGHT, CHANGE_RELOCATE, CHANGE_APPEAR, CHANGE_DISAPPEAR
+        ):
+            raise DriftError(f"unknown changelog entry kind {self.kind!r}")
+
+
+@dataclass(frozen=True)
+class DriftPhase:
+    """One contiguous slice of the stream: samples [start, stop)."""
+
+    index: int
+    start: int
+    stop: int
+
+
+@dataclass(frozen=True)
+class DriftSchedule:
+    """A seeded phase schedule plus its ground-truth changelog."""
+
+    scenario: str
+    seed: int
+    total: int
+    phases: Tuple[DriftPhase, ...]
+    changelog: Tuple[ChangelogEntry, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.scenario not in SCENARIO_KINDS:
+            raise DriftError(
+                f"unknown drift scenario {self.scenario!r}; "
+                f"choose from {SCENARIO_KINDS}"
+            )
+        if not self.phases:
+            raise DriftError("a drift schedule needs at least one phase")
+
+    # ------------------------------------------------------------------
+    def phase_of(self, sample_index: int) -> DriftPhase:
+        """The phase containing global stream position *sample_index*."""
+        for phase in self.phases:
+            if phase.start <= sample_index < phase.stop:
+                return phase
+        return self.phases[-1]
+
+    def entries_through(self, phase_index: int) -> Tuple[ChangelogEntry, ...]:
+        """Changelog entries in effect at *phase_index* (cumulative)."""
+        return tuple(e for e in self.changelog if e.phase <= phase_index)
+
+    def relocations(self, phase_index: Optional[int] = None) -> Dict[int, int]:
+        """Cumulative ``old_block -> new_block`` map (``deploy`` only)."""
+        last = phase_index if phase_index is not None else len(self.phases) - 1
+        moved: Dict[int, int] = {}
+        for entry in self.entries_through(last):
+            if entry.kind == CHANGE_RELOCATE:
+                moved.update(dict(entry.blocks))
+        return moved
+
+    def relocated_pcs(self, phase_index: Optional[int] = None) -> Dict[int, int]:
+        """Cumulative ``old_pc -> new_pc`` map (``deploy`` only)."""
+        last = phase_index if phase_index is not None else len(self.phases) - 1
+        moved: Dict[int, int] = {}
+        for entry in self.entries_through(last):
+            if entry.kind == CHANGE_RELOCATE:
+                delta = _pc_delta(entry)
+                for pc in entry.pcs:
+                    moved[pc] = pc + delta
+        return moved
+
+
+def _pc_delta(entry: ChangelogEntry) -> int:
+    """The address delta a relocate entry applied (stored via blocks)."""
+    if not entry.blocks:
+        return 0
+    old, new = entry.blocks[0]
+    # All blocks in one relocate entry move by the same delta, scaled
+    # to address space; keep the PC delta proportional so relocated
+    # PCs can never collide with surviving ones.
+    return (new - old) << 6
+
+
+def _population(stream: Sequence[MissSample]) -> List[Tuple[int, int]]:
+    """Distinct ``(miss_pc, miss_block)`` pairs, hottest first.
+
+    Ties break on ascending PC so the ordering — and everything seeded
+    from it — is stable across runs and platforms.
+    """
+    counts: Dict[Tuple[int, int], int] = {}
+    for s in stream:
+        counts[(s.miss_pc, s.miss_block)] = counts.get(
+            (s.miss_pc, s.miss_block), 0
+        ) + 1
+    return sorted(counts, key=lambda pb: (-counts[pb], pb[0]))
+
+
+def _pick(
+    population: Sequence[Tuple[int, int]], rng, fraction: float
+) -> List[Tuple[int, int]]:
+    """A seeded, at-least-one subset of *population*."""
+    if not population:
+        return []
+    count = max(1, int(len(population) * fraction))
+    return sorted(rng.sample(list(population), count))
+
+
+def make_schedule(
+    stream: Sequence[MissSample],
+    scenario: str,
+    seed: int,
+    phases: int = 2,
+) -> DriftSchedule:
+    """Build the deterministic phase schedule for *stream*.
+
+    The stream is split into *phases* equal slices; each boundary after
+    the first attaches the scenario's seeded changes.  Identical
+    ``(stream, scenario, seed, phases)`` inputs produce identical
+    schedules — the determinism contract the drift tests pin.
+    """
+    if scenario not in SCENARIO_KINDS:
+        raise DriftError(
+            f"unknown drift scenario {scenario!r}; choose from {SCENARIO_KINDS}"
+        )
+    if phases < 1:
+        raise DriftError(f"drift schedule needs >= 1 phase, got {phases}")
+    if not stream:
+        raise DriftError("cannot schedule drift over an empty stream")
+    total = len(stream)
+    bounds = [round(i * total / phases) for i in range(phases + 1)]
+    phase_objs = tuple(
+        DriftPhase(index=i, start=bounds[i], stop=bounds[i + 1])
+        for i in range(phases)
+    )
+    population = _population(stream)
+    changelog: List[ChangelogEntry] = []
+    # Blocks relocate past the end of the observed block population so
+    # new addresses never collide with surviving old ones.
+    block_delta = max((b for _, b in population), default=0) + 1024
+
+    for phase in range(1, phases):
+        rng = make_rng("drift", scenario, seed, phase)
+        if scenario == "steady":
+            continue
+        if scenario == "diurnal":
+            touched = _pick(population, rng, _TOUCH_FRACTION * 2)
+            half = max(1, len(touched) // 2)
+            hot, cold = touched[:half], touched[half:]
+            changelog.append(ChangelogEntry(
+                phase=phase,
+                kind=CHANGE_REWEIGHT,
+                pcs=tuple(pc for pc, _ in hot),
+                factor=_UPWEIGHT_FACTOR,
+            ))
+            if cold:
+                changelog.append(ChangelogEntry(
+                    phase=phase,
+                    kind=CHANGE_REWEIGHT,
+                    pcs=tuple(pc for pc, _ in cold),
+                    factor=_DOWNWEIGHT_FACTOR,
+                ))
+        elif scenario == "deploy":
+            if phase > 1:
+                continue  # one rolling deploy per schedule
+            # Relocate from the hot half: the regression must bite.
+            hot_half = population[: max(1, len(population) // 2)]
+            moved = _pick(hot_half, rng, _TOUCH_FRACTION * 2)
+            changelog.append(ChangelogEntry(
+                phase=phase,
+                kind=CHANGE_RELOCATE,
+                pcs=tuple(pc for pc, _ in moved),
+                blocks=tuple((b, b + block_delta) for _, b in moved),
+            ))
+        elif scenario == "jit":
+            if phase % 2 == 1:
+                appearing = _pick(population, rng, _TOUCH_FRACTION)
+                changelog.append(ChangelogEntry(
+                    phase=phase,
+                    kind=CHANGE_APPEAR,
+                    pcs=tuple(pc for pc, _ in appearing),
+                ))
+            else:
+                survivors = [
+                    pb for pb in population
+                    if pb[0] not in _appear_pcs(changelog)
+                ]
+                gone = _pick(survivors or population, rng, _TOUCH_FRACTION)
+                changelog.append(ChangelogEntry(
+                    phase=phase,
+                    kind=CHANGE_DISAPPEAR,
+                    pcs=tuple(pc for pc, _ in gone),
+                ))
+    return DriftSchedule(
+        scenario=scenario,
+        seed=seed,
+        total=total,
+        phases=phase_objs,
+        changelog=tuple(changelog),
+    )
+
+
+def _appear_pcs(changelog: Iterable[ChangelogEntry]) -> frozenset:
+    return frozenset(
+        pc for e in changelog if e.kind == CHANGE_APPEAR for pc in e.pcs
+    )
+
+
+# ----------------------------------------------------------------------
+# Views
+# ----------------------------------------------------------------------
+
+def _weight_copies(
+    schedule: DriftSchedule, phase_index: int, pc: int, occurrence: int
+) -> int:
+    """How many copies of this occurrence the diurnal weights keep."""
+    copies = 1
+    for entry in schedule.entries_through(phase_index):
+        if entry.kind != CHANGE_REWEIGHT or pc not in entry.pcs:
+            continue
+        if entry.factor >= 1.0:
+            copies *= int(round(entry.factor))
+        else:
+            # Keep every k-th occurrence: deterministic downsampling.
+            keep_every = int(round(1.0 / entry.factor))
+            if occurrence % keep_every != 0:
+                return 0
+    return copies
+
+
+def ingest_view(
+    stream: Sequence[MissSample], schedule: DriftSchedule
+) -> Tuple[MissSample, ...]:
+    """The drifted stream as the *profiling* plane sees it.
+
+    Relocated code loses profile attribution (its samples drop out),
+    disappeared branches stop sampling, appearing branches only sample
+    from their appearance phase on, and diurnal weights duplicate or
+    thin occurrences.  Every surviving sample stays CFG-valid, so the
+    service's build path consumes this view unchanged.
+    """
+    out: List[MissSample] = []
+    occurrences: Dict[int, int] = {}
+    appear_all = _appear_pcs(schedule.changelog)
+    for i, sample in enumerate(stream):
+        phase = schedule.phase_of(i).index
+        pc = sample.miss_pc
+        occ = occurrences.get(pc, 0)
+        occurrences[pc] = occ + 1
+        live = _live_pcs(schedule, phase)
+        if pc in appear_all and pc not in live["appeared"]:
+            continue  # not JIT-compiled yet
+        if pc in live["disappeared"]:
+            continue  # JIT dropped it
+        if sample.miss_block in schedule.relocations(phase):
+            continue  # relocated: the profiler cannot attribute it
+        for _ in range(_weight_copies(schedule, phase, pc, occ)):
+            out.append(sample)
+    return tuple(out)
+
+
+def _live_pcs(schedule: DriftSchedule, phase_index: int) -> Dict[str, frozenset]:
+    appeared = frozenset(
+        pc
+        for e in schedule.entries_through(phase_index)
+        if e.kind == CHANGE_APPEAR
+        for pc in e.pcs
+    )
+    disappeared = frozenset(
+        pc
+        for e in schedule.entries_through(phase_index)
+        if e.kind == CHANGE_DISAPPEAR
+        for pc in e.pcs
+    )
+    return {"appeared": appeared, "disappeared": disappeared - appeared}
+
+
+def _relocate_sample(
+    sample: MissSample, blocks: Dict[int, int], pc_map: Dict[int, int]
+) -> MissSample:
+    return MissSample(
+        miss_pc=pc_map.get(sample.miss_pc, sample.miss_pc),
+        miss_block=blocks.get(sample.miss_block, sample.miss_block),
+        window=tuple((blocks.get(b, b), c) for b, c in sample.window),
+    )
+
+
+def feedback_view(
+    stream: Sequence[MissSample],
+    schedule: DriftSchedule,
+    deployed_fraction: float = 0.25,
+) -> Tuple[MissSample, ...]:
+    """The drifted stream as the *live fleet* executes it.
+
+    The full population keeps running (feedback needs no profile
+    attribution), but mid-rollout a seeded ``deployed_fraction`` share
+    of each relocated branch's occurrences already executes at the new
+    addresses — those samples score as typed-stale against any
+    old-layout plan.  Diurnal weights and JIT churn apply as in the
+    ingest view.
+    """
+    if not (0.0 <= deployed_fraction <= 1.0):
+        raise DriftError(
+            f"deployed_fraction must be in [0, 1], got {deployed_fraction}"
+        )
+    out: List[MissSample] = []
+    occurrences: Dict[int, int] = {}
+    appear_all = _appear_pcs(schedule.changelog)
+    threshold = int(deployed_fraction * 10_000)
+    for i, sample in enumerate(stream):
+        phase = schedule.phase_of(i).index
+        pc = sample.miss_pc
+        occ = occurrences.get(pc, 0)
+        occurrences[pc] = occ + 1
+        live = _live_pcs(schedule, phase)
+        if pc in appear_all and pc not in live["appeared"]:
+            continue
+        if pc in live["disappeared"]:
+            continue
+        blocks = schedule.relocations(phase)
+        copies = _weight_copies(schedule, phase, pc, occ)
+        if sample.miss_block in blocks:
+            rolled = derive_seed(
+                "drift-rollout", schedule.seed, pc, occ
+            ) % 10_000
+            if rolled < threshold:
+                pc_map = schedule.relocated_pcs(phase)
+                sample = _relocate_sample(sample, blocks, pc_map)
+        out.extend([sample] * copies)
+    return tuple(out)
+
+
+# ----------------------------------------------------------------------
+# Typed staleness
+# ----------------------------------------------------------------------
+
+def stale_sites(plan, schedule: DriftSchedule) -> Tuple[Tuple[int, int], ...]:
+    """Plan sites the schedule's relocations invalidated.
+
+    A site ``(inject_block, branch_pc)`` dangles when its injection
+    block moved or its branch PC moved — either way the published
+    offsets now point at relocated (re-used) addresses.
+    """
+    moved_blocks = schedule.relocations()
+    moved_pcs = schedule.relocated_pcs()
+    if not moved_blocks and not moved_pcs:
+        return ()
+    return tuple(sorted(
+        site
+        for site in plan_sites(plan)
+        if site[0] in moved_blocks or site[1] in moved_pcs
+    ))
+
+
+def ensure_fresh(key, plan, schedule: DriftSchedule) -> None:
+    """Raise :class:`~repro.errors.PlanStaleError` if *plan* dangles.
+
+    The typed-staleness gate: applying an old-layout plan after a
+    relocation must fail loudly with the exact dangling sites, never
+    silently prefetch garbage addresses.
+    """
+    dangling = stale_sites(plan, schedule)
+    if dangling:
+        raise PlanStaleError(
+            key, dangling, f"rolling-deploy relocation ({schedule.scenario})"
+        )

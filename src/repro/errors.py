@@ -135,3 +135,38 @@ class TransportError(ServiceError):
 
 class EncodingError(PlanError):
     """A prefetch operand could not be encoded in the available bits."""
+
+
+class DriftError(ReproError):
+    """The dynamic-workload drift engine failed an operation."""
+
+
+class PlanStaleError(PlanError):
+    """A published plan references code the fleet no longer runs.
+
+    Raised by :mod:`repro.drift` when a drift changelog (e.g. a rolling
+    deploy that relocated block addresses) proves that some of a plan's
+    injection sites or targets dangle.  Structured so harnesses can
+    assert exactly *which* sites went stale: ``key`` is the (app, input)
+    shard, ``stale_sites`` the dangling ``(inject_block, branch_pc)``
+    pairs, and ``reason`` the changelog entry kind that invalidated
+    them.  Surfacing staleness as a typed error — instead of silently
+    prefetching relocated garbage — is the drift engine's core
+    contract.
+    """
+
+    def __init__(self, key, stale_sites, reason: str):
+        self.key = tuple(key)
+        self.stale_sites = tuple(sorted(tuple(s) for s in stale_sites))
+        self.reason = reason
+        super().__init__(
+            f"plan for shard {self.key} is stale ({reason}): "
+            f"{len(self.stale_sites)} site(s) dangle"
+        )
+
+    def __reduce__(self):
+        # Same rationale as InvariantViolation: default Exception
+        # pickling replays __init__ with the formatted string, which
+        # does not match this signature; rebuild from the fields so the
+        # error survives process-pool and fleet-pipe boundaries.
+        return (type(self), (self.key, self.stale_sites, self.reason))

@@ -13,6 +13,7 @@ Usage::
     python -m repro.experiments serve --apps wordpress      # plan service demo
     python -m repro.experiments service-bench --overload    # stress the service
     python -m repro.experiments service-load-bench --smoke  # HTTP SLO bench
+    python -m repro.experiments drift-bench --smoke         # drift + canary smoke
 
 ``--jobs``/``--cache-dir`` default to the ``REPRO_JOBS`` /
 ``REPRO_CACHE_DIR`` environment knobs; results persist under
@@ -30,6 +31,7 @@ import sys
 
 from ..config import (
     cache_dir_from_env,
+    default_sweep_sim_mode,
     sanitize_from_env,
     sim_mode_from_env,
     telemetry_path_from_env,
@@ -48,8 +50,10 @@ def main(argv=None) -> int:
     # Subcommands with their own flag vocabularies dispatch before the
     # experiment parser sees (and rejects) those flags.
     if argv and argv[0] in (
-        "serve", "service-bench", "fleet-bench", "service-load-bench"
+        "serve", "service-bench", "fleet-bench", "service-load-bench",
+        "drift-bench",
     ):
+        from ..drift.bench import drift_bench_main
         from ..service.bench import (
             fleet_bench_main,
             load_bench_main,
@@ -62,6 +66,7 @@ def main(argv=None) -> int:
             "service-bench": service_bench_main,
             "fleet-bench": fleet_bench_main,
             "service-load-bench": load_bench_main,
+            "drift-bench": drift_bench_main,
         }[argv[0]]
         return sub(argv[1:])
 
@@ -100,7 +105,8 @@ def main(argv=None) -> int:
         choices=("auto", "fast", "serial"),
         default=None,
         help="simulator run-loop selection (equivalent to REPRO_SIM_MODE; "
-        "auto uses the batched path when a run is eligible)",
+        "sweeps default to the batched fast path, parity-pinned against "
+        "serial — pass serial to opt out)",
     )
     parser.add_argument(
         "--telemetry",
@@ -121,14 +127,35 @@ def main(argv=None) -> int:
         # Via the environment so parallel workers inherit it and every
         # default-constructed SimConfig in this process picks it up.
         os.environ["REPRO_SANITIZE"] = "1"
+    installed_default_mode = False
     if args.sim_mode:
         os.environ["REPRO_SIM_MODE"] = args.sim_mode
+    else:
+        # Default sweeps run on the batched fast path (auto under the
+        # serial-only sanitizer); see default_sweep_sim_mode.  Via the
+        # environment so parallel workers inherit the choice — but
+        # only for this invocation: unlike the explicit flags above,
+        # nobody asked for the default, so it must not outlive main()
+        # (in-process callers, e.g. the test suite, share os.environ).
+        default_mode = default_sweep_sim_mode()
+        if default_mode is not None:
+            os.environ["REPRO_SIM_MODE"] = default_mode
+            installed_default_mode = True
     if args.telemetry:
         # Same pattern: the env is what parallel workers inherit.
         os.environ["REPRO_TELEMETRY"] = args.telemetry
     if args.check_plans:
         os.environ["REPRO_CHECK_PLANS"] = "1"
 
+    try:
+        return _run(args)
+    finally:
+        if installed_default_mode:
+            os.environ.pop("REPRO_SIM_MODE", None)
+
+
+def _run(args) -> int:
+    """Everything after env setup: dispatch and run the experiments."""
     if args.experiments and args.experiments[0] == "telemetry-report":
         return _telemetry_report(args)
 

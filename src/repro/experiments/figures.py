@@ -686,3 +686,46 @@ def fig28_ftq_runahead(
             ])
         }
     return {"series": series, "paper": {"note": "similar % of ideal at every FTQ size"}}
+
+
+def drift01_canary_matrix(
+    runner: Optional[ExperimentRunner] = None,
+    scenarios: Optional[Sequence[str]] = None,
+) -> Dict:
+    """drift01: scenario × canary-verdict matrix (extension, DESIGN §16).
+
+    Not a paper figure: the online-adaptation extension's headline
+    result.  Each ``(app, scenario)`` cell replays one full drift
+    episode through the canarying plan service — baseline publish,
+    drifted re-profile, staged candidate, live feedback split, verdict
+    — and reports 1.0 when the verdict matches the scenario's ground
+    truth (``deploy`` must roll back; ``steady``/``diurnal``/``jit``
+    must promote).  Episodes run their own service pipeline rather
+    than the simulation cache, so the bench's own (smaller) default
+    trace length applies unless the runner's is smaller still.
+    """
+    from ..drift.bench import DriftBenchConfig, run_drift
+
+    r = runner or get_runner()
+    cfg = DriftBenchConfig(
+        apps=tuple(r.apps),
+        scenarios=tuple(scenarios) if scenarios is not None
+        else DriftBenchConfig.scenarios,
+        trace_instructions=min(
+            r.settings.trace_instructions, DriftBenchConfig.trace_instructions
+        ),
+    )
+    report = run_drift(cfg)
+    per_app: Dict[str, Dict[str, float]] = {}
+    for case in report.cases:
+        per_app.setdefault(case.app, {})[case.scenario] = (
+            1.0 if case.verdict_correct else 0.0
+        )
+    return {
+        "per_app": per_app,
+        "average": report.verdict_accuracy or 0.0,
+        "recovery_ok": report.recovery_ok,
+        "paper": {
+            "note": "extension: deploy drifts auto-roll-back, others promote"
+        },
+    }

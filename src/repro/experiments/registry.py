@@ -187,6 +187,11 @@ EXPERIMENTS: Dict[str, Experiment] = {
             "2.9-9.9% instruction working set growth",
             tables.table3_wss_overhead,
         ),
+        Experiment(
+            "drift01", "Drift & canary verdict matrix",
+            "extension: deploy drifts auto-roll-back, others promote",
+            figures.drift01_canary_matrix,
+        ),
     )
 }
 

@@ -91,6 +91,9 @@ def collect_sample_stream(
         config=cfg,
         btb_system=BaselineBTBSystem(cfg),
         lbr_recorder=recorder,
+        # The LBR recorder needs the serial per-unit callbacks; pinned
+        # here so a global REPRO_SIM_MODE=fast never reaches this run.
+        mode="serial",
     )
     sim.run(trace, label=f"stream:{trace.label}")
     profile.validate()

@@ -45,7 +45,7 @@ import multiprocessing
 import os
 import queue as queue_mod
 import threading
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Tuple
 
 from ..config import (
@@ -169,6 +169,7 @@ def _fleet_worker_entry(
     check_plans: bool,
     telemetry_path: Optional[str],
     workload_seed: int,
+    snapshot_dir: Optional[str] = None,
 ) -> None:
     """Process target: run one ``PlanService`` over a router pipe.
 
@@ -177,36 +178,33 @@ def _fleet_worker_entry(
     knobs (``REPRO_SERVICE_*``) are read from the inherited environment
     — the same inheritance contract as the experiment pool workers.
     """
-    asyncio.run(
-        _fleet_worker_loop(
-            conn,
-            worker_id,
-            service_config,
-            sim_config,
-            check_plans,
-            telemetry_path,
-            workload_seed,
-        )
-    )
-
-
-async def _fleet_worker_loop(
-    conn,
-    worker_id: str,
-    service_config: Optional[ServiceConfig],
-    sim_config: Optional[SimConfig],
-    check_plans: bool,
-    telemetry_path: Optional[str],
-    workload_seed: int,
-) -> None:
     sink = TelemetrySink(telemetry_path) if telemetry_path else None
+    config = service_config if service_config is not None else ServiceConfig()
+    if snapshot_dir is not None:
+        # Per-worker durability: the router hands each worker its own
+        # snapshot directory (keyed by worker id, which a restarted
+        # router regenerates identically), layered over whatever config
+        # the caller supplied.
+        config = replace(config, snapshot_dir=snapshot_dir)
     service = PlanService(
         workload_for=default_workload_resolver(workload_seed),
-        config=service_config if service_config is not None else ServiceConfig(),
+        config=config,
         sim_config=sim_config,
         check_plans=check_plans,
         telemetry=sink,
     )
+    if config.snapshot_dir:
+        # Snapshot-only restore: the WAL lives router-side, so the
+        # worker recovers its fold state + plan lineage from its own
+        # snapshots and the router replays just the journal suffix.
+        # Runs here, before the event loop exists, so its blocking file
+        # reads cannot stall served requests.
+        service.restore()
+    asyncio.run(_fleet_worker_loop(conn, worker_id, service, sink))
+
+
+async def _fleet_worker_loop(conn, worker_id: str, service: PlanService,
+                             sink: Optional[TelemetrySink]) -> None:
     await service.start()
     loop = asyncio.get_running_loop()
     running = True
@@ -258,6 +256,19 @@ async def _dispatch(service: PlanService, worker_id: str, request: Dict):
         return await service.forget(
             request["app"], request["input"], deadline_ms=deadline_ms
         )
+    if kind == "hello":
+        # Restore handshake: the router seeds its per-shard delivery
+        # cursors from the batches this worker already folded out of
+        # its own snapshots, so journal replay starts at the suffix.
+        return {
+            "worker_id": worker_id,
+            "pid": os.getpid(),
+            "restore": dict(service.restore_report or {}),
+            "shards": {
+                key: service.buffer.get(key).counters.batches
+                for key in service.buffer.keys()
+            },
+        }
     if kind == "stats":
         snapshot = service.stats_snapshot()
         snapshot["pid"] = os.getpid()
@@ -519,6 +530,7 @@ class FleetRouter:
         telemetry_path: Optional[str] = None,
         journal_path: Optional[str] = None,
         journal_fsync: bool = False,
+        snapshot_dir: Optional[str] = None,
         decisions_path: Optional[str] = None,
         workload_seed: int = 0,
     ):
@@ -547,6 +559,11 @@ class FleetRouter:
         self.journal = IngestJournal(
             journal_path, fsync=journal_fsync, resume=True
         )
+        # Per-worker snapshot root: each worker gets snapshot_dir/<id>,
+        # and ids regenerate w0..wN-1 on a fresh router, so a
+        # fleet-wide kill restores every worker from its own snapshots
+        # instead of replaying the router journal from batch 0.
+        self.snapshot_dir = snapshot_dir
         self.autoscaler = Autoscaler(self.config)
         self.decisions: List[AllocationDecision] = []
         self._decisions_fh = None
@@ -602,6 +619,11 @@ class FleetRouter:
     def _spawn_worker(self) -> _WorkerHandle:
         worker_id = f"w{self._next_worker}"
         self._next_worker += 1
+        worker_snapshot_dir = (
+            os.path.join(self.snapshot_dir, worker_id)
+            if self.snapshot_dir
+            else None
+        )
         parent_conn, child_conn = self._mp.Pipe()
         process = self._mp.Process(
             target=_fleet_worker_entry,
@@ -613,6 +635,7 @@ class FleetRouter:
                 self.check_plans,
                 self.telemetry_path,
                 self.workload_seed,
+                worker_snapshot_dir,
             ),
             name=f"fleet-{worker_id}",
             daemon=True,
@@ -625,7 +648,46 @@ class FleetRouter:
         self._handles[worker_id] = handle
         self.ring.add(worker_id)
         self.metrics.inc("fleet.workers_spawned")
+        if worker_snapshot_dir is not None:
+            self._greet_worker(handle)
         return handle
+
+    def _greet_worker(self, handle: _WorkerHandle) -> None:
+        """Seed delivery cursors from the worker's restored snapshots.
+
+        A restored worker already holds a contiguous journal prefix per
+        shard (its ``counters.batches``); recording that prefix as
+        delivered makes ``_catch_up`` replay only the suffix.  The
+        cursor is clamped to the journal's count so a worker that
+        outran a lost journal tail never points past the end.
+        """
+        try:
+            hello = handle.submit(
+                {"kind": "hello"},
+                block=True,
+                timeout=self.config.request_timeout_s,
+            ).result(timeout=self.config.request_timeout_s)
+        except (ReproError, concurrent.futures.TimeoutError):
+            # A worker that dies during the handshake is reaped by the
+            # next operation; it simply starts with empty cursors.
+            self.metrics.inc("fleet.hello_failures")
+            return
+        seeded = 0
+        for key, batches in sorted(hello.get("shards", {}).items()):
+            have = min(int(batches), self.journal.count(key))
+            if have > 0:
+                self._delivered[(handle.worker_id, key)] = have
+                seeded += have
+        if seeded:
+            self.metrics.inc("fleet.workers_restored")
+            self.metrics.inc("fleet.seeded_batches", seeded)
+            if self.telemetry is not None:
+                self.telemetry.emit(
+                    "fleet_worker_restore",
+                    worker=handle.worker_id,
+                    seeded_batches=seeded,
+                    restore=hello.get("restore", {}),
+                )
 
     def stop(self) -> Dict:
         """Fleet-wide graceful drain.

@@ -56,6 +56,38 @@ class SampleBatch:
         return (self.app_name, self.input_label)
 
 
+@dataclass(frozen=True)
+class FeedbackBatch:
+    """One fleet shipment of *post-publish* miss feedback for a shard.
+
+    Unlike :class:`SampleBatch`, feedback never reaches the plan
+    builder: it is scored against the shard's live plan by the drift
+    canary controller (:mod:`repro.drift`), so it may legitimately
+    reference relocated addresses that no current CFG contains —
+    that is exactly what the stale classification detects.  ``stale_pcs``
+    optionally carries the changelog-derived set of relocated miss PCs
+    so scoring can separate *stale* from merely *uncovered*.
+    """
+
+    app_name: str
+    input_label: str
+    samples: Tuple[MissSample, ...]
+    stale_pcs: Tuple[int, ...] = ()
+    seq: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.app_name:
+            raise ServiceError("feedback batch needs a non-empty app_name")
+        if not self.input_label:
+            raise ServiceError("feedback batch needs a non-empty input_label")
+        if not self.samples:
+            raise ServiceError("feedback batch carries no samples")
+
+    @property
+    def key(self) -> ShardKey:
+        return (self.app_name, self.input_label)
+
+
 @dataclass
 class ShardCounters:
     """Ingest accounting for one shard."""
@@ -85,6 +117,7 @@ class ShardState:
             )
         self.key = key
         self.hot_threshold = hot_threshold
+        self.seed = seed
         self.sketch = CountMinSketch(sketch_width, sketch_depth, seed=seed)
         self.reservoir: ReservoirSampler[MissSample] = ReservoirSampler(
             reservoir_capacity, key, seed
@@ -95,6 +128,9 @@ class ShardState:
         # generation comparison.
         self.generation = 0
         self.built_generation = 0
+        # Profile epoch: bumps when a rolling deploy invalidates sample
+        # attribution (see :meth:`reset_epoch`).
+        self.epoch = 0
 
     # ------------------------------------------------------------------
     @property
@@ -125,6 +161,29 @@ class ShardState:
                 c.dropped += 1
         self.generation += 1
         return c
+
+    def reset_epoch(self) -> int:
+        """Start a fresh profile epoch: drop all retained samples.
+
+        A rolling deploy changes the binary's layout, so samples
+        collected before it can no longer be attributed to the code the
+        fleet now runs; folding them into the next plan would bake
+        stale sites in silently.  The sketch, reservoir, and counters
+        restart exactly as at construction (same seeds — the fold stays
+        deterministic); ``generation`` keeps counting monotonically so
+        dirtiness tracking and the plan lineage survive the boundary.
+        Returns the new epoch number.
+        """
+        self.sketch = CountMinSketch(
+            self.sketch.width, self.sketch.depth, seed=self.seed
+        )
+        self.reservoir = ReservoirSampler(
+            self.reservoir.capacity, self.key, self.seed
+        )
+        self.counters = ShardCounters()
+        self.generation += 1
+        self.epoch += 1
+        return self.epoch
 
     def fold(self) -> MissProfile:
         """The retained samples as a :class:`MissProfile` (retained order)."""

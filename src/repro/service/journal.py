@@ -99,13 +99,15 @@ def _record_to_batch(record: Dict) -> Tuple[SampleBatch, int]:
         raise JournalError(f"malformed journal record: {exc}") from exc
 
 
-def _load_mirror(path: str) -> Tuple[List[SampleBatch], int, int]:
+def _load_mirror(path: str) -> Tuple[List[SampleBatch], List[Dict], int, int]:
     """Parse a JSONL mirror into batches, tolerating a torn final line.
 
-    Returns ``(batches, valid_bytes, torn_records)`` where *batches* is
-    the valid prefix in file order, *valid_bytes* is the byte length of
-    that prefix (so ``resume`` can truncate the torn tail before
-    re-appending), and *torn_records* counts the skipped tail (0 or 1).
+    Returns ``(batches, events, valid_bytes, torn_records)`` where
+    *batches* is the valid ingest prefix in file order, *events* the
+    non-ingest audit records (e.g. ``"canary"`` verdicts) interleaved
+    with it, *valid_bytes* is the byte length of the valid prefix (so
+    ``resume`` can truncate the torn tail before re-appending), and
+    *torn_records* counts the skipped tail (0 or 1).
 
     The torn-tail rule: each record is appended as one ``write()`` of a
     newline-terminated line, so a crash mid-append can only produce a
@@ -123,6 +125,7 @@ def _load_mirror(path: str) -> Tuple[List[SampleBatch], int, int]:
 
     counts: Dict[ShardKey, int] = {}
     batches: List[SampleBatch] = []
+    events: List[Dict] = []
     valid_bytes = 0
     torn_records = 0
     offset = 0
@@ -148,6 +151,13 @@ def _load_mirror(path: str) -> Tuple[List[SampleBatch], int, int]:
                 f"journal mirror {path!r} line {lineno}: invalid JSON "
                 f"({exc})"
             ) from exc
+        if record.get("event", "ingest") != "ingest":
+            # Audit records (canary verdicts, ...) interleave with the
+            # ingest stream but carry no per-shard index; they are kept
+            # verbatim for lineage inspection and never replayed.
+            events.append(record)
+            valid_bytes = offset
+            continue
         batch, index = _record_to_batch(record)
         expected = counts.get(batch.key, 0)
         if index != expected:
@@ -159,7 +169,7 @@ def _load_mirror(path: str) -> Tuple[List[SampleBatch], int, int]:
         counts[batch.key] = expected + 1
         batches.append(batch)
         valid_bytes = offset
-    return batches, valid_bytes, torn_records
+    return batches, events, valid_bytes, torn_records
 
 
 class IngestJournal:
@@ -181,15 +191,17 @@ class IngestJournal:
         self.path = path
         self._fsync = bool(fsync)
         self._batches: Dict[ShardKey, List[SampleBatch]] = {}
+        self.events: List[Dict] = []
         self.total_batches = 0
         self.total_samples = 0
         self.torn_records = 0
         self._fh = None
         if path:
             if resume and os.path.isfile(path):
-                batches, valid_bytes, torn = _load_mirror(path)
+                batches, events, valid_bytes, torn = _load_mirror(path)
                 for batch in batches:
                     self.record(batch)
+                self.events.extend(events)
                 self.torn_records = torn
                 if torn:
                     try:
@@ -226,6 +238,33 @@ class IngestJournal:
                 os.fsync(self._fh.fileno())
         return index
 
+    def record_event(self, kind: str, **fields) -> Dict:
+        """Append one non-ingest audit record (e.g. a canary verdict).
+
+        Event records share the WAL's durability semantics (single
+        write + flush [+ fsync]) but are never replayed into shard
+        state — they are the on-disk lineage audit the drift tests read
+        back after a crash.
+        """
+        if kind == "ingest":
+            raise JournalError(
+                "record_event() cannot write 'ingest' records; "
+                "use record()"
+            )
+        record = {
+            "v": JOURNAL_SCHEMA_VERSION,
+            "schema_version": JOURNAL_SCHEMA_VERSION,
+            "event": kind,
+        }
+        record.update(fields)
+        self.events.append(record)
+        if self._fh is not None:
+            self._fh.write(json.dumps(record) + "\n")
+            self._fh.flush()
+            if self._fsync:
+                os.fsync(self._fh.fileno())
+        return record
+
     def count(self, key: ShardKey) -> int:
         """Batches journaled so far for *key*."""
         return len(self._batches.get(key, ()))
@@ -251,6 +290,7 @@ class IngestJournal:
             "keys": len(self._batches),
             "batches": self.total_batches,
             "samples": self.total_samples,
+            "events": len(self.events),
             "torn_records": self.torn_records,
         }
 
@@ -272,9 +312,10 @@ def read_journal(path: str) -> IngestJournal:
     final line — the expected artifact of a crash mid-append — is
     skipped and surfaced as ``stats()["torn_records"]``.
     """
-    batches, _valid_bytes, torn = _load_mirror(path)
+    batches, events, _valid_bytes, torn = _load_mirror(path)
     journal = IngestJournal()
     for batch in batches:
         journal.record(batch)
+    journal.events.extend(events)
     journal.torn_records = torn
     return journal

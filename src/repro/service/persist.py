@@ -77,6 +77,7 @@ def shard_to_dict(shard: ShardState) -> dict:
         "input": shard.key[1],
         "generation": shard.generation,
         "built_generation": shard.built_generation,
+        "epoch": shard.epoch,
         "counters": {
             "batches": shard.counters.batches,
             "received": shard.counters.received,
@@ -110,6 +111,9 @@ def shard_from_dict(data: dict, buffer) -> ShardState:
         shard = buffer.shard(key)
         shard.generation = int(data["generation"])
         shard.built_generation = int(data["built_generation"])
+        # Optional for pre-epoch snapshots (schema stays v1): absent
+        # means the shard never saw a deploy boundary.
+        shard.epoch = int(data.get("epoch", 0))
         counters = data["counters"]
         shard.counters.batches = int(counters["batches"])
         shard.counters.received = int(counters["received"])
@@ -189,6 +193,93 @@ def plan_version_from_dict(data: dict) -> PlanVersion:
 
 
 # ----------------------------------------------------------------------
+# Canary state <-> dict
+# ----------------------------------------------------------------------
+
+def canary_state_to_dict(state) -> dict:
+    """Complete drift-canary machine state for one shard, JSON-ready.
+
+    The canary's lineage (``history``), counters, arm trackers, and the
+    staged ``candidate``/active ``baseline`` versions all persist: the
+    "no published version exists outside a snapshot" invariant extends
+    to rollbacks, so recovery must reproduce the *active* version and
+    the verdict trail, not merely the latest built plan.
+    """
+    from ..drift.canary import CanaryState  # local: keeps import acyclic
+
+    assert isinstance(state, CanaryState)
+    return {
+        "key": list(state.key),
+        "stage": state.stage,
+        "observed": state.observed,
+        "promotions": state.promotions,
+        "rollbacks": state.rollbacks,
+        "history": [[event, version] for event, version in state.history],
+        "baseline": (
+            plan_version_to_dict(state.baseline)
+            if state.baseline is not None
+            else None
+        ),
+        "candidate": (
+            plan_version_to_dict(state.candidate)
+            if state.candidate is not None
+            else None
+        ),
+        "baseline_tracker": (
+            state.baseline_tracker.to_dict()
+            if state.baseline_tracker is not None
+            else None
+        ),
+        "candidate_tracker": (
+            state.candidate_tracker.to_dict()
+            if state.candidate_tracker is not None
+            else None
+        ),
+    }
+
+
+def canary_state_from_dict(data: dict):
+    """Rebuild one shard's canary state from its snapshot dict."""
+    from ..drift.canary import CanaryState
+    from ..drift.feedback import EffectivenessTracker
+
+    try:
+        app, label = data["key"]
+        return CanaryState(
+            key=(app, label),
+            stage=str(data["stage"]),
+            observed=int(data["observed"]),
+            promotions=int(data["promotions"]),
+            rollbacks=int(data["rollbacks"]),
+            history=[
+                (str(event), int(version)) for event, version in data["history"]
+            ],
+            baseline=(
+                plan_version_from_dict(data["baseline"])
+                if data["baseline"] is not None
+                else None
+            ),
+            candidate=(
+                plan_version_from_dict(data["candidate"])
+                if data["candidate"] is not None
+                else None
+            ),
+            baseline_tracker=(
+                EffectivenessTracker.from_dict(data["baseline_tracker"])
+                if data["baseline_tracker"] is not None
+                else None
+            ),
+            candidate_tracker=(
+                EffectivenessTracker.from_dict(data["candidate_tracker"])
+                if data["candidate_tracker"] is not None
+                else None
+            ),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SnapshotError(f"malformed canary-state snapshot: {exc}") from exc
+
+
+# ----------------------------------------------------------------------
 # Whole-service snapshot <-> dict
 # ----------------------------------------------------------------------
 
@@ -221,6 +312,11 @@ def capture_snapshot(service, seq: int, journal_counts: Dict[ShardKey, int]) -> 
                 service.builder.latest(key) for key in buffer.keys()
             )
             if v is not None
+        ],
+        # Drift-canary machine state (absent on pre-drift services).
+        "canary": [
+            canary_state_to_dict(state)
+            for state in getattr(service, "canary_states", lambda: [])()
         ],
     }
 
@@ -269,6 +365,10 @@ def apply_snapshot(service, data: dict) -> Tuple[int, int, Dict[ShardKey, int]]:
     for plan_data in plans:
         version = plan_version_from_dict(plan_data)
         service.builder.restore_version(version)
+    controller = getattr(service, "canary", None)
+    if controller is not None:
+        for state_data in data.get("canary", []):
+            controller.restore_state(canary_state_from_dict(state_data))
     return len(shards), len(plans), journal_counts
 
 

@@ -38,7 +38,10 @@ from __future__ import annotations
 
 import asyncio
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from ..drift.canary import CanarySettings
 
 from ..config import (
     ConfigError,
@@ -65,7 +68,7 @@ from ..workloads.apps import get_app
 from ..workloads.cfg import Workload, build_workload
 from ..workloads.rng import make_rng
 from .build import IncrementalPlanBuilder, PlanVersion
-from .ingest import IngestBuffer, SampleBatch, ShardKey
+from .ingest import FeedbackBatch, IngestBuffer, SampleBatch, ShardKey
 from .journal import IngestJournal
 from .persist import SnapshotStore, apply_snapshot, capture_snapshot
 
@@ -162,8 +165,18 @@ class PlanService:
         sim_config: Optional[SimConfig] = None,
         check_plans: bool = True,
         telemetry=None,
+        canary: Optional["CanarySettings"] = None,
     ):
+        # Imported lazily: repro.drift.canary imports this package's
+        # build/ingest modules, so a top-level import here would cycle.
+        from ..drift.canary import CanaryController
+
         self.config = config if config is not None else ServiceConfig()
+        # Drift canary controller: the serving-truth oracle for active
+        # plan versions.  With canarying disabled (the default) it only
+        # tracks baseline effectiveness; the feedback path feeds it
+        # either way.
+        self.canary = CanaryController(canary)
         self.telemetry = telemetry
         # With a sink attached its registry is the service's registry,
         # so drain summaries and external reports see one namespace.
@@ -262,6 +275,7 @@ class PlanService:
             "shards_restored": 0,
             "plans_restored": 0,
             "batches_replayed": 0,
+            "epochs_replayed": 0,
             "torn_records": 0,
         }
         journal_counts: Dict[ShardKey, int] = {}
@@ -280,13 +294,44 @@ class PlanService:
                 jpath, fsync=self.config.fsync, resume=True
             )
             report["torn_records"] = self.journal.torn_records
+            # Epoch resets are journaled events positioned in the batch
+            # sequence; replay must re-apply any reset the snapshot
+            # predates at its exact position, or the fold would
+            # resurrect pre-deploy samples the live run had dropped.
+            pending_resets: Dict[ShardKey, List] = {}
+            for ev in self.journal.events:
+                if ev.get("event") != "epoch":
+                    continue
+                ev_key = (ev["app"], ev["input"])
+                pending_resets.setdefault(ev_key, []).append(
+                    (int(ev["at_index"]), int(ev["epoch"]))
+                )
             replayed = 0
+            resets_replayed = 0
             for key in self.journal.keys():
                 start = journal_counts.get(key, 0)
+                restored = self.buffer.get(key)
+                shard_epoch = restored.epoch if restored is not None else 0
+                resets = sorted(
+                    at
+                    for at, ep in pending_resets.get(key, [])
+                    if ep > shard_epoch
+                )
+                pos = start
                 for batch in self.journal.replay(key, start):
+                    while resets and resets[0] <= pos:
+                        self.buffer.shard(key).reset_epoch()
+                        resets.pop(0)
+                        resets_replayed += 1
                     self.buffer.ingest(batch)
+                    pos += 1
                     replayed += 1
+                while resets:
+                    self.buffer.shard(key).reset_epoch()
+                    resets.pop(0)
+                    resets_replayed += 1
             report["batches_replayed"] = replayed
+            report["epochs_replayed"] = resets_replayed
             self._batches_since_snapshot = replayed
         self.metrics.inc("service.restores")
         self.metrics.inc("service.restored_batches", report["batches_replayed"])
@@ -376,6 +421,49 @@ class PlanService:
             seq=seq,
         )
         return await self.request("ingest", batch, deadline_ms=deadline_ms)
+
+    async def feedback(
+        self,
+        app_name: str,
+        input_label: str,
+        samples,
+        stale_pcs=(),
+        seq: int = 0,
+        deadline_ms: Optional[int] = None,
+    ) -> Dict:
+        """Submit post-publish miss feedback for effectiveness scoring.
+
+        Feedback never reaches the plan builder: it is scored against
+        the shard's live plan (and, during a canary, split between the
+        baseline and candidate arms).  Returns a summary dict with the
+        number of samples scored and any canary verdicts rendered.
+        """
+        batch = FeedbackBatch(
+            app_name=app_name,
+            input_label=input_label,
+            samples=tuple(
+                s if isinstance(s, MissSample) else MissSample(*s) for s in samples
+            ),
+            stale_pcs=tuple(sorted(stale_pcs)),
+            seq=seq,
+        )
+        return await self.request("feedback", batch, deadline_ms=deadline_ms)
+
+    async def new_epoch(
+        self, app_name: str, input_label: str, deadline_ms: Optional[int] = None
+    ) -> int:
+        """Start a fresh profile epoch for a shard (rolling deploy).
+
+        A deploy changes the binary's layout, so retained samples can no
+        longer be attributed to the code the fleet now runs; the shard's
+        sketch/reservoir restart empty while the plan lineage (and any
+        canary in flight) survives the boundary.  The reset is journaled
+        at its exact position in the batch sequence, so crash recovery
+        re-applies it during replay.  Returns the new epoch number.
+        """
+        return await self.request(
+            "epoch", (app_name, input_label), deadline_ms=deadline_ms
+        )
 
     async def get_plan(
         self, app_name: str, input_label: str, deadline_ms: Optional[int] = None
@@ -475,6 +563,12 @@ class PlanService:
             # The fsync cost *is* the durability budget (DESIGN §14);
             # moving it to an executor would reorder folds.
             return self._process_ingest(req.payload)  # staticcheck: disable=A101 (WAL-before-fold must stay synchronous; fold order == queue order)
+        if req.kind == "feedback":
+            # Synchronous for the same reason as ingest: the canary's
+            # arm assignment is keyed on the per-shard observation
+            # counter, so scoring order must equal queue order for the
+            # traffic split to be replay-deterministic.
+            return self._process_feedback(req.payload)  # staticcheck: disable=A101 (score order == queue order keeps the canary split deterministic)
         if req.kind == "plan":
             app_name, input_label = req.payload
             return await self._serve_plan((app_name, input_label))
@@ -482,7 +576,42 @@ class PlanService:
             return self.stats_snapshot()
         if req.kind == "forget":
             return self._process_forget(req.payload)
+        if req.kind == "epoch":
+            # Synchronous (like ingest/forget) so the reset lands at a
+            # well-defined position in the shard's fold order.
+            return self._process_epoch(req.payload)  # staticcheck: disable=A101 (reset position in fold order must equal queue order)
         raise ServiceError(f"unknown request kind {req.kind!r}")
+
+    def _process_epoch(self, key: ShardKey) -> int:
+        """Reset one shard's profile epoch; synchronous so the reset's
+        position in the fold order equals its queue position."""
+        shard = self.buffer.get(key)
+        if shard is None:
+            raise ServiceError(
+                f"no samples ingested for shard {key}; nothing to reset"
+            )
+        if self.journal is not None:
+            # WAL discipline mirrors ingest: the reset is durable, with
+            # its exact position in the batch sequence, before it is
+            # applied — recovery replays batches *and* resets in order.
+            self.journal.record_event(
+                "epoch",
+                app=key[0],
+                input=key[1],
+                at_index=self.journal.count(key),
+                epoch=shard.epoch + 1,
+            )
+        epoch = shard.reset_epoch()
+        self.metrics.inc("service.epoch_resets")
+        if self.telemetry is not None:
+            self.telemetry.emit(
+                "epoch_reset", app=key[0], input=key[1], epoch=epoch
+            )
+        # The post-reset (empty) shard state must be restorable even if
+        # no batch arrives before a crash: snapshot now, like a publish.
+        if self._snapshots is not None:
+            self._write_snapshot()
+        return epoch
 
     def _process_forget(self, key: ShardKey) -> bool:
         """Drop one shard; synchronous (like ingest) so it serializes
@@ -496,9 +625,68 @@ class PlanService:
         self._last_build_error.pop(key, None)  # staticcheck: disable=A103 (queue-order serialization; the owning lock is discarded here)
         dropped_plan = self.builder.discard(key)
         dropped_state = self.buffer.discard(key)
+        self.canary.forget(key)
         if dropped_state or dropped_plan:
             self.metrics.inc("service.shards_forgotten")
         return dropped_state
+
+    def _process_feedback(self, batch: FeedbackBatch) -> Dict:
+        """Score one feedback batch; synchronous so the canary's
+        per-shard observation counter advances in queue order."""
+        stale = set(batch.stale_pcs) or None
+        verdicts = []
+        for sample in batch.samples:
+            verdict = self.canary.observe(batch.key, sample, stale_pcs=stale)
+            if verdict is None:
+                continue
+            verdicts.append(verdict)
+            self.metrics.inc("service.canary_verdicts")
+            self.metrics.inc(f"service.canary_{verdict.decision}")
+            if self.journal is not None:
+                # The verdict is lineage: journal it with the same
+                # durability as the batches that produced it.
+                self.journal.record_event(
+                    "canary",
+                    app=batch.app_name,
+                    input=batch.input_label,
+                    decision=verdict.decision,
+                    candidate_version=verdict.candidate_version,
+                    active_version=verdict.active_version,
+                )
+            if self.telemetry is not None:
+                self.telemetry.emit(
+                    "canary_verdict",
+                    app=batch.app_name,
+                    input=batch.input_label,
+                    decision=verdict.decision,
+                    candidate_version=verdict.candidate_version,
+                    active_version=verdict.active_version,
+                    baseline_score=verdict.baseline_score,
+                    candidate_score=verdict.candidate_score,
+                )
+            # A verdict changes which version is active: extend the
+            # publish-snapshot invariant so a crash right after the
+            # decision still restores the post-verdict lineage.
+            if self._snapshots is not None:
+                self._write_snapshot()
+        self.metrics.inc("service.feedback_batches")
+        self.metrics.inc("service.feedback_samples", len(batch.samples))
+        state = self.canary.states.get(batch.key)
+        return {
+            "key": batch.key,
+            "scored": len(batch.samples),
+            "stage": state.stage if state is not None else None,
+            "verdicts": [
+                {
+                    "decision": v.decision,
+                    "candidate_version": v.candidate_version,
+                    "active_version": v.active_version,
+                    "baseline_score": v.baseline_score,
+                    "candidate_score": v.candidate_score,
+                }
+                for v in verdicts
+            ],
+        }
 
     def _process_ingest(self, batch: SampleBatch):
         """Fold one batch in; synchronous so shard order == queue order."""
@@ -568,7 +756,13 @@ class PlanService:
             )
         # Read-your-writes: a plan request on a dirty shard rebuilds
         # now instead of waiting out the debounce.
-        return await self._build_shard(key)
+        version = await self._build_shard(key)
+        # Serving truth is the canary controller's: during a canary the
+        # fleet keeps executing the baseline while the candidate is on
+        # trial, and after a rollback the active version is *older*
+        # than the builder's monotonic latest.
+        active = self.canary.active(key)
+        return active if active is not None else version
 
     # ------------------------------------------------------------------
     # Builds
@@ -659,6 +853,11 @@ class PlanService:
             f"service.plan_version.{version.key[0]}/{version.key[1]}",
             version.version,
         )
+        # Route the fresh version through the canary state machine
+        # *before* the snapshot below, so the snapshot captures the
+        # post-transition stage (activated/staged/restaged).
+        transition = self.canary.note_published(version)
+        reg.inc(f"service.canary_{transition}")
         # Every publish is a snapshot point: version numbers and diffs
         # are derived from the previously published version, so lineage
         # only provably survives a crash if no published version can
@@ -671,6 +870,10 @@ class PlanService:
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
+    def canary_states(self) -> List:
+        """All per-shard canary states (snapshot capture hook)."""
+        return list(self.canary.states.values())
+
     def _note_queue_depth(self) -> None:
         depth = self._queue.qsize() if self._queue is not None else 0
         if depth > self.max_queue_depth:
@@ -684,7 +887,15 @@ class PlanService:
         for key in self.buffer.keys():
             shard = self.buffer.get(key)
             latest = self.builder.latest(key)
+            active = self.canary.active(key)
+            canary_state = self.canary.states.get(key)
             shards["/".join(key)] = {
+                "active_version": (
+                    active.version if active is not None else 0
+                ),
+                "canary_stage": (
+                    canary_state.stage if canary_state is not None else None
+                ),
                 "generation": shard.generation,
                 "built_generation": shard.built_generation,
                 "dirty": shard.dirty,
@@ -705,6 +916,7 @@ class PlanService:
             "queue_depth": self._queue.qsize() if self._queue is not None else 0,
             "max_queue_depth": self.max_queue_depth,
             "counters": dict(self.metrics.counters),
+            "canary": self.canary.stats(),
             "durability": {
                 "journal": self.config.journal_path,
                 "journaled_batches": (

@@ -20,7 +20,10 @@ rule id   name                    severity  invariant
 ``L106``  no-mutable-default      error     no mutable default
                                             arguments
 ``L107``  sanitize-coverage       warning   frontend structures expose
-                                            ``attach_sanitizer``
+                                            ``attach_sanitizer``;
+                                            drift/service durable state
+                                            pairs ``to_dict`` with
+                                            ``from_dict``
 ========  ======================  ========  ===========================
 
 Rules register themselves via :func:`register`; :func:`default_rules`

@@ -7,6 +7,15 @@ exactly the regression this rule makes visible.  Private helpers and
 plain-data ``@dataclass`` records are exempt; deliberate opt-outs
 (limit-study models, direction predictors outside the BTB sanitize
 scope) carry per-line suppressions naming the rule.
+
+The drift engine extended the same coverage idiom to durable state:
+in ``drift/`` and ``service/`` modules the hook pair is
+``to_dict``/``from_dict``, and a class defining only one half has
+state that serializes but can never be restored (or vice versa) — it
+silently opts out of kill-and-restart recovery the same way a hookless
+frontend structure opts out of sanitizing.  Classes with neither half
+are ignored here; whether they *should* persist is A105's question,
+answered by the PERSIST_PAIRS inventory.
 """
 
 from __future__ import annotations
@@ -17,6 +26,16 @@ from typing import Iterator
 from ..engine import ParsedModule
 from ..findings import Finding, Severity
 from . import Rule, register
+
+
+# Durable-state scope: modules whose classes carry snapshot/WAL state.
+# A to_dict/from_dict pair here is the persistence analog of the
+# frontend attach_sanitizer hook.
+_ROUNDTRIP_SCOPES = ("drift/", "service/")
+
+
+def _in_scope(relpath: str, prefix: str) -> bool:
+    return f"/{prefix}" in relpath or relpath.startswith(prefix)
 
 
 def _is_dataclass(node: ast.ClassDef) -> bool:
@@ -44,8 +63,12 @@ class SanitizeCoverageRule(Rule):
 
     def check(self, module: ParsedModule) -> Iterator[Finding]:
         relpath = module.relpath.replace("\\", "/")
-        if "/frontend/" not in relpath and not relpath.startswith("frontend/"):
-            return
+        if _in_scope(relpath, "frontend/"):
+            yield from self._check_frontend(module)
+        elif any(_in_scope(relpath, s) for s in _ROUNDTRIP_SCOPES):
+            yield from self._check_roundtrip(module)
+
+    def _check_frontend(self, module: ParsedModule) -> Iterator[Finding]:
         for node in ast.walk(module.tree):
             if not isinstance(node, ast.ClassDef):
                 continue
@@ -63,4 +86,34 @@ class SanitizeCoverageRule(Rule):
                     f"frontend structure {node.name} has no "
                     "attach_sanitizer hook; runtime sanitizers cannot "
                     "check it",
+                )
+
+    def _check_roundtrip(self, module: ParsedModule) -> Iterator[Finding]:
+        """drift/service durable state must serialize in matched pairs.
+
+        No dataclass exemption here: a dataclass that hand-rolls one
+        half of the pair is exactly as unrestorable as any other class.
+        """
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            if node.name.startswith("_"):
+                continue
+            methods = {
+                n.name
+                for n in node.body
+                if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))
+            }
+            has_to = "to_dict" in methods
+            has_from = "from_dict" in methods
+            if has_to != has_from:
+                present, absent = (
+                    ("to_dict", "from_dict") if has_to else ("from_dict", "to_dict")
+                )
+                yield self.finding(
+                    module,
+                    node,
+                    f"durable structure {node.name} defines {present} "
+                    f"without {absent}; its state cannot round-trip "
+                    "through snapshot/WAL recovery",
                 )

@@ -58,6 +58,10 @@ SERVICE_RULES: Dict[str, str] = {
 }
 
 _SERVICE_DIR = "repro/service/"
+# The drift engine is service-adjacent: its canary controller owns the
+# serving-truth active version and its state rides in the service
+# snapshot, so the same loop/lock/persistence rules apply.
+_DRIFT_DIR = "repro/drift/"
 _EXTRA_SCOPE_SUFFIXES = ("repro/experiments/parallel.py",)
 _ERRORS_SUFFIX = "repro/errors.py"
 
@@ -81,7 +85,7 @@ GUARDED_BY: Dict[Tuple[str, str], Dict[str, str]] = {
 # process's own verified configuration instead of the snapshot payload
 # (apply_snapshot's config-equality gate is what makes this safe).
 DERIVED_PERSIST_FIELDS: Dict[str, Set[str]] = {
-    "ShardState": {"hot_threshold"},
+    "ShardState": {"hot_threshold", "seed"},
 }
 
 # A105 subject -> (owning module suffix, to_dict fn, from_dict fn).
@@ -89,6 +93,7 @@ PERSIST_PAIRS: Dict[str, Tuple[str, str]] = {
     "ShardState": ("shard_to_dict", "shard_from_dict"),
     "PlanVersion": ("plan_version_to_dict", "plan_version_from_dict"),
     "IngestBuffer": ("capture_snapshot", "apply_snapshot"),
+    "CanaryState": ("canary_state_to_dict", "canary_state_from_dict"),
 }
 _PERSIST_SUFFIX = "repro/service/persist.py"
 _HTTP_SUFFIX = "repro/service/http.py"
@@ -125,7 +130,7 @@ def _norm(relpath: str) -> str:
 def in_service_scope(relpath: str) -> bool:
     """True for files the layer-3 analyzer covers."""
     p = _norm(relpath)
-    if _SERVICE_DIR in p:
+    if _SERVICE_DIR in p or _DRIFT_DIR in p:
         return True
     return any(p.endswith(suffix) for suffix in _EXTRA_SCOPE_SUFFIXES)
 

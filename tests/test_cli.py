@@ -19,6 +19,25 @@ class TestCLI:
         assert main(["fig99"]) == 2
         assert "unknown" in capsys.readouterr().err
 
+    def test_default_sim_mode_does_not_outlive_main(self, monkeypatch):
+        # main() installs the fast sweep default via os.environ so
+        # pool workers inherit it, but nobody asked for it — it must
+        # not leak into whatever the process does next (sanitized
+        # serial runs in the same test process, for one).
+        import os
+
+        monkeypatch.delenv("REPRO_SIM_MODE", raising=False)
+        assert main(["--list"]) == 0
+        assert "REPRO_SIM_MODE" not in os.environ
+
+    def test_explicit_sim_mode_persists_for_workers(self, monkeypatch):
+        import os
+
+        monkeypatch.delenv("REPRO_SIM_MODE", raising=False)
+        assert main(["--list", "--sim-mode", "serial"]) == 0
+        assert os.environ.get("REPRO_SIM_MODE") == "serial"
+        monkeypatch.delenv("REPRO_SIM_MODE", raising=False)
+
     @pytest.fixture()
     def small_env(self, monkeypatch, tmp_path):
         # Constrain the global runner to something affordable, and keep

@@ -11,6 +11,12 @@ from repro.config import (
     MemoryConfig,
     SimConfig,
     TwigConfig,
+    default_sweep_sim_mode,
+    drift_canary_fraction_from_env,
+    drift_canary_from_env,
+    drift_threshold_from_env,
+    drift_window_from_env,
+    drift_windows_from_env,
     fleet_autoscale_from_env,
     fleet_replicas_from_env,
     fleet_workers_from_env,
@@ -328,3 +334,99 @@ class TestFleetKnobs:
         assert cfg.workers == 3
         assert cfg.replicas == 2
         assert cfg.autoscale is True
+
+
+class TestDriftKnobs:
+    """Typed env knobs for the drift engine's canary controller."""
+
+    @pytest.fixture(autouse=True)
+    def clean_env(self, monkeypatch):
+        for name in (
+            "REPRO_DRIFT_CANARY",
+            "REPRO_DRIFT_CANARY_FRACTION",
+            "REPRO_DRIFT_WINDOW",
+            "REPRO_DRIFT_WINDOWS",
+            "REPRO_DRIFT_THRESHOLD",
+        ):
+            monkeypatch.delenv(name, raising=False)
+        return monkeypatch
+
+    def test_defaults(self):
+        # Canarying is opt-in: the default service behaviour (activate
+        # every build immediately) is what the parity suites pin.
+        assert drift_canary_from_env() is False
+        assert drift_canary_fraction_from_env() == 0.5
+        assert drift_window_from_env() == 64
+        assert drift_windows_from_env() == 2
+        assert drift_threshold_from_env() == 0.1
+
+    def test_valid_values(self, clean_env):
+        clean_env.setenv("REPRO_DRIFT_CANARY", "yes")
+        clean_env.setenv("REPRO_DRIFT_CANARY_FRACTION", "0.25")
+        clean_env.setenv("REPRO_DRIFT_WINDOW", "16")
+        clean_env.setenv("REPRO_DRIFT_WINDOWS", "3")
+        clean_env.setenv("REPRO_DRIFT_THRESHOLD", "0.05")
+        assert drift_canary_from_env() is True
+        assert drift_canary_fraction_from_env() == 0.25
+        assert drift_window_from_env() == 16
+        assert drift_windows_from_env() == 3
+        assert drift_threshold_from_env() == 0.05
+
+    @pytest.mark.parametrize(
+        "name,reader,bad",
+        [
+            ("REPRO_DRIFT_CANARY", drift_canary_from_env, "maybe"),
+            # Fraction must leave both arms observable: [0.01, 0.99].
+            ("REPRO_DRIFT_CANARY_FRACTION", drift_canary_fraction_from_env, "0"),
+            ("REPRO_DRIFT_CANARY_FRACTION", drift_canary_fraction_from_env, "1"),
+            ("REPRO_DRIFT_CANARY_FRACTION", drift_canary_fraction_from_env, "lots"),
+            ("REPRO_DRIFT_WINDOW", drift_window_from_env, "0"),
+            ("REPRO_DRIFT_WINDOW", drift_window_from_env, "1.5"),
+            ("REPRO_DRIFT_WINDOWS", drift_windows_from_env, "-1"),
+            ("REPRO_DRIFT_THRESHOLD", drift_threshold_from_env, "1.5"),
+            ("REPRO_DRIFT_THRESHOLD", drift_threshold_from_env, "-0.1"),
+        ],
+    )
+    def test_invalid_rejected(self, clean_env, name, reader, bad):
+        clean_env.setenv(name, bad)
+        with pytest.raises(ConfigError, match=name):
+            reader()
+
+    def test_canary_settings_defaults_read_env(self, clean_env):
+        from repro.drift.canary import CanarySettings
+
+        clean_env.setenv("REPRO_DRIFT_CANARY", "1")
+        clean_env.setenv("REPRO_DRIFT_CANARY_FRACTION", "0.3")
+        clean_env.setenv("REPRO_DRIFT_WINDOW", "8")
+        clean_env.setenv("REPRO_DRIFT_WINDOWS", "4")
+        clean_env.setenv("REPRO_DRIFT_THRESHOLD", "0.2")
+        settings = CanarySettings()
+        assert settings.enabled is True
+        assert settings.fraction == 0.3
+        assert settings.window == 8
+        assert settings.windows == 4
+        assert settings.threshold == 0.2
+
+
+class TestSweepSimModeDefault:
+    """default_sweep_sim_mode: what `python -m repro.experiments` installs."""
+
+    @pytest.fixture(autouse=True)
+    def clean_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SIM_MODE", raising=False)
+        monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+        return monkeypatch
+
+    def test_default_is_fast(self):
+        assert default_sweep_sim_mode() == "fast"
+
+    def test_sanitize_keeps_auto(self, clean_env):
+        # The sanitizer is serial-only; auto lets eligible runs batch
+        # while sanitized ones keep their serial fallback.
+        clean_env.setenv("REPRO_SANITIZE", "1")
+        assert default_sweep_sim_mode() == "auto"
+
+    @pytest.mark.parametrize("explicit", ["serial", "fast", "auto"])
+    def test_explicit_choice_wins(self, clean_env, explicit):
+        clean_env.setenv("REPRO_SIM_MODE", explicit)
+        assert default_sweep_sim_mode() is None

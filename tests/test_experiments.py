@@ -69,6 +69,7 @@ class TestRegistry:
     def test_contains_every_figure_and_table(self):
         expected = {f"fig{n:02d}" for n in range(1, 29) if n != 13}
         expected |= {"table2", "table3"}
+        expected |= {"drift01"}  # online-adaptation extension (DESIGN §16)
         assert set(EXPERIMENTS) == expected
 
     def test_unknown_experiment(self):

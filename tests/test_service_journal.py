@@ -75,6 +75,7 @@ class TestInMemoryJournal:
             "keys": 2,
             "batches": 2,
             "samples": 7,
+            "events": 0,
             "torn_records": 0,
         }
 

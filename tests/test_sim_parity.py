@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import dataclasses
 import functools
+import os
 from dataclasses import replace
 
 import pytest
@@ -247,3 +248,74 @@ class TestModeSemantics:
     def test_env_mode_reaches_simulator(self, tiny_workload, monkeypatch):
         monkeypatch.setenv("REPRO_SIM_MODE", "serial")
         assert FrontendSimulator(tiny_workload, config=SimConfig()).mode == "serial"
+
+
+class TestSweepGoldenMetrics:
+    """The default experiment sweep now runs on the fast path; the
+    runner-level golden metrics (speedups, MPKI reductions) must be
+    bit-identical to a serial sweep — this is the CI assertion behind
+    flipping the default."""
+
+    @staticmethod
+    def _runner(monkeypatch, mode):
+        from repro.experiments.runner import ExperimentRunner, RunnerSettings
+
+        monkeypatch.setenv("REPRO_SIM_MODE", mode)
+        settings = RunnerSettings(
+            trace_instructions=20_000, apps=("wordpress",), sample_rate=1
+        )
+        return ExperimentRunner(settings, cache=None, jobs=1)
+
+    def test_golden_metrics_fast_equals_serial(self, monkeypatch):
+        metrics = {}
+        for mode in ("fast", "serial"):
+            runner = self._runner(monkeypatch, mode)
+            metrics[mode] = {
+                "twig_result": runner.run("wordpress", "twig"),
+                "speedup": runner.speedup("wordpress", "twig"),
+                "miss_reduction": runner.miss_reduction("wordpress", "twig"),
+            }
+        assert_results_identical(
+            metrics["serial"]["twig_result"],
+            metrics["fast"]["twig_result"],
+            context="wordpress/twig sweep (fast default vs serial opt-out)",
+        )
+        assert metrics["fast"]["speedup"] == metrics["serial"]["speedup"]
+        assert (
+            metrics["fast"]["miss_reduction"]
+            == metrics["serial"]["miss_reduction"]
+        )
+
+    def test_default_sweep_env_is_fast(self, monkeypatch):
+        """The CLI installs fast as the sweep default (serial opt-out,
+        auto under sanitize), without clobbering an explicit env.  The
+        default lives only for the run — workers inherit it via the
+        environment, but it is popped before main() returns so it
+        cannot leak into in-process callers."""
+        import repro.experiments.__main__ as cli
+
+        seen = {}
+        real_run = cli._run
+
+        def spy(args):
+            seen["mode"] = os.environ.get("REPRO_SIM_MODE")
+            return real_run(args)
+
+        monkeypatch.setattr(cli, "_run", spy)
+
+        monkeypatch.delenv("REPRO_SIM_MODE", raising=False)
+        monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+        assert cli.main(["--list"]) == 0
+        assert seen["mode"] == "fast"
+        assert "REPRO_SIM_MODE" not in os.environ
+
+        monkeypatch.setenv("REPRO_SIM_MODE", "serial")
+        assert cli.main(["--list"]) == 0
+        assert seen["mode"] == "serial"
+        assert os.environ["REPRO_SIM_MODE"] == "serial"
+
+        monkeypatch.delenv("REPRO_SIM_MODE", raising=False)
+        monkeypatch.setenv("REPRO_SANITIZE", "1")
+        assert cli.main(["--list"]) == 0
+        assert seen["mode"] == "auto"
+        assert "REPRO_SIM_MODE" not in os.environ

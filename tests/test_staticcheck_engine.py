@@ -185,6 +185,61 @@ class TestSanitizeCoverageRule:
         src = "class NotHardware:\n    pass\n"
         assert lint_snippet(tmp_path, src, name="repro/analysis/x.py") == []
 
+    def test_l107_drift_to_dict_without_from_dict(self, tmp_path):
+        src = (
+            "class Tracker:\n"
+            "    def to_dict(self):\n"
+            "        return {}\n"
+        )
+        for scope in ("repro/drift/x.py", "repro/service/x.py"):
+            findings = lint_snippet(tmp_path, src, name=scope)
+            assert rules_of(findings) == {"L107"}, scope
+            assert "from_dict" in findings[0].message
+
+    def test_l107_drift_from_dict_without_to_dict(self, tmp_path):
+        src = (
+            "class Tracker:\n"
+            "    @classmethod\n"
+            "    def from_dict(cls, payload):\n"
+            "        return cls()\n"
+        )
+        findings = lint_snippet(tmp_path, src, name="repro/drift/x.py")
+        assert rules_of(findings) == {"L107"}
+
+    def test_l107_drift_matched_pair_and_stateless_clean(self, tmp_path):
+        src = (
+            "class Tracker:\n"
+            "    def to_dict(self):\n"
+            "        return {}\n"
+            "    @classmethod\n"
+            "    def from_dict(cls, payload):\n"
+            "        return cls()\n"
+            "class Stateless:\n"
+            "    def score(self):\n"
+            "        return 0\n"
+        )
+        assert lint_snippet(tmp_path, src, name="repro/drift/x.py") == []
+
+    def test_l107_drift_dataclass_not_exempt(self, tmp_path):
+        # Unlike the frontend hook check, a dataclass hand-rolling one
+        # serialization half is still unrestorable.
+        src = (
+            "from dataclasses import dataclass\n"
+            "@dataclass\n"
+            "class State:\n"
+            "    x: int = 0\n"
+            "    def to_dict(self):\n"
+            "        return {'x': self.x}\n"
+        )
+        findings = lint_snippet(tmp_path, src, name="repro/service/x.py")
+        assert rules_of(findings) == {"L107"}
+
+    def test_l107_drift_no_sanitizer_requirement(self, tmp_path):
+        # attach_sanitizer is a frontend notion; drift classes never
+        # need it.
+        src = "class Controller:\n    def step(self):\n        pass\n"
+        assert lint_snippet(tmp_path, src, name="repro/drift/x.py") == []
+
 
 class TestSuppressions:
     def test_line_suppression_by_id(self, tmp_path):

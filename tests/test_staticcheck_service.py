@@ -35,6 +35,12 @@ def _closure_files():
     rels += sorted(
         f"service/{p.name}" for p in (SRC_ROOT / "service").glob("*.py")
     )
+    # The drift engine is in the service analyzer's scope (it journals
+    # canary verdicts and drives the service's async surface), so the
+    # A-rule closure — and the clean-tree pin — covers it too.
+    rels += sorted(
+        f"drift/{p.name}" for p in (SRC_ROOT / "drift").glob("*.py")
+    )
     return rels
 
 

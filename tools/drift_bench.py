@@ -1,0 +1,36 @@
+#!/usr/bin/env python3
+"""Offline wrapper for the drift + canary bench.
+
+Runs with no installation step (inserts ``src/`` on sys.path, mirrors
+``tools/service_bench.py``) so CI can replay seeded drift scenarios —
+diurnal re-weighting, rolling-deploy relocation, JIT branch churn —
+against the canarying plan service:
+
+    python tools/drift_bench.py --smoke
+    python tools/drift_bench.py --scenarios deploy,steady \
+        --out BENCH_drift.json
+    python tools/drift_bench.py --apps wordpress,drupal --seed 3
+
+Each case publishes a baseline plan, stages a post-drift candidate,
+replays live-fleet feedback through the deterministic canary split,
+and then kills and restores the service, asserting that the verdict
+(rollback for deploy, promotion otherwise) and the full lineage
+history survive recovery bit-for-bit.
+
+Exit codes: 0 clean (all verdicts as expected, recovery lineage
+identical), 1 verdict/recovery mismatch, 2 usage/pipeline error.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+)
+
+from repro.drift.bench import drift_bench_main  # noqa: E402
+
+if __name__ == "__main__":
+    raise SystemExit(drift_bench_main())
